@@ -1,0 +1,47 @@
+"""Ablation benches: remove one design ingredient, measure the damage.
+
+* AB1 — drop the sequential-δ schedule (§3.2): naive re-testing
+  inflates the false-positive rate several-fold; Equation 6 stays
+  within budget.
+* AB2 — drop the adaptive processor (§4.1): a fixed-strategy monitor
+  starves shadowed retrievals of samples; ``QP^A`` fulfils the quota.
+* AB3 — drop the pessimistic ``Δ̃`` (§3): full-information monitoring
+  climbs more and lands closer to the optimum — the measured price of
+  PIB's unobtrusiveness.
+"""
+
+from conftest import record_report
+
+from repro.bench import (
+    experiment_ablation_adaptive,
+    experiment_ablation_delta,
+    experiment_ablation_sequential,
+)
+
+
+def test_ablation_sequential_schedule(benchmark):
+    result = benchmark.pedantic(
+        experiment_ablation_sequential, rounds=1, iterations=1
+    )
+    record_report(result.report())
+    assert result.all_passed
+
+
+def test_ablation_adaptive_sampling(benchmark):
+    result = benchmark.pedantic(
+        experiment_ablation_adaptive, rounds=1, iterations=1
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["fixed_dg_samples"] == 0
+
+
+def test_ablation_delta_pessimism(benchmark):
+    result = benchmark.pedantic(
+        experiment_ablation_delta,
+        kwargs={"instances": 30, "contexts": 1200},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed

@@ -1,0 +1,26 @@
+"""Experiment C1: head-to-head comparison across methods.
+
+Initial depth-first strategy, the greedy ``Υ̃`` fed the *true*
+probabilities, PIB, PALO, budget-scaled PAO, and the brute-force
+optimum — normalized expected cost over a battery of random instances.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_comparison
+
+
+def test_method_comparison(benchmark):
+    result = benchmark.pedantic(
+        experiment_comparison,
+        kwargs={"instances": 25, "contexts": 1500},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    normalized = result.data["normalized"]
+    # Sanity: the optimum anchors at 1.0 and learners approach it.
+    assert normalized["optimal"] == 1.0
+    assert normalized["PIB"] <= normalized["initial"]
+    assert normalized["PAO (scaled budget)"] <= 1.10

@@ -1,0 +1,23 @@
+"""Experiment A1: horizontally segmented distributed DB scans (§5.2).
+
+Segment hits are *correlated* (an individual's facts live in exactly
+one segment), so ``Υ``'s independence assumption fails — but PIB's
+guarantees don't need it, and it converges to the provably optimal
+ratio order.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_distributed
+
+
+def test_distributed_scan_ordering(benchmark):
+    result = benchmark.pedantic(
+        experiment_distributed,
+        kwargs={"contexts": 6000},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["learned_order"] == result.data["optimal_order"]

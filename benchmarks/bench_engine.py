@@ -1,0 +1,90 @@
+"""Experiment S2: Datalog substrate throughput.
+
+Micro-benchmarks of the unit operations everything else is built on:
+indexed retrieval, satisficing SLD proof (success and failure paths),
+the negation-as-failure search, and semi-naive versus naive bottom-up
+evaluation on transitive closure.
+"""
+
+import random
+
+from repro.datalog.bottomup import naive_evaluate, seminaive_evaluate
+from repro.datalog.database import Database
+from repro.datalog.engine import TopDownEngine
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.terms import Atom, Constant
+from repro.workloads import (
+    db1,
+    pauper_rule_base,
+    ownership_database,
+    university_rule_base,
+)
+
+
+def test_indexed_retrieval(benchmark):
+    database = Database()
+    for index in range(5000):
+        database.add(Atom("edge", [Constant(f"a{index % 50}"),
+                                   Constant(f"b{index}")]))
+    pattern = Atom("edge", [Constant("a7"), "X"])
+    result = benchmark(lambda: sum(1 for _ in database.retrieve(pattern)))
+    assert result == 100
+
+
+def test_sld_satisficing_success(benchmark):
+    engine = TopDownEngine(university_rule_base())
+    database = db1()
+    query = parse_query("instructor(manolis)")
+    answer = benchmark(engine.prove, query, database)
+    assert answer.proved
+
+
+def test_sld_satisficing_failure(benchmark):
+    engine = TopDownEngine(university_rule_base())
+    database = db1()
+    query = parse_query("instructor(fred)")
+    answer = benchmark(engine.prove, query, database)
+    assert not answer.proved
+
+
+def test_naf_pauper_query(benchmark):
+    engine = TopDownEngine(pauper_rule_base())
+    database = ownership_database(random.Random(0), n_people=100)
+    query = parse_query("pauper(person1)")
+    benchmark(engine.prove, query, database)
+
+
+def _closure_inputs(n_nodes=60):
+    base = parse_program("""
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    """)
+    database = Database()
+    rng = random.Random(1)
+    for _ in range(n_nodes * 2):
+        src, dst = rng.randrange(n_nodes), rng.randrange(n_nodes)
+        database.add(Atom("edge", [Constant(f"n{src}"), Constant(f"n{dst}")]))
+    return base, database
+
+
+def test_seminaive_closure(benchmark):
+    base, database = _closure_inputs()
+    model = benchmark(seminaive_evaluate, base, database)
+    assert len(model.relation("path", 2)) > 0
+
+
+def test_naive_closure_baseline(benchmark):
+    base, database = _closure_inputs()
+    model = benchmark(naive_evaluate, base, database)
+    assert len(model.relation("path", 2)) > 0
+
+
+def test_seminaive_agrees_with_naive(benchmark):
+    base, database = _closure_inputs(40)
+
+    def both_agree():
+        return set(seminaive_evaluate(base, database)) == set(
+            naive_evaluate(base, database)
+        )
+
+    assert benchmark.pedantic(both_agree, rounds=1, iterations=1)

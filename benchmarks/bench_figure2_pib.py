@@ -1,0 +1,23 @@
+"""Experiment F2: PIB hill-climbing on Figure 2's ``G_B``.
+
+Exercises the named transformations of Section 3.2 (``τ_{d,c}``,
+``Θ_ABDC``, ``Θ_ACDB``), traces every Figure 3 climb against the
+Equation 6 threshold, and compares the final strategy with the
+brute-force global optimum.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_figure2_pib
+
+
+def test_figure2_pib(benchmark):
+    result = benchmark.pedantic(
+        experiment_figure2_pib,
+        kwargs={"contexts": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["c_final"] < result.data["c_init"]

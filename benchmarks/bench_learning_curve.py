@@ -1,0 +1,25 @@
+"""Experiment LC: PIB learning curves on the paper's two graphs.
+
+The 'figure' a systems evaluation would plot: mean observed query cost
+per window of the stream, falling from the initial strategy's expected
+cost toward the optimum as PIB climbs.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_learning_curve
+
+
+def test_learning_curves(benchmark):
+    result = benchmark.pedantic(
+        experiment_learning_curve,
+        kwargs={"contexts": 6000, "window": 500},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    # The tails sit essentially on the optimum for both graphs.
+    for label in ("G_A", "G_B"):
+        data = result.data[label]
+        assert data["windows"][-1] <= 1.2 * data["c_opt"]

@@ -1,0 +1,23 @@
+"""Experiment L1: Lemma 1's sensitivity bound on ``Υ_AOT``.
+
+Randomized instances with perturbed probability vectors: the measured
+excess cost ``C_P[Θ_p̂] − C_P[Θ_P]`` must never exceed
+``2·Σ F¬(eᵢ)·ρ(eᵢ)·|pᵢ − p̂ᵢ|``; the report also shows how tight the
+bound is in practice.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_lemma1
+
+
+def test_lemma1_bound(benchmark):
+    result = benchmark.pedantic(
+        experiment_lemma1,
+        kwargs={"trials": 300},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["violations"] == 0

@@ -1,0 +1,21 @@
+"""Experiment A2: negation-as-failure refutation ordering (§5.2).
+
+The ``pauper`` rule's inner satisficing search — find one owned item —
+is itself a strategy-ordering problem; PIB orders the ownership
+category scans by their true refutation power per unit cost.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_naf
+
+
+def test_naf_refutation_ordering(benchmark):
+    result = benchmark.pedantic(
+        experiment_naf,
+        kwargs={"contexts": 6000},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed

@@ -1,0 +1,21 @@
+"""Experiment E1: the PIB₁ one-shot filter's acceptance regions.
+
+Measures Equation 3's behaviour over repeated independent runs: high
+power when the proposed swap truly helps, false-positive rate within
+``δ`` when it hurts.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_pib1_filter
+
+
+def test_pib1_filter(benchmark):
+    result = benchmark.pedantic(
+        experiment_pib1_filter,
+        kwargs={"trials": 400},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed

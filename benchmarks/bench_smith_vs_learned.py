@@ -1,0 +1,22 @@
+"""Experiment F1b: the [Smi89] fact-count heuristic on ``DB_2``.
+
+The paper's Section 2 counter-example: 2,000 ``prof`` facts against 500
+``grad`` facts make the heuristic pick the prof-first ``Θ₁``, while a
+minors-only query stream makes grad-first ``Θ₂`` clearly superior —
+and PIB learns that from the stream alone.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_smith_vs_learned
+
+
+def test_smith_vs_learned(benchmark):
+    result = benchmark.pedantic(
+        experiment_smith_vs_learned,
+        kwargs={"contexts": 4000},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed

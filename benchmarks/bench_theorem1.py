@@ -1,0 +1,22 @@
+"""Experiment T1: Theorem 1 — PIB's mistake probability is below δ.
+
+Runs PIB over many independent random instances and counts the runs in
+which *any* climb increased the true expected cost; Theorem 1 bounds
+that frequency by δ over the whole run.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_theorem1
+
+
+def test_theorem1_mistake_rate(benchmark):
+    result = benchmark.pedantic(
+        experiment_theorem1,
+        kwargs={"runs": 60, "contexts_per_run": 800, "delta": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["mistake_rate"] <= 0.1

@@ -1,0 +1,24 @@
+"""Experiment T3: Theorem 3 — aiming PAO with hard-to-reach experiments.
+
+The ``grad(fred) :- admitted(fred, X)`` situation: a retrieval hides
+behind a reduction that only applies in a few contexts, so the plain
+per-retrieval quota of Theorem 2 is unattainable.  The aiming variant
+budgets *attempts to reach* (Equation 8) and falls back to ``p̂ = 0.5``
+for never-reached experiments.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_theorem3
+
+
+def test_theorem3_aiming(benchmark):
+    result = benchmark.pedantic(
+        experiment_theorem3,
+        kwargs={"trials": 40, "epsilon": 1.0, "delta": 0.1},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["success_rate"] >= 0.9

@@ -1,0 +1,26 @@
+"""Benchmark-suite plumbing.
+
+Experiment reports are collected as the benches run and printed in the
+terminal summary (which pytest does not capture), so that
+``pytest benchmarks/ --benchmark-only | tee bench_output.txt`` records
+every table alongside the timing stats.
+"""
+
+from typing import List
+
+_REPORTS: List[str] = []
+
+
+def record_report(report: str) -> None:
+    """Queue an experiment report for the terminal summary."""
+    _REPORTS.append(report)
+
+
+def pytest_terminal_summary(terminalreporter):
+    if not _REPORTS:
+        return
+    terminalreporter.write_line("")
+    terminalreporter.write_line("EXPERIMENT REPORTS")
+    for report in _REPORTS:
+        for line in report.splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Note 4's extension: strategies over and-or (hyper)graphs.
+
+Rules with conjunctive bodies (``eligible :- enrolled, paid, verified``)
+compile to hyper-arcs; a *policy* orders the alternatives at each goal,
+and :class:`repro.learning.PolicyPIB` improves policies with the same
+sequential Chernoff discipline PIB uses on simple graphs.
+
+Run:  python examples/conjunctive_rules.py
+"""
+
+import random
+
+from repro.datalog import parse_program
+from repro.datalog.rules import QueryForm
+from repro.graphs import HyperContext, Policy, build_and_or_graph, evaluate
+from repro.learning import PolicyPIB
+
+
+def main() -> None:
+    rules = parse_program("""
+        @Rfull eligible(X) :- enrolled(X), paid(X), verified(X).
+        @Rgrandfather eligible(X) :- legacy(X).
+    """)
+    graph = build_and_or_graph(rules, QueryForm("eligible", "b"))
+    print(f"goals: {len(graph.goal_patterns)}, hyper-arcs: {len(graph.arcs())}")
+
+    # Ground truth for the simulation: many accounts are grandfathered
+    # (one cheap check), while the three-literal conjunction is long
+    # and often dies midway — so checking legacy first is the win.
+    rates = {"enrolled": 0.5, "paid": 0.6, "verified": 0.9, "legacy": 0.5}
+    rng = random.Random(0)
+
+    def draw() -> HyperContext:
+        statuses = {
+            arc.name: rng.random() < rates[arc.goal.predicate]
+            for arc in graph.retrieval_arcs()
+        }
+        return HyperContext(graph, statuses)
+
+    learner = PolicyPIB(graph, delta=0.05)
+    initial_order = [a.name for a in learner.policy.alternatives("root")]
+    learner.run(draw, 4000)
+    final_order = [a.name for a in learner.policy.alternatives("root")]
+
+    print(f"initial policy at root: {' then '.join(initial_order)}")
+    print(f"learned policy at root: {' then '.join(final_order)}")
+    for contexts_seen, swap_name in learner.history:
+        print(f"  climb after {contexts_seen} contexts: {swap_name}")
+
+    # Score both policies on a fresh stream.
+    def mean_cost(policy: Policy, samples: int = 5000) -> float:
+        scoring = random.Random(1)
+
+        def scored_draw() -> HyperContext:
+            return HyperContext(graph, {
+                arc.name: scoring.random() < rates[arc.goal.predicate]
+                for arc in graph.retrieval_arcs()
+            })
+
+        return sum(evaluate(policy, scored_draw()).cost
+                   for _ in range(samples)) / samples
+
+    print(f"measured mean cost, initial: "
+          f"{mean_cost(Policy(graph, {'root': initial_order})):.3f}")
+    print(f"measured mean cost, learned: "
+          f"{mean_cost(learner.policy):.3f}")
+
+
+if __name__ == "__main__":
+    main()

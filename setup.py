@@ -1,0 +1,8 @@
+"""Legacy setuptools entry point (mirrors pyproject.toml).
+
+Present so that ``pip install -e .`` works in offline environments that
+lack the ``wheel`` package (pip falls back to ``setup.py develop``).
+"""
+from setuptools import setup
+
+setup()

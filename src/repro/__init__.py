@@ -1,0 +1,88 @@
+"""repro — a full reproduction of Greiner, *Learning Efficient Query
+Processing Strategies* (PODS 1992).
+
+The package is layered bottom-up:
+
+* :mod:`repro.datalog` — the knowledge-base substrate: facts, rules,
+  unification, a top-down satisficing SLD engine, and a bottom-up
+  semi-naive oracle;
+* :mod:`repro.graphs` — inference graphs (Section 2.1), contexts and
+  their arc-blocking equivalence classes, graph compilation from rule
+  bases, and the and-or hypergraph extension (Note 4);
+* :mod:`repro.strategies` — strategies, satisficing execution and the
+  cost ``c(Θ, I)``, expected cost ``C[Θ]``, transformations, and the
+  adaptive query processor ``QP^A``;
+* :mod:`repro.optimal` — the ``Υ`` optimizers: exact ratio-merge
+  ``Υ_AOT`` for trees, brute force, a polynomial approximation, and
+  the [Smi89] fact-count heuristic baseline;
+* :mod:`repro.learning` — the paper's contribution: PIB₁, the anytime
+  PIB (Theorem 1), PALO, and PAO (Theorems 2–3), with the Chernoff
+  machinery and Lemma 1's sensitivity analysis;
+* :mod:`repro.workloads` — context distributions and the paper's
+  concrete scenarios (Figure 1's university KB, Figure 2's ``G_B``,
+  segmented-scan and negation-as-failure applications);
+* :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
+
+Quickstart::
+
+    from repro.workloads import g_a, theta_1, intended_probabilities
+    from repro.workloads import IndependentDistribution
+    from repro.learning import PIB
+    import random
+
+    graph = g_a()
+    dist = IndependentDistribution(graph, intended_probabilities())
+    learner = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+    learner.run(dist.sampler(random.Random(0)), contexts=500)
+    print(learner.strategy)          # climbs to Θ₂ = ⟨Rg Dg Rp Dp⟩
+"""
+
+from . import datalog, graphs, strategies, optimal, learning, workloads
+from .system import SelfOptimizingQueryProcessor, SystemAnswer
+from .persistence import load_pib, pib_from_dict, pib_to_dict, save_pib
+from .errors import (
+    DatalogError,
+    DistributionError,
+    EvaluationError,
+    GraphError,
+    IllegalStrategyError,
+    LearningError,
+    ParseError,
+    RecursionLimitError,
+    ReproError,
+    SampleBudgetExceeded,
+    StrategyError,
+    StratificationError,
+    UnificationError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SelfOptimizingQueryProcessor",
+    "SystemAnswer",
+    "load_pib",
+    "pib_from_dict",
+    "pib_to_dict",
+    "save_pib",
+    "datalog",
+    "graphs",
+    "strategies",
+    "optimal",
+    "learning",
+    "workloads",
+    "DatalogError",
+    "DistributionError",
+    "EvaluationError",
+    "GraphError",
+    "IllegalStrategyError",
+    "LearningError",
+    "ParseError",
+    "RecursionLimitError",
+    "ReproError",
+    "SampleBudgetExceeded",
+    "StrategyError",
+    "StratificationError",
+    "UnificationError",
+    "__version__",
+]

@@ -1,0 +1,51 @@
+"""Experiment harness: structured results with printable reports.
+
+Each experiment in :mod:`repro.bench.experiments` returns an
+:class:`ExperimentResult`: machine-readable ``data`` (what the tests
+assert on), rendered ``tables`` (what the bench logs show), and named
+``checks`` — the paper-claim-vs-measurement verdicts that
+``EXPERIMENTS.md`` summarizes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from .reporting import banner
+
+__all__ = ["ExperimentResult"]
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment run."""
+
+    name: str
+    data: Dict[str, Any] = field(default_factory=dict)
+    tables: List[str] = field(default_factory=list)
+    checks: List[Tuple[str, bool]] = field(default_factory=list)
+
+    def check(self, description: str, passed: bool) -> bool:
+        """Record one paper-claim verdict; returns ``passed`` through."""
+        self.checks.append((description, bool(passed)))
+        return passed
+
+    @property
+    def all_passed(self) -> bool:
+        return all(passed for _, passed in self.checks)
+
+    def report(self) -> str:
+        """The full printable report."""
+        parts: List[str] = [banner(self.name)]
+        parts.extend(self.tables)
+        if self.checks:
+            parts.append("")
+            for description, passed in self.checks:
+                verdict = "PASS" if passed else "FAIL"
+                parts.append(f"  [{verdict}] {description}")
+        return "\n".join(parts)
+
+    def print_report(self) -> "ExperimentResult":
+        print(self.report())
+        return self

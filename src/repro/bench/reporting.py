@@ -1,0 +1,63 @@
+"""Plain-text tables and series for the benchmark reports.
+
+The paper has no result tables of its own (it is a theory paper), so
+the harness prints tables in a uniform house style: a caption naming
+the paper artifact being validated, aligned columns, and an explicit
+``paper says / we measure`` footer where applicable.  Everything is
+plain ASCII so ``tee``'d bench logs stay readable.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence
+
+__all__ = ["format_table", "format_series", "banner"]
+
+
+def _render_cell(value) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+def format_table(
+    caption: str,
+    headers: Sequence[str],
+    rows: Iterable[Sequence],
+    footer: Optional[str] = None,
+) -> str:
+    """Render an aligned ASCII table with a caption and optional footer."""
+    rendered: List[List[str]] = [
+        [_render_cell(cell) for cell in row] for row in rows
+    ]
+    widths = [len(header) for header in headers]
+    for row in rendered:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def line(cells: Sequence[str]) -> str:
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+
+    separator = "-" * (sum(widths) + 2 * (len(widths) - 1))
+    parts = [caption, separator, line(headers), separator]
+    parts.extend(line(row) for row in rendered)
+    parts.append(separator)
+    if footer:
+        parts.append(footer)
+    return "\n".join(parts)
+
+
+def format_series(
+    caption: str,
+    x_label: str,
+    y_labels: Sequence[str],
+    points: Iterable[Sequence],
+) -> str:
+    """Render an x-vs-many-y series (the 'figure' analogue) as a table."""
+    return format_table(caption, [x_label, *y_labels], points)
+
+
+def banner(title: str) -> str:
+    """A section banner for multi-table bench output."""
+    bar = "=" * max(60, len(title) + 4)
+    return f"\n{bar}\n  {title}\n{bar}"

@@ -1,0 +1,45 @@
+"""Statistical helpers for the benchmark reports.
+
+Measured rates (PIB's mistake frequency, PAO's success frequency) are
+binomial estimates; the reports attach Clopper–Pearson exact confidence
+intervals so "0 mistakes in 60 runs" is read correctly as "≤ 6% at 95%
+confidence", not as "exactly zero".
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from scipy import stats
+
+__all__ = ["clopper_pearson", "rate_with_interval"]
+
+
+def clopper_pearson(
+    successes: int, trials: int, confidence: float = 0.95
+) -> Tuple[float, float]:
+    """The exact (Clopper–Pearson) two-sided binomial interval."""
+    if trials <= 0:
+        raise ValueError("trials must be positive")
+    if not 0 <= successes <= trials:
+        raise ValueError("successes must lie in [0, trials]")
+    alpha = 1.0 - confidence
+    if successes == 0:
+        lower = 0.0
+    else:
+        lower = stats.beta.ppf(alpha / 2, successes, trials - successes + 1)
+    if successes == trials:
+        upper = 1.0
+    else:
+        upper = stats.beta.ppf(
+            1 - alpha / 2, successes + 1, trials - successes
+        )
+    return float(lower), float(upper)
+
+
+def rate_with_interval(
+    successes: int, trials: int, confidence: float = 0.95
+) -> str:
+    """``"0.050 [0.021, 0.103]"``-style rendering for report tables."""
+    lower, upper = clopper_pearson(successes, trials, confidence)
+    return f"{successes / trials:.3f} [{lower:.3f}, {upper:.3f}]"

@@ -1,0 +1,196 @@
+"""Command-line interface: query, learn, and optimize from the shell.
+
+Three subcommands::
+
+    python -m repro query  --rules kb.dl --facts db.dl "instructor(manolis)?"
+    python -m repro learn  --rules kb.dl --facts db.dl --queries stream.txt
+    python -m repro optimal --rules kb.dl --form instructor/b \
+                            --probs D_prof=0.15,D_grad=0.6
+
+* ``query`` answers one query with the plain SLD engine and prints the
+  bindings, the charged cost, and the attempted retrievals;
+* ``learn`` replays a query stream (one query per line) through the
+  self-optimizing processor and prints the per-form learning report;
+* ``optimal`` compiles a query form's inference graph and prints
+  ``Υ_AOT``'s optimal strategy for a given probability vector.
+
+All file formats are plain Datalog (the ``--facts`` file holds ground
+facts only).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from .datalog.database import Database
+from .datalog.engine import TopDownEngine
+from .datalog.parser import parse_program, parse_query
+from .datalog.rules import QueryForm
+from .graphs.builder import build_inference_graph
+from .optimal.upsilon import upsilon_aot
+from .system import SelfOptimizingQueryProcessor
+
+__all__ = ["main", "build_parser"]
+
+
+def _load_rules(path: str):
+    with open(path, encoding="utf-8") as handle:
+        return parse_program(handle.read())
+
+
+def _load_facts(path: str) -> Database:
+    with open(path, encoding="utf-8") as handle:
+        return Database.from_program(handle.read())
+
+
+def _parse_probs(spec: str) -> Dict[str, float]:
+    probs: Dict[str, float] = {}
+    for item in spec.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        name, _, value = item.partition("=")
+        if not value:
+            raise ValueError(f"bad probability entry {item!r}; use arc=p")
+        probs[name.strip()] = float(value)
+    return probs
+
+
+def _parse_form(spec: str) -> QueryForm:
+    predicate, _, pattern = spec.partition("/")
+    if not pattern:
+        raise ValueError(f"bad form {spec!r}; use predicate/pattern, e.g. p/bf")
+    return QueryForm(predicate, pattern)
+
+
+def cmd_query(args: argparse.Namespace, out) -> int:
+    rules = _load_rules(args.rules)
+    facts = _load_facts(args.facts)
+    engine = TopDownEngine(rules, max_depth=args.max_depth)
+    query = parse_query(args.query)
+    answer = engine.prove(query, facts)
+    print("yes" if answer.proved else "no", file=out)
+    if answer.proved and len(answer.substitution):
+        for variable in sorted(answer.substitution, key=lambda v: v.name):
+            print(f"  {variable} = {answer.substitution[variable]}", file=out)
+    print(f"cost: {answer.trace.cost:g}", file=out)
+    if args.trace:
+        for event in answer.trace.retrievals:
+            status = "hit" if event.succeeded else "miss"
+            print(f"  retrieval {event.goal}: {status}", file=out)
+    return 0 if answer.proved else 1
+
+
+def cmd_learn(args: argparse.Namespace, out) -> int:
+    rules = _load_rules(args.rules)
+    facts = _load_facts(args.facts)
+    processor = SelfOptimizingQueryProcessor(
+        rules, delta=args.delta, max_depth=args.max_depth
+    )
+    total_cost = 0.0
+    count = 0
+    with open(args.queries, encoding="utf-8") as handle:
+        for line in handle:
+            line = line.split("%", 1)[0].strip()
+            if not line:
+                continue
+            answer = processor.query(parse_query(line), facts)
+            total_cost += answer.cost
+            count += 1
+            if answer.climbed and not args.quiet:
+                print(f"[climb after query #{count}: {line}]", file=out)
+    if count == 0:
+        print("no queries in the stream", file=out)
+        return 1
+    print(f"processed {count} queries, mean cost "
+          f"{total_cost / count:.3f}", file=out)
+    for form, info in sorted(processor.report().items()):
+        print(f"form {form}:", file=out)
+        for key, value in info.items():
+            print(f"  {key}: {value}", file=out)
+    return 0
+
+
+def cmd_optimal(args: argparse.Namespace, out) -> int:
+    rules = _load_rules(args.rules)
+    form = _parse_form(args.form)
+    graph = build_inference_graph(rules, form, max_depth=args.max_depth)
+    probs = _parse_probs(args.probs)
+    known = {arc.name for arc in graph.experiments()}
+    missing = known - set(probs)
+    if missing:
+        print(f"missing probabilities for: {', '.join(sorted(missing))}",
+              file=out)
+        print(f"(the graph's experiments are: {', '.join(sorted(known))})",
+              file=out)
+        return 2
+    strategy = upsilon_aot(graph, probs)
+    print("graph:", file=out)
+    print(graph.pretty(), file=out)
+    print(f"optimal strategy: {' '.join(strategy.arc_names())}", file=out)
+    from .strategies.expected_cost import expected_cost_exact
+
+    print(f"expected cost: {expected_cost_exact(strategy, probs):.4g}",
+          file=out)
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Learning efficient query processing strategies "
+                    "(Greiner, PODS '92).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    query = sub.add_parser("query", help="answer one query with SLD")
+    query.add_argument("--rules", required=True, help="Datalog rule file")
+    query.add_argument("--facts", required=True, help="Datalog fact file")
+    query.add_argument("--max-depth", type=int, default=64)
+    query.add_argument("--trace", action="store_true",
+                       help="print attempted retrievals")
+    query.add_argument("query", help='e.g. "instructor(manolis)?"')
+    query.set_defaults(handler=cmd_query)
+
+    learn = sub.add_parser(
+        "learn", help="replay a query stream through the learning processor"
+    )
+    learn.add_argument("--rules", required=True)
+    learn.add_argument("--facts", required=True)
+    learn.add_argument("--queries", required=True,
+                       help="file with one query per line (% comments)")
+    learn.add_argument("--delta", type=float, default=0.05,
+                       help="PIB mistake budget (Theorem 1)")
+    learn.add_argument("--max-depth", type=int, default=None)
+    learn.add_argument("--quiet", action="store_true")
+    learn.set_defaults(handler=cmd_learn)
+
+    optimal = sub.add_parser(
+        "optimal", help="print Υ_AOT's optimal strategy for a query form"
+    )
+    optimal.add_argument("--rules", required=True)
+    optimal.add_argument("--form", required=True,
+                         help="query form, e.g. instructor/b")
+    optimal.add_argument("--probs", required=True,
+                         help="arc=p comma list, e.g. D_prof=0.15,D_grad=0.6")
+    optimal.add_argument("--max-depth", type=int, default=None)
+    optimal.set_defaults(handler=cmd_optimal)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
+    """CLI entry point; returns the process exit code."""
+    out = out or sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        return args.handler(args, out)
+    except (OSError, ValueError) as error:
+        print(f"error: {error}", file=out)
+        return 2
+
+
+if __name__ == "__main__":
+    sys.exit(main())

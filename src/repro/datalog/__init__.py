@@ -1,0 +1,44 @@
+"""Datalog substrate: terms, rules, parser, database, and evaluation.
+
+This subpackage implements the knowledge-base machinery the paper's
+query processor runs on: a database of ground atomic facts plus a rule
+base of Datalog rules (Section 2), a top-down satisficing SLD engine,
+and a bottom-up semi-naive oracle.
+"""
+
+from .terms import Atom, Constant, Substitution, Term, Variable, variables_of
+from .unify import match, rename_apart, unify
+from .rules import Literal, QueryForm, Rule, RuleBase
+from .parser import parse_atom, parse_program, parse_query, parse_rule
+from .database import Database
+from .engine import Answer, CostModel, ProofTrace, RetrievalEvent, TopDownEngine
+from .bottomup import BottomUpEngine, naive_evaluate, seminaive_evaluate
+
+__all__ = [
+    "Atom",
+    "Constant",
+    "Substitution",
+    "Term",
+    "Variable",
+    "variables_of",
+    "match",
+    "rename_apart",
+    "unify",
+    "Literal",
+    "QueryForm",
+    "Rule",
+    "RuleBase",
+    "parse_atom",
+    "parse_program",
+    "parse_query",
+    "parse_rule",
+    "Database",
+    "Answer",
+    "CostModel",
+    "ProofTrace",
+    "RetrievalEvent",
+    "TopDownEngine",
+    "BottomUpEngine",
+    "naive_evaluate",
+    "seminaive_evaluate",
+]

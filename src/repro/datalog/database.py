@@ -1,0 +1,184 @@
+"""The extensional database: a store of ground atomic facts.
+
+Retrieval is the unit operation the whole paper is built around — a
+strategy is an ordering of *attempted retrievals* (plus the rule
+reductions that reach them), and PIB/PAO's statistics count how often
+each retrieval succeeds.  This module provides an indexed fact store:
+
+* a per-relation index (``signature -> facts``), and
+* per-argument hash indexes (``signature, position, constant -> facts``)
+  so that bound positions of a retrieval pattern prune the scan, the
+  way any real EDB access path would.
+
+The store also keeps simple relation statistics (fact counts per
+relation), which the [Smi89] fact-distribution heuristic baseline
+(:mod:`repro.optimal.smith`) consumes.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..errors import DatalogError
+from .terms import Atom, Constant, Substitution, Variable
+from .unify import match
+
+__all__ = ["Database"]
+
+
+class Database:
+    """An indexed collection of ground facts.
+
+    Databases are mutable (facts can be added and removed) but the
+    stored atoms themselves are immutable.  Iteration order is
+    insertion order, which keeps retrieval enumeration deterministic.
+    """
+
+    def __init__(self, facts: Iterable[Atom] = ()):
+        self._facts: Dict[Tuple[str, int], Dict[Atom, None]] = defaultdict(dict)
+        self._arg_index: Dict[Tuple[str, int, int, Constant], Set[Atom]] = defaultdict(set)
+        self._size = 0
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_program(cls, text: str) -> "Database":
+        """Build a database from Datalog source containing only facts."""
+        from .parser import parse_program
+
+        database = cls()
+        for rule in parse_program(text):
+            if not rule.is_fact:
+                raise DatalogError(f"not a fact: {rule}")
+            database.add(rule.head)
+        return database
+
+    def copy(self) -> "Database":
+        """An independent copy of the database."""
+        return Database(self)
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        """Add a ground fact; returns ``False`` when already present."""
+        if not isinstance(fact, Atom):
+            raise TypeError("facts must be Atoms")
+        if not fact.is_ground:
+            raise DatalogError(f"facts must be ground, got {fact}")
+        relation = self._facts[fact.signature]
+        if fact in relation:
+            return False
+        relation[fact] = None
+        for position, arg in enumerate(fact.args):
+            self._arg_index[(fact.predicate, fact.arity, position, arg)].add(fact)
+        self._size += 1
+        return True
+
+    def remove(self, fact: Atom) -> bool:
+        """Remove a fact; returns ``False`` when it was absent."""
+        relation = self._facts.get(fact.signature)
+        if not relation or fact not in relation:
+            return False
+        del relation[fact]
+        for position, arg in enumerate(fact.args):
+            key = (fact.predicate, fact.arity, position, arg)
+            bucket = self._arg_index.get(key)
+            if bucket is not None:
+                bucket.discard(fact)
+                if not bucket:
+                    del self._arg_index[key]
+        self._size -= 1
+        return True
+
+    def update(self, facts: Iterable[Atom]) -> int:
+        """Add many facts; returns how many were new."""
+        return sum(1 for fact in facts if self.add(fact))
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def __contains__(self, fact: Atom) -> bool:
+        relation = self._facts.get(fact.signature)
+        return bool(relation) and fact in relation
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        for relation in self._facts.values():
+            yield from relation
+
+    def relation(self, predicate: str, arity: int) -> List[Atom]:
+        """All facts of one relation, in insertion order."""
+        return list(self._facts.get((predicate, arity), ()))
+
+    def count(self, predicate: str, arity: Optional[int] = None) -> int:
+        """Number of facts for a relation.
+
+        With ``arity=None`` the counts of all arities of ``predicate``
+        are summed; this is the statistic the [Smi89] heuristic uses
+        (e.g. "2,000 facts of the form ``prof^(b)``").
+        """
+        if arity is not None:
+            return len(self._facts.get((predicate, arity), ()))
+        return sum(
+            len(facts)
+            for (name, _arity), facts in self._facts.items()
+            if name == predicate
+        )
+
+    def signatures(self) -> Set[Tuple[str, int]]:
+        """All relation signatures with at least one fact."""
+        return {sig for sig, facts in self._facts.items() if facts}
+
+    def _candidates(self, pattern: Atom) -> Iterable[Atom]:
+        """Facts that could match ``pattern``, using the tightest index."""
+        relation = self._facts.get(pattern.signature)
+        if not relation:
+            return ()
+        best: Optional[Set[Atom]] = None
+        for position, arg in enumerate(pattern.args):
+            if isinstance(arg, Variable):
+                continue
+            bucket = self._arg_index.get(
+                (pattern.predicate, pattern.arity, position, arg), set()
+            )
+            if best is None or len(bucket) < len(best):
+                best = bucket
+            if not bucket:
+                return ()
+        return relation if best is None else best
+
+    def retrieve(self, pattern: Atom) -> Iterator[Substitution]:
+        """Yield one substitution per fact matching ``pattern``.
+
+        A ground pattern yields at most one (empty) substitution; a
+        pattern with variables yields their bindings.  This is the
+        "attempted database retrieval" of the paper: the retrieval
+        *succeeds* iff the iterator is non-empty.
+        """
+        if pattern.is_ground:
+            if pattern in self:
+                yield Substitution()
+            return
+        for fact in self._candidates(pattern):
+            binding = match(pattern, fact)
+            if binding is not None:
+                yield binding
+
+    def succeeds(self, pattern: Atom) -> bool:
+        """Whether at least one fact matches ``pattern`` (satisficing)."""
+        for _ in self.retrieve(pattern):
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"Database({self._size} facts)"

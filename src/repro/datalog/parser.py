@@ -1,0 +1,223 @@
+"""A small recursive-descent parser for Datalog programs and queries.
+
+Grammar (``%`` starts a line comment)::
+
+    program   := clause*
+    clause    := ["@" NAME] atom [":-" literals] "."
+    literals  := literal ("," literal)*
+    literal   := ["not" | "\\+"] atom
+    atom      := NAME ["(" term ("," term)* ")"]
+    term      := NAME | VARIABLE | NUMBER | STRING
+
+Identifiers beginning with a lowercase letter are predicate/constant
+symbols; identifiers beginning with an uppercase letter or underscore
+are variables.  The optional ``@name`` annotation labels a rule, which
+is how the worked examples name the paper's rules
+(``@Rp instructor(X) :- prof(X).``).
+
+Entry points: :func:`parse_program`, :func:`parse_rule`,
+:func:`parse_atom`, :func:`parse_query`.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterator, List, NamedTuple, Optional, Tuple
+
+from ..errors import ParseError
+from .rules import Literal, Rule, RuleBase
+from .terms import Atom, Constant, Term, Variable
+
+__all__ = ["parse_program", "parse_rule", "parse_atom", "parse_query", "tokenize"]
+
+
+class Token(NamedTuple):
+    kind: str
+    text: str
+    line: int
+    column: int
+
+
+_TOKEN_RE = re.compile(
+    r"""
+    (?P<COMMENT>%[^\n]*)
+  | (?P<WS>\s+)
+  | (?P<IMPLIES>:-)
+  | (?P<NAF>\\\+)
+  | (?P<AT>@)
+  | (?P<LPAREN>\()
+  | (?P<RPAREN>\))
+  | (?P<COMMA>,)
+  | (?P<DOT>\.(?!\d))
+  | (?P<NUMBER>-?\d+(?:\.\d+)?)
+  | (?P<STRING>"(?:[^"\\]|\\.)*")
+  | (?P<NAME>[A-Za-z_][A-Za-z0-9_]*)
+    """,
+    re.VERBOSE,
+)
+
+
+def tokenize(text: str) -> Iterator[Token]:
+    """Yield tokens; raises :class:`ParseError` on unknown characters."""
+    line = 1
+    line_start = 0
+    position = 0
+    while position < len(text):
+        matched = _TOKEN_RE.match(text, position)
+        if matched is None:
+            raise ParseError(
+                f"unexpected character {text[position]!r}",
+                line=line,
+                column=position - line_start + 1,
+            )
+        kind = matched.lastgroup
+        token_text = matched.group()
+        if kind not in ("WS", "COMMENT"):
+            yield Token(kind, token_text, line, matched.start() - line_start + 1)
+        newlines = token_text.count("\n")
+        if newlines:
+            line += newlines
+            line_start = matched.start() + token_text.rfind("\n") + 1
+        position = matched.end()
+    yield Token("EOF", "", line, position - line_start + 1)
+
+
+class _Parser:
+    """Recursive-descent parser over the token stream."""
+
+    def __init__(self, text: str):
+        self._tokens: List[Token] = list(tokenize(text))
+        self._index = 0
+
+    @property
+    def _current(self) -> Token:
+        return self._tokens[self._index]
+
+    def _advance(self) -> Token:
+        token = self._current
+        if token.kind != "EOF":
+            self._index += 1
+        return token
+
+    def _expect(self, kind: str) -> Token:
+        token = self._current
+        if token.kind != kind:
+            raise ParseError(
+                f"expected {kind}, found {token.kind} ({token.text!r})",
+                line=token.line,
+                column=token.column,
+            )
+        return self._advance()
+
+    def _at(self, kind: str) -> bool:
+        return self._current.kind == kind
+
+    # -- grammar productions -----------------------------------------
+
+    def program(self) -> List[Rule]:
+        clauses: List[Rule] = []
+        while not self._at("EOF"):
+            clauses.append(self.clause())
+        return clauses
+
+    def clause(self) -> Rule:
+        name: Optional[str] = None
+        if self._at("AT"):
+            self._advance()
+            name = self._expect("NAME").text
+        head = self.atom()
+        body: List[Literal] = []
+        if self._at("IMPLIES"):
+            self._advance()
+            body.append(self.literal())
+            while self._at("COMMA"):
+                self._advance()
+                body.append(self.literal())
+        self._expect("DOT")
+        return Rule(head, body, name=name)
+
+    def literal(self) -> Literal:
+        positive = True
+        if self._at("NAF"):
+            self._advance()
+            positive = False
+        elif self._at("NAME") and self._current.text == "not":
+            # 'not' is a keyword only in literal position followed by an atom.
+            lookahead = self._tokens[self._index + 1]
+            if lookahead.kind == "NAME":
+                self._advance()
+                positive = False
+        return Literal(self.atom(), positive=positive)
+
+    def atom(self) -> Atom:
+        name_token = self._expect("NAME")
+        if name_token.text[0].isupper() or name_token.text[0] == "_":
+            raise ParseError(
+                f"predicate names must start lowercase, got {name_token.text!r}",
+                line=name_token.line,
+                column=name_token.column,
+            )
+        args: List[Term] = []
+        if self._at("LPAREN"):
+            self._advance()
+            args.append(self.term())
+            while self._at("COMMA"):
+                self._advance()
+                args.append(self.term())
+            self._expect("RPAREN")
+        return Atom(name_token.text, args)
+
+    def term(self) -> Term:
+        token = self._current
+        if token.kind == "NAME":
+            self._advance()
+            if token.text[0].isupper() or token.text[0] == "_":
+                return Variable(token.text)
+            return Constant(token.text)
+        if token.kind == "NUMBER":
+            self._advance()
+            value = float(token.text) if "." in token.text else int(token.text)
+            return Constant(value)
+        if token.kind == "STRING":
+            self._advance()
+            raw = token.text[1:-1]
+            return Constant(raw.replace('\\"', '"').replace("\\\\", "\\"))
+        raise ParseError(
+            f"expected a term, found {token.kind} ({token.text!r})",
+            line=token.line,
+            column=token.column,
+        )
+
+
+def parse_program(text: str) -> RuleBase:
+    """Parse a full Datalog program into a :class:`RuleBase`.
+
+    Ground facts written in the program become body-less rules; callers
+    that want them in a :class:`~repro.datalog.database.Database`
+    instead can use :meth:`Database.from_program`.
+    """
+    return RuleBase(_Parser(text).program())
+
+
+def parse_rule(text: str) -> Rule:
+    """Parse exactly one clause (rule or fact)."""
+    parser = _Parser(text)
+    rule = parser.clause()
+    parser._expect("EOF")
+    return rule
+
+
+def parse_atom(text: str) -> Atom:
+    """Parse a single atom, without a trailing dot."""
+    parser = _Parser(text)
+    atom = parser.atom()
+    parser._expect("EOF")
+    return atom
+
+
+def parse_query(text: str) -> Atom:
+    """Parse a query: an atom with an optional trailing ``.`` or ``?``."""
+    stripped = text.strip()
+    if stripped.endswith("?") or stripped.endswith("."):
+        stripped = stripped[:-1]
+    return parse_atom(stripped)

@@ -1,0 +1,310 @@
+"""Core Datalog term language: constants, variables, atoms, substitutions.
+
+The paper's knowledge bases contain a database of *ground atomic facts*
+and a rule base of *Datalog rules* (function-free Horn clauses).  This
+module supplies the term-level vocabulary those objects are written in:
+
+* :class:`Constant` — an uninterpreted symbol such as ``manolis`` or an
+  interpreted literal value (``42``, ``"abc"``);
+* :class:`Variable` — a logic variable such as ``X``;
+* :class:`Atom` — a predicate applied to terms, e.g.
+  ``instructor(manolis)``;
+* :class:`Substitution` — an immutable mapping from variables to terms,
+  applied with :meth:`Substitution.apply`.
+
+All objects are immutable, hashable and comparable, so they can be used
+freely as dictionary keys and set members — the database indexes depend
+on this.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Sequence, Tuple, Union
+
+__all__ = [
+    "Term",
+    "Constant",
+    "Variable",
+    "Atom",
+    "Substitution",
+    "EMPTY_SUBSTITUTION",
+    "make_term",
+    "variables_of",
+]
+
+
+class Term:
+    """Abstract base class for Datalog terms (constants and variables)."""
+
+    __slots__ = ()
+
+    @property
+    def is_ground(self) -> bool:
+        """Whether the term contains no variables."""
+        raise NotImplementedError
+
+    def substitute(self, subst: "Substitution") -> "Term":
+        """Return the term with ``subst`` applied."""
+        raise NotImplementedError
+
+
+class Constant(Term):
+    """An uninterpreted constant symbol or interpreted literal value.
+
+    The ``value`` may be any hashable Python object; in practice the
+    parser produces strings, integers and floats.  Two constants are
+    equal iff their values are equal and of the same type, so the
+    constant ``1`` and the constant ``"1"`` are distinct.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value):
+        if isinstance(value, Term):
+            raise TypeError("Constant value must be a plain value, not a Term")
+        self.value = value
+
+    @property
+    def is_ground(self) -> bool:
+        return True
+
+    def substitute(self, subst: "Substitution") -> "Constant":
+        return self
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Constant)
+            and type(self.value) is type(other.value)
+            and self.value == other.value
+        )
+
+    def __hash__(self) -> int:
+        return hash((Constant, type(self.value).__name__, self.value))
+
+    def __repr__(self) -> str:
+        return f"Constant({self.value!r})"
+
+    def __str__(self) -> str:
+        return str(self.value)
+
+
+class Variable(Term):
+    """A logic variable, identified by name.
+
+    Variables are scoped per clause; :func:`repro.datalog.unify.rename_apart`
+    freshens them before resolution.  Names beginning with ``_`` are
+    conventionally anonymous but receive no special treatment here.
+    """
+
+    __slots__ = ("name",)
+
+    def __init__(self, name: str):
+        if not isinstance(name, str) or not name:
+            raise TypeError("Variable name must be a non-empty string")
+        self.name = name
+
+    @property
+    def is_ground(self) -> bool:
+        return False
+
+    def substitute(self, subst: "Substitution") -> Term:
+        return subst.get(self, self)
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Variable) and self.name == other.name
+
+    def __hash__(self) -> int:
+        return hash((Variable, self.name))
+
+    def __repr__(self) -> str:
+        return f"Variable({self.name!r})"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+def make_term(value) -> Term:
+    """Coerce a Python value into a :class:`Term`.
+
+    Existing terms pass through; strings that look like Datalog
+    variables (leading uppercase letter or underscore) become
+    :class:`Variable`; everything else becomes :class:`Constant`.
+    """
+    if isinstance(value, Term):
+        return value
+    if isinstance(value, str) and value and (value[0].isupper() or value[0] == "_"):
+        return Variable(value)
+    return Constant(value)
+
+
+class Atom:
+    """A predicate applied to a tuple of terms, e.g. ``prof(manolis)``.
+
+    ``predicate`` is the relation name; ``args`` is the (possibly empty)
+    argument tuple.  Atoms are immutable and hashable.
+    """
+
+    __slots__ = ("predicate", "args", "_hash")
+
+    def __init__(self, predicate: str, args: Sequence = ()):
+        if not isinstance(predicate, str) or not predicate:
+            raise TypeError("predicate must be a non-empty string")
+        self.predicate = predicate
+        self.args: Tuple[Term, ...] = tuple(make_term(a) for a in args)
+        self._hash = hash((Atom, predicate, self.args))
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    @property
+    def signature(self) -> Tuple[str, int]:
+        """``(predicate, arity)`` pair identifying the relation."""
+        return (self.predicate, len(self.args))
+
+    @property
+    def is_ground(self) -> bool:
+        """Whether every argument is a constant."""
+        return all(a.is_ground for a in self.args)
+
+    def variables(self) -> Iterator[Variable]:
+        """Yield the variables of the atom, left to right, with repeats."""
+        for arg in self.args:
+            if isinstance(arg, Variable):
+                yield arg
+
+    def substitute(self, subst: "Substitution") -> "Atom":
+        """Return the atom with ``subst`` applied to every argument."""
+        if not subst:
+            return self
+        return Atom(self.predicate, tuple(a.substitute(subst) for a in self.args))
+
+    def binding_pattern(self) -> str:
+        """The paper's query-form adornment: ``'b'``/``'f'`` per argument.
+
+        An argument is bound (``b``) when it is a constant and free
+        (``f``) when it is a variable; ``instructor(manolis)`` has
+        pattern ``"b"`` and ``age(russ, X)`` has pattern ``"bf"``.
+        """
+        return "".join("b" if a.is_ground else "f" for a in self.args)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Atom)
+            and self.predicate == other.predicate
+            and self.args == other.args
+        )
+
+    def __hash__(self) -> int:
+        return self._hash
+
+    def __repr__(self) -> str:
+        return f"Atom({self.predicate!r}, {list(self.args)!r})"
+
+    def __str__(self) -> str:
+        if not self.args:
+            return self.predicate
+        return f"{self.predicate}({', '.join(str(a) for a in self.args)})"
+
+
+class Substitution(Mapping[Variable, Term]):
+    """An immutable mapping from variables to terms.
+
+    Bindings are *fully resolved at construction*: if the raw mapping
+    sends ``X -> Y`` and ``Y -> c``, the stored binding is ``X -> c``.
+    This keeps :meth:`apply` a single-pass operation and makes composed
+    substitutions idempotent, a property the unit tests rely on.
+    """
+
+    __slots__ = ("_bindings",)
+
+    def __init__(self, bindings: Optional[Mapping[Variable, Term]] = None):
+        resolved: Dict[Variable, Term] = {}
+        raw = dict(bindings) if bindings else {}
+        for var, term in raw.items():
+            if not isinstance(var, Variable):
+                raise TypeError(f"substitution keys must be Variables, got {var!r}")
+            if not isinstance(term, Term):
+                term = make_term(term)
+            resolved[var] = _walk(term, raw)
+        for var, term in resolved.items():
+            if var == term:
+                raise ValueError(f"substitution binds {var} to itself")
+        self._bindings = resolved
+
+    def __getitem__(self, var: Variable) -> Term:
+        return self._bindings[var]
+
+    def __iter__(self) -> Iterator[Variable]:
+        return iter(self._bindings)
+
+    def __len__(self) -> int:
+        return len(self._bindings)
+
+    def apply(self, target: Union[Term, Atom]) -> Union[Term, Atom]:
+        """Apply the substitution to a term or atom."""
+        return target.substitute(self)
+
+    def compose(self, other: "Substitution") -> "Substitution":
+        """Return ``self`` followed by ``other`` (``other ∘ self``).
+
+        Applying the result is equivalent to applying ``self`` and then
+        ``other``.
+        """
+        merged: Dict[Variable, Term] = {}
+        for var, term in self._bindings.items():
+            merged[var] = term.substitute(other)
+        for var, term in other._bindings.items():
+            if var not in merged:
+                merged[var] = term
+        # Drop identity bindings introduced by the composition.
+        merged = {v: t for v, t in merged.items() if v != t}
+        return Substitution(merged)
+
+    def restrict(self, variables: Iterable[Variable]) -> "Substitution":
+        """Project the substitution onto ``variables``."""
+        keep = set(variables)
+        return Substitution({v: t for v, t in self._bindings.items() if v in keep})
+
+    def is_ground(self) -> bool:
+        """Whether every binding maps to a ground term."""
+        return all(t.is_ground for t in self._bindings.values())
+
+    def __eq__(self, other) -> bool:
+        return isinstance(other, Substitution) and self._bindings == other._bindings
+
+    def __hash__(self) -> int:
+        return hash(frozenset(self._bindings.items()))
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{v}: {t}" for v, t in sorted(
+            self._bindings.items(), key=lambda item: item[0].name))
+        return "{" + inner + "}"
+
+
+def _walk(term: Term, bindings: Mapping[Variable, Term]) -> Term:
+    """Chase variable-to-variable links in ``bindings`` to a fixed point."""
+    seen = set()
+    while isinstance(term, Variable) and term in bindings:
+        if term in seen:
+            raise ValueError(f"cyclic substitution through {term}")
+        seen.add(term)
+        term = bindings[term]
+        if not isinstance(term, Term):
+            term = make_term(term)
+    return term
+
+
+EMPTY_SUBSTITUTION = Substitution()
+
+
+def variables_of(*items: Union[Term, Atom]) -> "set[Variable]":
+    """Collect the set of variables occurring in the given terms/atoms."""
+    found: set = set()
+    for item in items:
+        if isinstance(item, Variable):
+            found.add(item)
+        elif isinstance(item, Atom):
+            found.update(item.variables())
+    return found

@@ -1,0 +1,122 @@
+"""Unification and matching for function-free (Datalog) atoms.
+
+Because Datalog terms contain no function symbols, unification here is
+the simple variable/constant case — no occurs check is needed beyond
+rejecting a variable bound against itself, and most-general unifiers
+are unique up to variable renaming.
+
+Three operations are provided:
+
+* :func:`unify` — most general unifier of two atoms (or ``None``);
+* :func:`match` — one-sided unification: bind variables of a *pattern*
+  to make it equal a (usually ground) *target*, used by the fact
+  indexes for retrieval;
+* :func:`rename_apart` — freshen the variables of a clause before
+  resolution so distinct rule applications never share variables.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Optional, Tuple
+
+from .terms import Atom, Constant, Substitution, Term, Variable
+
+__all__ = ["unify", "unify_terms", "match", "rename_apart", "fresh_variable_factory"]
+
+
+def unify_terms(left: Term, right: Term,
+                bindings: Optional[Dict[Variable, Term]] = None
+                ) -> Optional[Dict[Variable, Term]]:
+    """Unify two terms under existing raw ``bindings``.
+
+    Returns the extended raw binding dict, or ``None`` when the terms
+    do not unify.  The input dict is never mutated.
+    """
+    bindings = dict(bindings) if bindings else {}
+    left = _resolve(left, bindings)
+    right = _resolve(right, bindings)
+    if left == right:
+        return bindings
+    if isinstance(left, Variable):
+        bindings[left] = right
+        return bindings
+    if isinstance(right, Variable):
+        bindings[right] = left
+        return bindings
+    return None  # two distinct constants
+
+
+def unify(left: Atom, right: Atom) -> Optional[Substitution]:
+    """Most general unifier of two atoms, or ``None`` if none exists.
+
+    >>> from repro.datalog.terms import Atom
+    >>> unify(Atom("p", ["X"]), Atom("p", ["a"]))
+    {X: a}
+    """
+    if left.signature != right.signature:
+        return None
+    bindings: Optional[Dict[Variable, Term]] = {}
+    for l_arg, r_arg in zip(left.args, right.args):
+        bindings = unify_terms(l_arg, r_arg, bindings)
+        if bindings is None:
+            return None
+    return Substitution(bindings)
+
+
+def match(pattern: Atom, target: Atom) -> Optional[Substitution]:
+    """One-sided unification: bind ``pattern``'s variables to equal ``target``.
+
+    Variables in ``target`` are treated as constants-like and never
+    bound; retrieval from the fact database uses this with ground
+    targets.  Returns ``None`` when no such binding exists.
+    """
+    if pattern.signature != target.signature:
+        return None
+    bindings: Dict[Variable, Term] = {}
+    for p_arg, t_arg in zip(pattern.args, target.args):
+        p_arg = _resolve(p_arg, bindings)
+        if isinstance(p_arg, Variable):
+            bindings[p_arg] = t_arg
+        elif p_arg != t_arg:
+            return None
+    return Substitution(bindings)
+
+
+def _resolve(term: Term, bindings: Dict[Variable, Term]) -> Term:
+    """Follow variable bindings to the representative term."""
+    while isinstance(term, Variable) and term in bindings:
+        term = bindings[term]
+    return term
+
+
+class fresh_variable_factory:
+    """Generate variables guaranteed fresh across a resolution session.
+
+    Produced names look like ``X#3`` — the ``#`` cannot appear in parsed
+    variable names, so fresh variables never collide with user ones.
+    """
+
+    def __init__(self):
+        self._counter = itertools.count()
+
+    def __call__(self, base: str = "V") -> Variable:
+        root = base.split("#", 1)[0]
+        return Variable(f"{root}#{next(self._counter)}")
+
+
+def rename_apart(atoms: Tuple[Atom, ...],
+                 factory: fresh_variable_factory) -> Tuple[Atom, ...]:
+    """Return the atoms with every variable consistently replaced by a
+    fresh one from ``factory``.
+
+    Shared variables stay shared: renaming ``(p(X, Y), q(X))`` yields
+    ``(p(X#i, Y#j), q(X#i))``.
+    """
+    mapping: Dict[Variable, Term] = {}
+    for atom in atoms:
+        for var in atom.variables():
+            if var not in mapping:
+                mapping[var] = factory(var.name)
+    subst = Substitution(mapping)
+    return tuple(atom.substitute(subst) for atom in atoms)

@@ -1,0 +1,90 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error raised by this library derives from :class:`ReproError`, so
+callers can catch library failures without also swallowing programming
+mistakes such as :class:`TypeError`.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "DatalogError",
+    "ParseError",
+    "UnificationError",
+    "StratificationError",
+    "EvaluationError",
+    "GraphError",
+    "RecursionLimitError",
+    "StrategyError",
+    "IllegalStrategyError",
+    "DistributionError",
+    "LearningError",
+    "SampleBudgetExceeded",
+]
+
+
+class ReproError(Exception):
+    """Base class for every exception raised by this library."""
+
+
+class DatalogError(ReproError):
+    """Base class for errors in the Datalog substrate."""
+
+
+class ParseError(DatalogError):
+    """Raised when Datalog source text cannot be parsed.
+
+    Carries the 1-based ``line`` and ``column`` of the offending token
+    when they are known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        location = ""
+        if line is not None:
+            location = f" at line {line}"
+            if column is not None:
+                location += f", column {column}"
+        super().__init__(message + location)
+        self.line = line
+        self.column = column
+
+
+class UnificationError(DatalogError):
+    """Raised by operations that require a unifier when none exists."""
+
+
+class StratificationError(DatalogError):
+    """Raised when a rule base using negation admits no stratification."""
+
+
+class EvaluationError(DatalogError):
+    """Raised when query evaluation cannot proceed (e.g. unsafe rules)."""
+
+
+class GraphError(ReproError):
+    """Base class for inference-graph construction and validation errors."""
+
+
+class RecursionLimitError(GraphError):
+    """Raised when unfolding a recursive rule base without a depth bound."""
+
+
+class StrategyError(ReproError):
+    """Base class for strategy-level errors."""
+
+
+class IllegalStrategyError(StrategyError):
+    """Raised when an arc sequence is not a legal strategy for its graph."""
+
+
+class DistributionError(ReproError):
+    """Raised when a context distribution is mis-specified."""
+
+
+class LearningError(ReproError):
+    """Base class for errors in the PIB/PAO learning algorithms."""
+
+
+class SampleBudgetExceeded(LearningError):
+    """Raised when a learner exhausts its sample budget before finishing."""

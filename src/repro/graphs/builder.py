@@ -1,0 +1,179 @@
+"""Compile a rule base and a query form into an inference graph.
+
+This is the rule/goal-graph construction the paper sketches with
+Figure 1: starting from the query form's prototype goal
+(``instructor(B0)`` for ``instructor^(b)``), each rule whose head
+unifies with a goal contributes a *reduction* arc to its body subgoal,
+and every extensional subgoal contributes a *retrieval* arc to a
+success box.
+
+The builder handles the paper's simple **disjunctive** rule bases
+(every body has at most one literal — Note 4); conjunctive rule bases
+go through :mod:`repro.graphs.hypergraph`.  Unfolding is bounded by
+``max_depth``; a recursive rule base without a depth bound raises
+:class:`~repro.errors.RecursionLimitError` (Section 5.1 restricts PAO
+to acyclic graphs).
+
+A reduction arc is marked *blockable* when the rule's head is strictly
+more specific than the goal pattern — e.g. ``grad(fred) :- admitted(fred, X)``
+under the goal ``grad(B0)`` only applies when the runtime constant is
+``fred`` (the Section 4.1 example motivating Theorem 3's "aiming").
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..errors import GraphError, RecursionLimitError
+from ..datalog.rules import QueryForm, Rule, RuleBase
+from ..datalog.terms import Atom, Variable
+from ..datalog.unify import fresh_variable_factory, rename_apart, unify
+from .inference_graph import Arc, ArcKind, GraphBuilder, InferenceGraph
+
+__all__ = ["build_inference_graph"]
+
+#: Optional per-arc cost policy: (kind, rule-or-None, goal) -> cost.
+CostPolicy = Callable[[ArcKind, Optional[Rule], Atom], float]
+
+
+def _default_cost(kind: ArcKind, rule: Optional[Rule], goal: Atom) -> float:
+    """The paper's unit cost for every reduction and retrieval."""
+    return 1.0
+
+
+def _is_specializing(goal: Atom, head: Atom) -> bool:
+    """Whether unifying ``head`` against ``goal`` constrains the goal.
+
+    A rule head that binds a goal variable to a *constant*, or merges
+    two goal variables (directly or through a shared head variable),
+    applies to only a subset of the goal's runtime instances, so the
+    arc is a probabilistic experiment (blockable).  A plain
+    variable-to-variable renaming does not specialize.
+    """
+    unifier = unify(goal, head)
+    if unifier is None:
+        raise GraphError("`_is_specializing` expects unifiable atoms")
+    goal_vars = set(goal.variables())
+    targets: Dict[object, Variable] = {}
+    for var in goal_vars:
+        if var not in unifier:
+            continue
+        target = unifier[var]
+        if not isinstance(target, Variable):
+            return True  # bound to a constant
+        if target in goal_vars:
+            return True  # merged with another goal variable
+        if target in targets:
+            return True  # two goal variables share one head variable
+        targets[target] = var
+    return False
+
+
+def build_inference_graph(
+    rule_base: RuleBase,
+    query_form: QueryForm,
+    cost_policy: Optional[CostPolicy] = None,
+    max_depth: Optional[int] = None,
+) -> InferenceGraph:
+    """Unfold ``rule_base`` against ``query_form`` into a tree graph.
+
+    ``cost_policy`` maps each prospective arc to its ``f`` cost
+    (default: the paper's 1 unit).  ``max_depth`` bounds the number of
+    reductions on any root path; it is mandatory for recursive rule
+    bases and a safety net otherwise.
+
+    Rules with conjunctive bodies raise :class:`GraphError`; compile
+    those with :func:`repro.graphs.hypergraph.build_and_or_graph`.
+    """
+    costs = cost_policy or _default_cost
+    if rule_base.is_recursive() and max_depth is None:
+        raise RecursionLimitError(
+            "rule base is recursive; pass max_depth to bound the unfolding"
+        )
+    depth_limit = max_depth if max_depth is not None else 1 << 16
+
+    prototype = query_form.prototype()
+    builder = GraphBuilder("root", root_goal=prototype)
+    factory = fresh_variable_factory()
+    arc_names: Dict[str, int] = {}
+    node_counter = [0]
+    edb = rule_base.edb_predicates()
+
+    def unique_arc_name(base: str) -> str:
+        count = arc_names.get(base, 0)
+        arc_names[base] = count + 1
+        return base if count == 0 else f"{base}@{count + 1}"
+
+    def fresh_node_name(goal: Atom) -> str:
+        node_counter[0] += 1
+        return f"n{node_counter[0]}:{goal}"
+
+    def expand(node_name: str, goal: Atom, depth: int) -> None:
+        rules = rule_base.rules_for(goal)
+        for rule in rules:
+            if len(rule.body) > 1:
+                raise GraphError(
+                    f"rule {rule} has a conjunctive body; use "
+                    "repro.graphs.hypergraph.build_and_or_graph for "
+                    "non-disjunctive rule bases"
+                )
+            if any(not lit.positive for lit in rule.body):
+                raise GraphError(
+                    f"rule {rule} uses negation; inference graphs model "
+                    "positive reductions only (compile the NAF subquery "
+                    "as its own graph, Section 5.2)"
+                )
+            renamed = rename_apart(
+                (rule.head,) + tuple(lit.atom for lit in rule.body), factory
+            )
+            head = renamed[0]
+            unifier = unify(goal, head)
+            if unifier is None:
+                continue
+            if depth >= depth_limit:
+                if max_depth is None:
+                    raise RecursionLimitError(
+                        "unfolding exceeded the internal safety depth"
+                    )
+                continue  # truncate the expansion at the bound
+            if rule.is_fact:
+                raise GraphError(
+                    f"rule base contains the fact {rule}; ground facts "
+                    "belong in the Database, not the rule base, when "
+                    "compiling inference graphs"
+                )
+            blockable = _is_specializing(goal, head)
+            arc_name = unique_arc_name(rule.name or "R")
+            # Express the subgoal in the *goal's* variables (B0, F1, …)
+            # so context compilation can instantiate it from a concrete
+            # query: unifying head-against-goal binds the fresh head
+            # variables to the goal's prototype variables.
+            reverse_unifier = unify(head, goal)
+            subgoal = renamed[1].substitute(reverse_unifier)
+            child_name = fresh_node_name(subgoal)
+            builder.reduction(
+                arc_name,
+                node_name,
+                child_name,
+                cost=costs(ArcKind.REDUCTION, rule, goal),
+                blockable=blockable,
+                rule=rule,
+                goal=subgoal,
+            )
+            expand(child_name, subgoal, depth + 1)
+
+        if goal.signature in edb or not rules:
+            builder.retrieval(
+                unique_arc_name(f"D_{goal.predicate}"),
+                node_name,
+                cost=costs(ArcKind.RETRIEVAL, None, goal),
+                goal=goal,
+            )
+
+    expand("root", prototype, 0)
+    graph = builder.build()
+    if not graph.retrieval_arcs():
+        raise GraphError(
+            f"query form {query_form} compiled to a graph with no retrievals"
+        )
+    return graph

@@ -1,0 +1,308 @@
+"""And-or (hyper)graphs: the Note 4 extension for conjunctive rules.
+
+Rules whose antecedents conjoin several literals (``A :- B, C.``) do
+not fit simple inference graphs: "we must use directed hypergraphs,
+where each hyper-arc descends from one node to a *set* of children
+nodes, where the conjunction of these nodes logically imply their
+common parent" (Note 4).  The paper stays with simple graphs "for
+pedagogical reasons" and defers the full strategy treatment to
+[GO91, Appendix A]; this module implements the natural depth-first
+fragment:
+
+* an :class:`AndOrGraph` whose :class:`HyperArc` reductions have one or
+  more child goals, plus retrieval arcs as before;
+* contexts assign blocked/unblocked to retrieval arcs
+  (:class:`HyperContext`);
+* a :class:`Policy` orders each goal's alternatives; execution
+  (:func:`evaluate`) proves a goal by trying its alternatives in policy
+  order, each hyper-arc succeeding only if *every* child goal proves
+  (children are attempted left to right and abandoned at the first
+  failure), charging each arc traversal and retrieval attempt its
+  cost;
+* PIB-style policy improvement works unchanged on top — the
+  :func:`sibling_orderings` helper enumerates a goal's alternative
+  orders so callers can hill-climb policies with the same Chernoff
+  tests (see ``examples/conjunctive_rules.py``).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import GraphError, RecursionLimitError
+from ..datalog.rules import QueryForm, Rule, RuleBase
+from ..datalog.terms import Atom
+from ..datalog.unify import fresh_variable_factory, rename_apart, unify
+
+__all__ = [
+    "HyperArc",
+    "AndOrGraph",
+    "HyperContext",
+    "Policy",
+    "EvalResult",
+    "build_and_or_graph",
+    "evaluate",
+    "sibling_orderings",
+]
+
+
+@dataclass(frozen=True)
+class HyperArc:
+    """A reduction to a conjunction of child goals, or a retrieval.
+
+    Retrieval arcs have an empty ``children`` tuple and a ``goal``
+    pattern; reduction hyper-arcs list their child goal names in body
+    order.
+    """
+
+    name: str
+    source: str
+    children: Tuple[str, ...]
+    cost: float
+    goal: Optional[Atom] = None
+    rule: Optional[Rule] = None
+
+    @property
+    def is_retrieval(self) -> bool:
+        return not self.children
+
+
+class AndOrGraph:
+    """Goal nodes with alternative (hyper-)reductions.
+
+    ``alternatives[goal]`` lists the goal's outgoing hyper-arcs in
+    declaration order — the default policy order.
+    """
+
+    def __init__(self, root: str, goals: Mapping[str, Optional[Atom]],
+                 arcs: Sequence[HyperArc]):
+        self.root = root
+        self.goal_patterns: Dict[str, Optional[Atom]] = dict(goals)
+        if root not in self.goal_patterns:
+            raise GraphError("root must be among the goals")
+        self.alternatives: Dict[str, List[HyperArc]] = {
+            name: [] for name in self.goal_patterns
+        }
+        self._arcs: Dict[str, HyperArc] = {}
+        for arc in arcs:
+            if arc.name in self._arcs:
+                raise GraphError(f"duplicate hyper-arc name {arc.name!r}")
+            if arc.source not in self.goal_patterns:
+                raise GraphError(f"unknown source goal {arc.source!r}")
+            for child in arc.children:
+                if child not in self.goal_patterns:
+                    raise GraphError(f"unknown child goal {child!r}")
+            if arc.cost <= 0:
+                raise GraphError(f"hyper-arc {arc.name!r} needs positive cost")
+            self._arcs[arc.name] = arc
+            self.alternatives[arc.source].append(arc)
+
+    def arcs(self) -> List[HyperArc]:
+        return list(self._arcs.values())
+
+    def arc(self, name: str) -> HyperArc:
+        return self._arcs[name]
+
+    def retrieval_arcs(self) -> List[HyperArc]:
+        return [arc for arc in self._arcs.values() if arc.is_retrieval]
+
+    def __repr__(self) -> str:
+        return (
+            f"AndOrGraph(root={self.root!r}, {len(self.goal_patterns)} goals, "
+            f"{len(self._arcs)} hyper-arcs)"
+        )
+
+
+class HyperContext:
+    """Blocking statuses for an and-or graph's retrieval arcs."""
+
+    def __init__(self, graph: AndOrGraph, statuses: Mapping[str, bool]):
+        self._statuses: Dict[str, bool] = {}
+        for arc in graph.retrieval_arcs():
+            if arc.name not in statuses:
+                raise GraphError(f"missing status for retrieval {arc.name!r}")
+            self._statuses[arc.name] = bool(statuses[arc.name])
+
+    def succeeds(self, arc: HyperArc) -> bool:
+        return self._statuses[arc.name]
+
+    def statuses(self) -> Dict[str, bool]:
+        return dict(self._statuses)
+
+
+class Policy:
+    """An ordering of the alternatives at each goal (the strategy analogue).
+
+    ``orders`` maps goal name to a sequence of its hyper-arc names;
+    unmentioned goals use declaration order.
+    """
+
+    def __init__(self, graph: AndOrGraph,
+                 orders: Optional[Mapping[str, Sequence[str]]] = None):
+        self.graph = graph
+        self._orders: Dict[str, List[str]] = {}
+        for goal, order in (orders or {}).items():
+            declared = [arc.name for arc in graph.alternatives[goal]]
+            if sorted(order) != sorted(declared):
+                raise GraphError(
+                    f"policy order for {goal!r} must permute {declared}"
+                )
+            self._orders[goal] = list(order)
+
+    def alternatives(self, goal: str) -> List[HyperArc]:
+        arcs = self.graph.alternatives[goal]
+        if goal not in self._orders:
+            return list(arcs)
+        by_name = {arc.name: arc for arc in arcs}
+        return [by_name[name] for name in self._orders[goal]]
+
+    def with_order(self, goal: str, order: Sequence[str]) -> "Policy":
+        merged = {g: list(o) for g, o in self._orders.items()}
+        merged[goal] = list(order)
+        return Policy(self.graph, merged)
+
+    def orders(self) -> Dict[str, List[str]]:
+        return {goal: list(order) for goal, order in self._orders.items()}
+
+
+@dataclass
+class EvalResult:
+    """Outcome of evaluating a goal under a policy in a context."""
+
+    succeeded: bool
+    cost: float
+    attempted_retrievals: List[str] = field(default_factory=list)
+
+
+def evaluate(policy: Policy, context: HyperContext,
+             goal: Optional[str] = None) -> EvalResult:
+    """Depth-first satisficing evaluation of ``goal`` (default: root).
+
+    OR: try alternatives in policy order until one succeeds.
+    AND: prove children left to right, abandoning the hyper-arc at the
+    first failed child.  Goal outcomes are memoized per evaluation, so
+    a shared subgoal is only searched once (and only charged once) —
+    the hypergraph analogue of reaching an already-visited node.
+    """
+    graph = policy.graph
+    target = goal or graph.root
+    memo: Dict[str, bool] = {}
+    result = EvalResult(False, 0.0)
+
+    def prove(name: str) -> bool:
+        if name in memo:
+            return memo[name]
+        for arc in policy.alternatives(name):
+            result.cost += arc.cost
+            if arc.is_retrieval:
+                result.attempted_retrievals.append(arc.name)
+                if context.succeeds(arc):
+                    memo[name] = True
+                    return True
+                continue
+            if all(prove(child) for child in arc.children):
+                memo[name] = True
+                return True
+        memo[name] = False
+        return False
+
+    result.succeeded = prove(target)
+    return result
+
+
+def sibling_orderings(graph: AndOrGraph, goal: str) -> List[List[str]]:
+    """All orderings of one goal's alternatives (policy neighbourhood)."""
+    names = [arc.name for arc in graph.alternatives[goal]]
+    return [list(order) for order in itertools.permutations(names)]
+
+
+def build_and_or_graph(
+    rule_base: RuleBase,
+    query_form: QueryForm,
+    max_depth: Optional[int] = None,
+    unit_cost: float = 1.0,
+) -> AndOrGraph:
+    """Unfold a (possibly conjunctive) rule base into an and-or graph.
+
+    The analogue of :func:`repro.graphs.builder.build_inference_graph`
+    for rule bases with conjunctive bodies.  Negation is not supported
+    at the graph level (Section 5.2 treats NAF subqueries as separate
+    satisficing problems).
+    """
+    if rule_base.is_recursive() and max_depth is None:
+        raise RecursionLimitError(
+            "rule base is recursive; pass max_depth to bound the unfolding"
+        )
+    depth_limit = max_depth if max_depth is not None else 1 << 16
+
+    prototype = query_form.prototype()
+    goals: Dict[str, Optional[Atom]] = {}
+    arcs: List[HyperArc] = []
+    factory = fresh_variable_factory()
+    counters = {"node": 0, "arc": {}}
+    edb = rule_base.edb_predicates()
+
+    def arc_name(base: str) -> str:
+        count = counters["arc"].get(base, 0)
+        counters["arc"][base] = count + 1
+        return base if count == 0 else f"{base}@{count + 1}"
+
+    def node_name(goal_atom: Atom) -> str:
+        counters["node"] += 1
+        return f"n{counters['node']}:{goal_atom}"
+
+    def expand(name: str, goal_atom: Atom, depth: int) -> None:
+        goals[name] = goal_atom
+        rules = rule_base.rules_for(goal_atom)
+        for rule in rules:
+            if rule.is_fact:
+                raise GraphError(
+                    f"rule base contains the fact {rule}; facts belong in "
+                    "the Database when compiling graphs"
+                )
+            if any(not lit.positive for lit in rule.body):
+                raise GraphError(
+                    f"rule {rule} uses negation; and-or graphs model "
+                    "positive reductions only"
+                )
+            renamed = rename_apart(
+                (rule.head,) + tuple(lit.atom for lit in rule.body), factory
+            )
+            unifier = unify(goal_atom, renamed[0])
+            if unifier is None:
+                continue
+            if depth >= depth_limit:
+                continue
+            child_names: List[str] = []
+            child_goals: List[Atom] = []
+            for body_atom in renamed[1:]:
+                subgoal = body_atom.substitute(unifier)
+                child = node_name(subgoal)
+                child_names.append(child)
+                child_goals.append(subgoal)
+            arcs.append(
+                HyperArc(
+                    arc_name(rule.name or "R"),
+                    name,
+                    tuple(child_names),
+                    cost=unit_cost,
+                    rule=rule,
+                )
+            )
+            for child, subgoal in zip(child_names, child_goals):
+                expand(child, subgoal, depth + 1)
+        if goal_atom.signature in edb or not rules:
+            arcs.append(
+                HyperArc(
+                    arc_name(f"D_{goal_atom.predicate}"),
+                    name,
+                    (),
+                    cost=unit_cost,
+                    goal=goal_atom,
+                )
+            )
+
+    expand("root", prototype, 0)
+    return AndOrGraph("root", goals, arcs)

@@ -1,0 +1,121 @@
+"""Random tree-shaped inference graphs and probability vectors.
+
+The theorem-validation benchmarks (Theorems 1–3, Lemma 1) need many
+independent problem instances; this module generates them
+reproducibly.  All randomness flows through an explicit
+:class:`random.Random`, so every bench and test is seedable.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Tuple
+
+from .inference_graph import Arc, GraphBuilder, InferenceGraph
+
+__all__ = ["random_tree_graph", "random_probabilities", "random_instance"]
+
+
+def random_tree_graph(
+    rng: random.Random,
+    n_internal: int = 3,
+    n_retrievals: int = 5,
+    max_children: int = 3,
+    cost_range: Tuple[float, float] = (0.5, 3.0),
+    blockable_reduction_rate: float = 0.0,
+    asymmetric_blocked_costs: bool = False,
+) -> InferenceGraph:
+    """A random tree-shaped inference graph.
+
+    ``n_internal`` internal (goal) nodes are attached under random
+    earlier nodes (respecting ``max_children``), then ``n_retrievals``
+    retrieval arcs are distributed across the internal nodes — every
+    *leaf* internal node receives at least one so no reduction
+    dead-ends.  Arc costs are uniform in ``cost_range``;
+    ``blockable_reduction_rate`` is the chance each reduction arc is a
+    probabilistic experiment (Theorem 3's setting when > 0);
+    ``asymmetric_blocked_costs`` draws an independent blocked-attempt
+    cost per experiment (Note 4's [OG90] cost extension).
+    """
+    if n_internal < 1:
+        raise ValueError("need at least the root internal node")
+    if n_retrievals < 1:
+        raise ValueError("need at least one retrieval")
+
+    builder = GraphBuilder("g0")
+    internal_names = ["g0"]
+    children_count: Dict[str, int] = {"g0": 0}
+
+    def cost() -> float:
+        return rng.uniform(*cost_range)
+
+    def blocked_cost(is_blockable: bool) -> Optional[float]:
+        if is_blockable and asymmetric_blocked_costs:
+            return rng.uniform(*cost_range)
+        return None
+
+    for index in range(1, n_internal):
+        candidates = [
+            name for name in internal_names if children_count[name] < max_children
+        ]
+        parent = rng.choice(candidates) if candidates else internal_names[-1]
+        name = f"g{index}"
+        is_blockable = rng.random() < blockable_reduction_rate
+        builder.reduction(
+            f"R{index}",
+            parent,
+            name,
+            cost=cost(),
+            blockable=is_blockable,
+            blocked_cost=blocked_cost(is_blockable),
+        )
+        children_count[parent] += 1
+        children_count[name] = 0
+        internal_names.append(name)
+
+    # Leaves first so that every dead-end gets a retrieval.
+    leaves = [name for name in internal_names if children_count[name] == 0]
+    hosts = leaves + [
+        rng.choice(internal_names) for _ in range(n_retrievals - len(leaves))
+    ]
+    if len(hosts) > n_retrievals:
+        raise ValueError(
+            f"{len(leaves)} leaf goals need retrievals but only "
+            f"{n_retrievals} were requested"
+        )
+    rng.shuffle(hosts)
+    for index, host in enumerate(hosts):
+        builder.retrieval(
+            f"D{index}", host, cost=cost(), blocked_cost=blocked_cost(True)
+        )
+    return builder.build()
+
+
+def random_probabilities(
+    rng: random.Random,
+    graph: InferenceGraph,
+    low: float = 0.05,
+    high: float = 0.95,
+) -> Dict[str, float]:
+    """Independent success probabilities for every experiment arc."""
+    return {
+        arc.name: rng.uniform(low, high) for arc in graph.experiments()
+    }
+
+
+def random_instance(
+    rng: random.Random,
+    n_internal: int = 3,
+    n_retrievals: int = 5,
+    blockable_reduction_rate: float = 0.0,
+    **kwargs,
+) -> Tuple[InferenceGraph, Dict[str, float]]:
+    """Convenience: a random graph together with a probability vector."""
+    graph = random_tree_graph(
+        rng,
+        n_internal=n_internal,
+        n_retrievals=n_retrievals,
+        blockable_reduction_rate=blockable_reduction_rate,
+        **kwargs,
+    )
+    return graph, random_probabilities(rng, graph)

@@ -1,0 +1,133 @@
+"""Chernoff/Hoeffding machinery: Equations 1–3, 5–8 of the paper.
+
+Everything statistical in PIB and PAO reduces to the additive Chernoff
+bound (Equation 1): for i.i.d. samples with range ``Λ`` and mean ``μ``,
+
+    Pr[Y_n > μ + β] ≤ exp(−2n(β/Λ)²),
+
+which holds for essentially arbitrary distributions (footnote 5).  This
+module packages the bound and every sample-size / threshold formula the
+paper derives from it.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "chernoff_tail",
+    "confidence_radius",
+    "samples_for_radius",
+    "pib_sum_threshold",
+    "sequential_confidence",
+    "pib_sequential_threshold",
+    "pao_sample_size",
+    "aiming_sample_size",
+]
+
+
+def _check_positive(**values: float) -> None:
+    for name, value in values.items():
+        if value <= 0:
+            raise ValueError(f"{name} must be positive, got {value}")
+
+
+def chernoff_tail(n: int, beta: float, value_range: float) -> float:
+    """Equation 1: ``Pr[Y_n deviates from μ by > β] ≤ exp(−2n(β/Λ)²)``."""
+    _check_positive(n=n, value_range=value_range)
+    if beta < 0:
+        raise ValueError(f"beta must be non-negative, got {beta}")
+    return math.exp(-2.0 * n * (beta / value_range) ** 2)
+
+
+def confidence_radius(n: int, delta: float, value_range: float) -> float:
+    """The ``β`` making the one-sided tail exactly ``δ``:
+    ``β = Λ·sqrt(ln(1/δ) / (2n))``."""
+    _check_positive(n=n, delta=delta, value_range=value_range)
+    return value_range * math.sqrt(math.log(1.0 / delta) / (2.0 * n))
+
+
+def samples_for_radius(epsilon: float, delta: float, value_range: float) -> int:
+    """Samples needed for a one-sided radius of ``ε`` at confidence
+    ``1 − δ``: ``⌈(Λ/ε)²·ln(1/δ)/2⌉``."""
+    _check_positive(epsilon=epsilon, delta=delta, value_range=value_range)
+    return math.ceil((value_range / epsilon) ** 2 * math.log(1.0 / delta) / 2.0)
+
+
+def pib_sum_threshold(n: int, delta: float, value_range: float) -> float:
+    """Equation 2's acceptance threshold on the *sum* of differences.
+
+    ``Δ[Θ, Θ', S] > Λ·sqrt(n/2 · ln(1/δ))`` certifies, with confidence
+    ``1 − δ``, that ``D[Θ, Θ'] > 0`` — the new strategy is strictly
+    better.
+    """
+    _check_positive(n=n, delta=delta, value_range=value_range)
+    return value_range * math.sqrt(n / 2.0 * math.log(1.0 / delta))
+
+
+def sequential_confidence(test_index: int, delta: float) -> float:
+    """The per-test confidence ``δ_i = δ·6/(π²·i²)`` of Section 3.2.
+
+    The schedule's total false-positive mass telescopes to ``δ``:
+    ``Σ_i δ·6/(π²i²) = δ``.
+    """
+    _check_positive(test_index=test_index, delta=delta)
+    return delta * 6.0 / (math.pi ** 2 * test_index ** 2)
+
+
+def pib_sequential_threshold(
+    n: int, total_tests: int, delta: float, value_range: float
+) -> float:
+    """Equation 6's threshold: ``Λ·sqrt(|S|/2 · ln(i²π²/(6δ)))``.
+
+    ``total_tests`` is Figure 3's running counter ``i`` — the number of
+    (strategy, neighbour) comparisons performed so far, which both the
+    union bound over ``k = |T(Θ)|`` neighbours and the sequential-test
+    schedule fold into.
+    """
+    _check_positive(n=n, total_tests=total_tests, delta=delta,
+                    value_range=value_range)
+    inner = math.log(total_tests ** 2 * math.pi ** 2 / (6.0 * delta))
+    return value_range * math.sqrt(n / 2.0 * max(inner, 0.0))
+
+
+def pao_sample_size(
+    n_experiments: int, f_not: float, epsilon: float, delta: float
+) -> int:
+    """Equation 7: ``m(d_i) = ⌈2·(n·F¬[d_i]/ε)²·ln(2n/δ)⌉``.
+
+    An experiment with ``F¬ = 0`` (every other arc lies on its own
+    paths — e.g. a single-retrieval graph) needs no samples at all:
+    mis-estimating it cannot change any ordering decision.
+    """
+    _check_positive(n_experiments=n_experiments, epsilon=epsilon, delta=delta)
+    if f_not < 0:
+        raise ValueError(f"f_not must be non-negative, got {f_not}")
+    if f_not == 0.0:
+        return 0
+    return math.ceil(
+        2.0
+        * (n_experiments * f_not / epsilon) ** 2
+        * math.log(2.0 * n_experiments / delta)
+    )
+
+
+def aiming_sample_size(
+    n_experiments: int, f_not: float, epsilon: float, delta: float
+) -> int:
+    """Equation 8: the attempts-to-reach budget of Theorem 3,
+
+        m'(e_i) = ⌈2·(sqrt(2ε/(n·F¬[e_i]) + 1) − 1)^−2 · ln(4n/δ)⌉.
+
+    Its leading term as ``n`` grows matches Equation 7 with
+    ``ln(4n/δ)`` in place of ``ln(2n/δ)`` (footnote 11).
+    """
+    _check_positive(n_experiments=n_experiments, epsilon=epsilon, delta=delta)
+    if f_not < 0:
+        raise ValueError(f"f_not must be non-negative, got {f_not}")
+    if f_not == 0.0:
+        return 0
+    shrink = math.sqrt(2.0 * epsilon / (n_experiments * f_not) + 1.0) - 1.0
+    return math.ceil(
+        2.0 * shrink ** -2 * math.log(4.0 * n_experiments / delta)
+    )

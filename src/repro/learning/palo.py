@@ -1,0 +1,187 @@
+"""PALO: probably approximately locally optimal hill-climbing [CG91].
+
+Section 3.2's third closing comment relates PIB to PALO: "While PIB
+will continue collecting samples and potentially moving to new
+strategies indefinitely, PALO will stop when it reaches an ε-local
+optimum — a ``Θ_m`` with ``∀Θ ∈ T(Θ_m): C[Θ] ≥ C[Θ_m] − ε``."
+
+Certifying the *stop* condition needs an upper confidence bound on each
+``D[Θ, Θ'] = C[Θ] − C[Θ']``, which PIB's one-sided under-estimates
+``Δ̃`` cannot give.  PALO therefore observes the exact per-context
+differences ``Δ_i = c(Θ, I_i) − c(Θ', I_i)`` — which requires evaluating
+the neighbour on the *full* context, the [CG91] setting where the
+sampled utilities are unbiased.  (In a deployed query processor this
+corresponds to replaying the query against the neighbour strategy;
+benchmark-wise it costs one extra simulated execution per neighbour.)
+
+Both the climb and the stop test reuse the sequential Chernoff
+schedule, so with probability ``1 − δ`` every climb is a true
+improvement *and* the returned strategy is a true ε-local optimum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Sequence
+
+from ..errors import LearningError, SampleBudgetExceeded
+from ..graphs.contexts import Context
+from ..graphs.inference_graph import InferenceGraph
+from ..strategies.execution import ExecutionResult, execute
+from ..strategies.strategy import Strategy
+from ..strategies.transformations import (
+    Transformation,
+    all_sibling_swaps,
+    neighbours,
+)
+from .chernoff import confidence_radius, sequential_confidence
+from .pib import ClimbRecord
+
+__all__ = ["PALO"]
+
+
+@dataclass
+class _ExactAccumulator:
+    """Running sum of the exact differences for one neighbour."""
+
+    transformation: Transformation
+    candidate: Strategy
+    value_range: float
+    total: float = 0.0
+    samples: int = 0
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.samples if self.samples else 0.0
+
+
+class PALO:
+    """Hill-climb until an ε-local optimum can be certified.
+
+    Usage mirrors :class:`repro.learning.pib.PIB`: feed contexts to
+    :meth:`process` until :attr:`converged` is true (or call
+    :meth:`run`).
+    """
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        epsilon: float,
+        delta: float = 0.05,
+        initial_strategy: Optional[Strategy] = None,
+        transformations: Optional[Sequence[Transformation]] = None,
+        test_every: int = 1,
+    ):
+        if epsilon <= 0:
+            raise LearningError(f"epsilon must be positive, got {epsilon}")
+        if not 0.0 < delta < 1.0:
+            raise LearningError(f"delta must be in (0, 1), got {delta}")
+        self.graph = graph
+        self.epsilon = epsilon
+        self.delta = delta
+        self.test_every = max(1, test_every)
+        self.strategy = initial_strategy or Strategy.depth_first(graph)
+        self.transformations: List[Transformation] = list(
+            transformations if transformations is not None
+            else all_sibling_swaps(graph)
+        )
+        self.total_tests = 0
+        self.contexts_processed = 0
+        self.history: List[ClimbRecord] = []
+        self.converged = False
+        self._accumulators: List[_ExactAccumulator] = []
+        self._since_last_test = 0
+        self._rebuild_neighbourhood()
+
+    def _rebuild_neighbourhood(self) -> None:
+        self._accumulators = [
+            _ExactAccumulator(
+                transformation,
+                candidate,
+                transformation.chernoff_range(self.graph),
+            )
+            for transformation, candidate in neighbours(
+                self.strategy, self.transformations
+            )
+        ]
+        self._since_last_test = 0
+        if not self._accumulators:
+            self.converged = True  # no neighbours: trivially locally optimal
+
+    # ------------------------------------------------------------------
+
+    def process(self, context: Context) -> ExecutionResult:
+        """Answer one context; update statistics; maybe climb or stop."""
+        if self.converged:
+            raise LearningError("PALO has converged; no further samples needed")
+        result = execute(self.strategy, context)
+        self.contexts_processed += 1
+        for accumulator in self._accumulators:
+            accumulator.total += result.cost - execute(
+                accumulator.candidate, context
+            ).cost
+            accumulator.samples += 1
+        # One climb test and one stop test per neighbour.
+        self.total_tests += 2 * len(self._accumulators)
+        self._since_last_test += 1
+        if self._since_last_test >= self.test_every:
+            self._since_last_test = 0
+            self._climb_or_stop()
+        return result
+
+    def run(
+        self,
+        oracle: Callable[[], Context],
+        max_contexts: int,
+    ) -> Strategy:
+        """Feed oracle draws until convergence; raise if the budget ends
+        first."""
+        for _ in range(max_contexts):
+            self.process(oracle())
+            if self.converged:
+                return self.strategy
+        raise SampleBudgetExceeded(
+            f"PALO did not certify an {self.epsilon}-local optimum within "
+            f"{max_contexts} contexts"
+        )
+
+    # ------------------------------------------------------------------
+
+    def _radius(self, accumulator: _ExactAccumulator) -> float:
+        delta_i = sequential_confidence(self.total_tests, self.delta)
+        return confidence_radius(
+            accumulator.samples, delta_i, accumulator.value_range
+        )
+
+    def _climb_or_stop(self) -> None:
+        best: Optional[_ExactAccumulator] = None
+        best_margin = 0.0
+        all_below_epsilon = True
+        for accumulator in self._accumulators:
+            radius = self._radius(accumulator)
+            # Climb when the lower confidence bound on D is positive.
+            margin = accumulator.mean - radius
+            if margin > 0.0 and (best is None or margin > best_margin):
+                best = accumulator
+                best_margin = margin
+            # The stop test needs *every* upper bound under ε.
+            if accumulator.mean + radius > self.epsilon:
+                all_below_epsilon = False
+        if best is not None:
+            self.history.append(
+                ClimbRecord(
+                    step=len(self.history) + 1,
+                    context_number=self.contexts_processed,
+                    transformation=best.transformation.name,
+                    samples=best.samples,
+                    estimated_gain=best.total,
+                    threshold=best.samples * self._radius(best),
+                    from_arcs=self.strategy.arc_names(),
+                    to_arcs=best.candidate.arc_names(),
+                )
+            )
+            self.strategy = best.candidate
+            self._rebuild_neighbourhood()
+            return
+        if all_below_epsilon:
+            self.converged = True

@@ -1,0 +1,226 @@
+"""The anytime PIB algorithm (Figure 3, Theorem 1).
+
+PIB monitors a query processor as it solves contexts drawn from the
+(unknown, stationary) distribution.  For every neighbour
+``Θ' ∈ T(Θ_j)`` of the current strategy it accumulates the
+conservative under-estimates ``Δ̃[Θ_j, Θ', S]``; after each context (or
+each batch of ``test_every`` contexts) it applies Equation 6's
+sequential Chernoff test,
+
+    Δ̃[Θ_j, Θ', S] ≥ Λ[Θ_j, Θ'] · sqrt(|S|/2 · ln(i²π²/(6δ))),
+
+where ``i`` counts every comparison ever made, so that the union over
+all neighbours *and* all re-tests of the false-positive probability
+telescopes below ``δ`` (Theorem 1: the chance that *any* climb ever
+taken is not a true improvement is at most ``δ``).
+
+When a neighbour passes, PIB climbs — the query processor switches
+strategies mid-stream — and statistics restart for the new
+neighbourhood (Figure 3's ``L1``).  The process is *anytime*: it never
+needs to stop, and the longer it runs the better (with probability
+``1 − δ``) its current strategy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, List, Optional, Sequence
+
+from ..errors import LearningError
+from ..graphs.contexts import Context
+from ..graphs.inference_graph import InferenceGraph
+from ..strategies.execution import ExecutionResult, execute
+from ..strategies.strategy import Strategy
+from ..strategies.transformations import (
+    Transformation,
+    all_sibling_swaps,
+    neighbours,
+)
+from .chernoff import pib_sequential_threshold
+from .statistics import DeltaAccumulator, RetrievalStatistics
+
+__all__ = ["ClimbRecord", "PIB"]
+
+
+@dataclass(frozen=True)
+class ClimbRecord:
+    """One hill-climbing step taken by PIB."""
+
+    step: int                  # 1 for Θ₀→Θ₁, 2 for Θ₁→Θ₂, …
+    context_number: int        # how many contexts had been processed
+    transformation: str        # the operator that fired
+    samples: int               # |S| backing the decision
+    estimated_gain: float      # Δ̃[Θ_j, Θ_{j+1}, S] at the climb
+    threshold: float           # Equation 6's right side at the climb
+    from_arcs: tuple
+    to_arcs: tuple
+
+
+class PIB:
+    """Anytime strategy improvement by probabilistic hill-climbing.
+
+    Parameters
+    ----------
+    graph:
+        The inference graph being searched.
+    delta:
+        Overall mistake budget: Theorem 1 bounds the probability of
+        *ever* climbing to a worse strategy by ``delta``.
+    initial_strategy:
+        Starting point ``Θ₀`` (default: depth-first left-to-right).
+    transformations:
+        The operator set ``T`` (default: every sibling swap).
+    test_every:
+        Run Equation 6 after every ``k``-th context only; Theorem 1 is
+        insensitive to the test frequency (Section 3.2's first closing
+        comment).
+    """
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        delta: float = 0.05,
+        initial_strategy: Optional[Strategy] = None,
+        transformations: Optional[Sequence[Transformation]] = None,
+        test_every: int = 1,
+    ):
+        if not 0.0 < delta < 1.0:
+            raise LearningError(f"delta must be in (0, 1), got {delta}")
+        if test_every < 1:
+            raise LearningError("test_every must be at least 1")
+        self.graph = graph
+        self.delta = delta
+        self.test_every = test_every
+        self.strategy = initial_strategy or Strategy.depth_first(graph)
+        self.transformations: List[Transformation] = list(
+            transformations if transformations is not None
+            else all_sibling_swaps(graph)
+        )
+        #: Figure 3's ``i``: total number of candidate comparisons made.
+        self.total_tests = 0
+        #: Contexts processed over the whole run (across climbs).
+        self.contexts_processed = 0
+        self.history: List[ClimbRecord] = []
+        #: The light per-retrieval counters of Section 5.1 (kept for
+        #: inspection and for seeding PAO-style estimates).
+        self.retrieval_statistics = RetrievalStatistics(graph)
+        self._accumulators: List[DeltaAccumulator] = []
+        self._since_last_test = 0
+        self._rebuild_neighbourhood()
+
+    def _rebuild_neighbourhood(self) -> None:
+        """Figure 3's ``L1``: fresh sample set for the current strategy."""
+        self._accumulators = [
+            DeltaAccumulator(
+                transformation,
+                candidate,
+                transformation.chernoff_range(self.graph),
+            )
+            for transformation, candidate in neighbours(
+                self.strategy, self.transformations
+            )
+        ]
+        self._since_last_test = 0
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def process(self, context: Context) -> ExecutionResult:
+        """Answer one context with the current strategy; maybe climb.
+
+        This is the unobtrusive monitoring loop: the caller gets the
+        execution result (its answer and cost) exactly as if no learner
+        were attached.
+        """
+        result = execute(self.strategy, context)
+        self.contexts_processed += 1
+        self.retrieval_statistics.record(result)
+        for accumulator in self._accumulators:
+            accumulator.update(result)
+        self.total_tests += len(self._accumulators)
+        self._since_last_test += 1
+        if self._accumulators and self._since_last_test >= self.test_every:
+            self._since_last_test = 0
+            self._maybe_climb()
+        return result
+
+    def run(
+        self,
+        oracle: Callable[[], Context],
+        contexts: int,
+    ) -> Strategy:
+        """Process ``contexts`` oracle draws; return the final strategy."""
+        for _ in range(contexts):
+            self.process(oracle())
+        return self.strategy
+
+    # ------------------------------------------------------------------
+    # Climbing
+    # ------------------------------------------------------------------
+
+    def _maybe_climb(self) -> None:
+        best: Optional[DeltaAccumulator] = None
+        best_margin = 0.0
+        best_threshold = 0.0
+        for accumulator in self._accumulators:
+            threshold = pib_sequential_threshold(
+                accumulator.samples,
+                self.total_tests,
+                self.delta,
+                accumulator.value_range,
+            )
+            margin = accumulator.total - threshold
+            if margin >= 0.0 and (best is None or margin > best_margin):
+                best = accumulator
+                best_margin = margin
+                best_threshold = threshold
+        if best is None:
+            return
+        self.history.append(
+            ClimbRecord(
+                step=len(self.history) + 1,
+                context_number=self.contexts_processed,
+                transformation=best.transformation.name,
+                samples=best.samples,
+                estimated_gain=best.total,
+                threshold=best_threshold,
+                from_arcs=self.strategy.arc_names(),
+                to_arcs=best.candidate.arc_names(),
+            )
+        )
+        self.strategy = best.candidate
+        self._rebuild_neighbourhood()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def climbs(self) -> int:
+        """How many hill-climbing steps have been taken."""
+        return len(self.history)
+
+    def neighbourhood_report(self) -> List[dict]:
+        """Current ``Δ̃`` totals and thresholds, one row per neighbour."""
+        rows = []
+        for accumulator in self._accumulators:
+            threshold = (
+                pib_sequential_threshold(
+                    accumulator.samples,
+                    max(self.total_tests, 1),
+                    self.delta,
+                    accumulator.value_range,
+                )
+                if accumulator.samples
+                else float("inf")
+            )
+            rows.append(
+                {
+                    "transformation": accumulator.transformation.name,
+                    "samples": accumulator.samples,
+                    "delta_tilde_sum": accumulator.total,
+                    "threshold": threshold,
+                }
+            )
+        return rows

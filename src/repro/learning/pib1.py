@@ -1,0 +1,145 @@
+"""PIB₁: the one-shot "smart filter" of Section 3.1.
+
+PIB₁ guards a *single proposed transformation*: an overall optimizer
+(the paper names DedGin*) proposes interchanging two sibling arcs
+``r₁, r₂``; PIB₁ watches the current query processor solve contexts,
+maintains three counters — the sample count ``m``, how often a success
+was found under ``r₁`` (``k_p``), and how often under ``r₂`` but not
+under ``r₁`` (``k_g``) — and permits the switch only when Equation 3
+holds:
+
+    k_g·f*(r₁) − k_p·f*(r₂)  ≥  (f*(r₁) + f*(r₂)) · sqrt(m/2 · ln(1/δ)),
+
+which certifies ``C[Θ'] < C[Θ]`` with confidence ``1 − δ``.
+
+Two observation routes are provided: :meth:`PIB1.observe` consumes a
+monitored :class:`ExecutionResult` (deriving the counters from the
+trace), and :meth:`PIB1.record_counts` takes the counters directly
+(for replaying the paper's arithmetic).  The decision is one-shot —
+Section 3.2's sequential schedule exists precisely because re-testing
+with the same ``δ`` is unsound — so :meth:`decide` may be called once.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..errors import LearningError
+from ..graphs.inference_graph import Arc, InferenceGraph
+from ..strategies.execution import ExecutionResult
+from ..strategies.strategy import Strategy
+from .chernoff import pib_sum_threshold
+
+__all__ = ["PIB1"]
+
+
+class PIB1:
+    """One-shot statistical filter for a proposed sibling interchange.
+
+    ``first`` is the arc the current strategy tries earlier (``r₁``,
+    e.g. ``R_p`` in ``Θ₁``), ``second`` the later sibling (``r₂``).
+    """
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        strategy: Strategy,
+        first: str,
+        second: str,
+        delta: float,
+    ):
+        if not 0.0 < delta < 1.0:
+            raise LearningError(f"delta must be in (0, 1), got {delta}")
+        arc_first = graph.arc(first)
+        arc_second = graph.arc(second)
+        if arc_first.source is not arc_second.source:
+            raise LearningError(
+                f"{first!r} and {second!r} must descend from a common node"
+            )
+        if strategy.position(first) > strategy.position(second):
+            raise LearningError(
+                f"{first!r} must precede {second!r} in the monitored strategy"
+            )
+        self.graph = graph
+        self.strategy = strategy
+        self.first = arc_first
+        self.second = arc_second
+        self.delta = delta
+        self._first_subtree = {
+            arc.name for arc in graph.subtree_arcs(arc_first)
+        }
+        self._second_subtree = {
+            arc.name for arc in graph.subtree_arcs(arc_second)
+        }
+        # Section 3.1's three counters.
+        self.m = 0
+        self.k_p = 0
+        self.k_g = 0
+        self._decided = False
+
+    # ------------------------------------------------------------------
+    # Observation
+    # ------------------------------------------------------------------
+
+    def observe(self, result: ExecutionResult) -> None:
+        """Update the counters from one monitored run of the strategy."""
+        if result.strategy is not self.strategy:
+            raise LearningError("PIB1 must observe runs of its own strategy")
+        self.m += 1
+        if result.succeeded and result.success_arc is not None:
+            name = result.success_arc.name
+            if name in self._first_subtree:
+                self.k_p += 1
+            elif name in self._second_subtree:
+                self.k_g += 1
+
+    def record_counts(self, m: int, k_p: int, k_g: int) -> None:
+        """Load counters directly (e.g. to replay the paper's numbers)."""
+        if min(m, k_p, k_g) < 0 or k_p + k_g > m:
+            raise LearningError("inconsistent counters")
+        self.m = m
+        self.k_p = k_p
+        self.k_g = k_g
+
+    # ------------------------------------------------------------------
+    # Decision
+    # ------------------------------------------------------------------
+
+    @property
+    def estimated_gain(self) -> float:
+        """The Δ̃ sum of Equation 3's left side:
+        ``k_g·f*(r₁) − k_p·f*(r₂)``."""
+        return (
+            self.k_g * self.graph.f_star(self.first)
+            - self.k_p * self.graph.f_star(self.second)
+        )
+
+    @property
+    def threshold(self) -> float:
+        """Equation 3's right side for the current sample count."""
+        if self.m == 0:
+            return float("inf")
+        value_range = self.graph.f_star(self.first) + self.graph.f_star(
+            self.second
+        )
+        return pib_sum_threshold(self.m, self.delta, value_range)
+
+    def would_accept(self) -> bool:
+        """Whether Equation 3 currently holds (non-committal peek)."""
+        return self.m > 0 and self.estimated_gain >= self.threshold
+
+    def decide(self) -> Optional[Strategy]:
+        """One-shot decision: the swapped strategy if accepted, else ``None``.
+
+        Raises on a second call — re-testing at the same ``δ`` is
+        statistically unsound; use :class:`repro.learning.pib.PIB` for
+        sequential testing.
+        """
+        if self._decided:
+            raise LearningError(
+                "PIB1 is a one-shot test; use PIB for sequential decisions"
+            )
+        self._decided = True
+        if self.would_accept():
+            return self.strategy.with_swap(self.first.name, self.second.name)
+        return None

@@ -1,0 +1,31 @@
+"""Optimal-strategy algorithms: ``Υ_AOT``, brute force, ``Υ̃``, [Smi89].
+
+Section 4's ``Υ_G`` functions: the exact ratio-merge optimizer for
+tree-shaped graphs, the brute-force ground truth for small graphs (the
+general problem is NP-hard, [Gre91]), a polynomial approximation, and
+the fact-distribution heuristic baseline of [Smi89].
+"""
+
+from .ratio import Block, block_statistics
+from .upsilon import upsilon_aot, upsilon_ot
+from .brute_force import (
+    optimal_strategy_brute_force,
+    optimal_strategy_explicit,
+    path_structured_suffices,
+)
+from .approximate import path_ratio, upsilon_greedy
+from .smith import smith_estimates, smith_strategy
+
+__all__ = [
+    "Block",
+    "block_statistics",
+    "upsilon_aot",
+    "upsilon_ot",
+    "optimal_strategy_brute_force",
+    "optimal_strategy_explicit",
+    "path_structured_suffices",
+    "path_ratio",
+    "upsilon_greedy",
+    "smith_estimates",
+    "smith_strategy",
+]

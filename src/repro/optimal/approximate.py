@@ -1,0 +1,53 @@
+"""``Υ̃``: a polynomial-time near-optimal ordering heuristic.
+
+Section 4 notes that "there are polynomial time ``Υ̃_G`` functions that
+can produce near optimal strategies for some classes G for which
+``Υ_G`` is intractable" ([GO91, Appendix B]).  This module provides the
+natural member of that family: order the retrievals greedily by their
+*path ratio*
+
+    q(r) / c(r),   q(r) = Π_{a ∈ Π(r) ∪ {r}} p(a),
+                   c(r) = Σ_{a ∈ Π(r) ∪ {r}} f(a),
+
+i.e. the probability the whole root path to ``r`` is unblocked per unit
+of path cost, ignoring prefix sharing between paths.  On trees this
+coincides with ``Υ_AOT`` whenever paths do not share arcs (e.g. the
+two-path ``G_A``) and stays within a small factor elsewhere; it runs in
+``O(n log n)``.
+"""
+
+from __future__ import annotations
+
+from typing import List, Mapping, Tuple
+
+from ..graphs.inference_graph import Arc, InferenceGraph
+from ..strategies.strategy import Strategy
+
+__all__ = ["upsilon_greedy", "path_ratio"]
+
+
+def path_ratio(
+    graph: InferenceGraph, retrieval: Arc, probs: Mapping[str, float]
+) -> float:
+    """The greedy ordering key of one retrieval's root path."""
+    probability = 1.0
+    cost = 0.0
+    for arc in graph.ancestors(retrieval) + [retrieval]:
+        if arc.blockable:
+            probability *= probs[arc.name]
+        cost += arc.cost
+    return probability / cost
+
+
+def upsilon_greedy(graph: InferenceGraph, probs: Mapping[str, float]) -> Strategy:
+    """Near-optimal strategy by descending path ratio (deterministic ties)."""
+    declaration = {arc.name: index for index, arc in enumerate(graph.arcs())}
+    ranked: List[Tuple[float, int, Arc]] = sorted(
+        (
+            (-path_ratio(graph, retrieval, probs),
+             declaration[retrieval.name],
+             retrieval)
+            for retrieval in graph.retrieval_arcs()
+        ),
+    )
+    return Strategy.from_retrieval_order(graph, [arc for _, _, arc in ranked])

@@ -1,0 +1,82 @@
+"""Brute-force optimal strategies: ground truth for small graphs.
+
+Finding the optimal strategy of a *general* inference graph is NP-hard
+([Gre91]); on the small graphs used for validation we can simply try
+everything.  :func:`optimal_strategy_brute_force` enumerates the
+path-structured strategies (one per retrieval permutation), which is
+sufficient: delaying an arc until just before the first retrieval
+below it weakly decreases the probability the arc is ever paid for, so
+some optimal strategy is always path-structured
+(:func:`path_structured_suffices` verifies this claim exhaustively on
+a given graph by also scanning every legal arc sequence).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Mapping, Optional, Tuple
+
+from ..graphs.contexts import Context
+from ..strategies.enumeration import (
+    all_legal_strategies,
+    all_path_structured_strategies,
+)
+from ..strategies.expected_cost import expected_cost_exact, expected_cost_explicit
+from ..strategies.strategy import Strategy
+from ..graphs.inference_graph import InferenceGraph
+
+__all__ = [
+    "optimal_strategy_brute_force",
+    "optimal_strategy_explicit",
+    "path_structured_suffices",
+]
+
+
+def optimal_strategy_brute_force(
+    graph: InferenceGraph,
+    probs: Mapping[str, float],
+    max_retrievals: int = 8,
+) -> Tuple[Strategy, float]:
+    """``(Θ_opt, C[Θ_opt])`` by scanning all path-structured strategies."""
+    best: Optional[Tuple[float, Strategy]] = None
+    for strategy in all_path_structured_strategies(graph, max_retrievals):
+        cost = expected_cost_exact(strategy, probs)
+        if best is None or cost < best[0] - 1e-12:
+            best = (cost, strategy)
+    assert best is not None  # graphs always have at least one retrieval
+    return best[1], best[0]
+
+
+def optimal_strategy_explicit(
+    graph: InferenceGraph,
+    weighted_contexts: Iterable[Tuple[float, Context]],
+    max_retrievals: int = 8,
+) -> Tuple[Strategy, float]:
+    """Brute-force optimum for an explicit (possibly correlated)
+    distribution — the setting PIB tolerates but ``Υ`` does not."""
+    weighted = list(weighted_contexts)
+    best: Optional[Tuple[float, Strategy]] = None
+    for strategy in all_path_structured_strategies(graph, max_retrievals):
+        cost = expected_cost_explicit(strategy, weighted)
+        if best is None or cost < best[0] - 1e-12:
+            best = (cost, strategy)
+    assert best is not None
+    return best[1], best[0]
+
+
+def path_structured_suffices(
+    graph: InferenceGraph,
+    probs: Mapping[str, float],
+    limit: int = 100_000,
+    tolerance: float = 1e-9,
+) -> bool:
+    """Check, exhaustively, that no legal arc sequence beats the best
+    path-structured strategy on this graph and distribution.
+
+    Used by the test suite to validate the restriction
+    :func:`optimal_strategy_brute_force` and ``Υ_AOT`` rely on.
+    """
+    _, best_path_cost = optimal_strategy_brute_force(graph, probs)
+    for strategy in all_legal_strategies(graph, limit=limit):
+        if expected_cost_exact(strategy, probs) < best_path_cost - tolerance:
+            return False
+    return True

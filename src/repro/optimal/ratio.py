@@ -1,0 +1,171 @@
+"""Block statistics for the ratio-merge optimizer behind ``Υ_AOT``.
+
+The optimal satisficing order of independent alternatives follows the
+classic Simon–Kadane ratio rule: between two independent blocks ``A``
+and ``B``,
+
+    cost(A then B) = E[A] + (1 − P_A)·E[B]
+    cost(B then A) = E[B] + (1 − P_B)·E[A]
+
+so ``A`` should precede ``B`` iff ``P_A / E[A] > P_B / E[B]``, where
+``E`` is the block's expected *charged* cost (execution stops inside
+the block at the first success) and ``P`` its probability of producing
+a success, both conditioned on the block being entered.
+
+A :class:`Block` here is an ancestor-closed, connected set of arcs of a
+tree-shaped inference graph, kept in a legal execution order.  Blocks
+are what the merge algorithm of :mod:`repro.optimal.upsilon`
+concatenates; this module computes their ``(E, P)`` statistics under
+independent arc success probabilities, handling internal blockable
+arcs (a blocked reduction silently prunes the block arcs below it).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Sequence, Tuple
+
+from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
+
+__all__ = ["Block", "block_statistics"]
+
+
+def block_statistics(
+    graph: InferenceGraph, arcs: Sequence[Arc], probs: Mapping[str, float]
+) -> Tuple[float, float]:
+    """``(E, P)`` of executing ``arcs`` in order, given the block is entered.
+
+    ``arcs`` must be ancestor-closed up to the block's entry node (the
+    source of its first arc): every arc's in-block ancestors appear
+    earlier in the sequence.  The computation mirrors
+    :func:`repro.strategies.expected_cost.attempt_probabilities`,
+    restricted to the block:
+
+    * an arc is attempted iff its in-block ancestors are unblocked and
+      no earlier in-block retrieval had a fully unblocked in-block
+      path;
+    * ``E`` charges each arc its cost times its attempt probability;
+    * ``P`` sums, over the block's retrievals, the (disjoint) events
+      "attempted and unblocked".
+    """
+    member = {arc.name for arc in arcs}
+    position = {arc.name: index for index, arc in enumerate(arcs)}
+
+    def probability(arc: Arc) -> float:
+        return probs[arc.name] if arc.blockable else 1.0
+
+    # Path products within the block, memoized bottom-up over ancestors.
+    reach: Dict[str, float] = {}
+    for arc in arcs:
+        parent = graph.parent_arc(arc)
+        if parent is None or parent.name not in member:
+            reach[arc.name] = 1.0
+        else:
+            reach[arc.name] = reach[parent.name] * probability(parent)
+
+    expected = 0.0
+    success = 0.0
+    # Retrievals earlier in the block, with their unblocked-path
+    # probabilities *relative to the conditioning arc's ancestors*.
+    earlier_retrievals: List[Arc] = []
+
+    def no_success_before(arc: Arc) -> float:
+        """Pr[no earlier in-block retrieval succeeded | anc(arc) unblocked].
+
+        Correlation through shared ancestors is handled by grouping the
+        earlier retrievals by the deepest ancestor they share with
+        ``arc`` — given the conditioning, the groups are independent,
+        and within a group retrievals sharing deeper structure are
+        handled recursively by the tree factor.
+        """
+        forced = set()
+        current = graph.parent_arc(arc)
+        while current is not None and current.name in member:
+            forced.add(current.name)
+            current = graph.parent_arc(current)
+
+        def factor(node_name: str) -> float:
+            value = 1.0
+            for child in graph.children(graph.node(node_name)):
+                if child.name not in member:
+                    continue
+                p = 1.0 if child.name in forced else probability(child)
+                if child.kind is ArcKind.RETRIEVAL:
+                    if child.name in before:
+                        value *= 1.0 - p
+                else:
+                    inner = factor(child.target.name)
+                    if inner < 1.0:
+                        value *= (1.0 - p) + p * inner
+            return value
+
+        before = {r.name for r in earlier_retrievals}
+        entry = arcs[0].source.name
+        return factor(entry)
+
+    for arc in arcs:
+        attempt = reach[arc.name] * no_success_before(arc)
+        expected += arc.expected_attempt_cost(probability(arc)) * attempt
+        if arc.kind is ArcKind.RETRIEVAL:
+            success += attempt * probability(arc)
+            earlier_retrievals.append(arc)
+
+    return expected, success
+
+
+class Block:
+    """A mergeable unit of the ``Υ_AOT`` algorithm.
+
+    Carries its arc sequence and cached ``(E, P)`` statistics; the
+    *ratio* ``P/E`` drives the merge order.  ``E`` is always positive
+    (arc costs are positive and the first arc is attempted with
+    probability 1 given entry).
+    """
+
+    __slots__ = ("graph", "arcs", "expected_cost", "success_probability")
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        arcs: Sequence[Arc],
+        probs: Mapping[str, float],
+    ):
+        if not arcs:
+            raise ValueError("a block needs at least one arc")
+        self.graph = graph
+        self.arcs: List[Arc] = list(arcs)
+        self.expected_cost, self.success_probability = block_statistics(
+            graph, self.arcs, probs
+        )
+
+    @property
+    def ratio(self) -> float:
+        """The Simon–Kadane ordering key ``P/E`` (larger goes earlier)."""
+        return self.success_probability / self.expected_cost
+
+    @property
+    def top_arc(self) -> Arc:
+        """The block's entry arc (its first in execution order)."""
+        return self.arcs[0]
+
+    def merged_with(self, child: "Block", probs: Mapping[str, float]) -> "Block":
+        """A new block running ``self`` then ``child``.
+
+        ``child``'s entry arc must hang below one of ``self``'s arcs so
+        the concatenation stays ancestor-closed.
+        """
+        parent_arc = self.graph.parent_arc(child.top_arc)
+        if parent_arc is None or parent_arc.name not in {
+            arc.name for arc in self.arcs
+        }:
+            raise ValueError(
+                f"block at {child.top_arc.name!r} does not hang below the "
+                "target block"
+            )
+        return Block(self.graph, self.arcs + child.arcs, probs)
+
+    def __repr__(self) -> str:
+        names = " ".join(arc.name for arc in self.arcs)
+        return (
+            f"Block⟨{names}⟩(E={self.expected_cost:.4g}, "
+            f"P={self.success_probability:.4g})"
+        )

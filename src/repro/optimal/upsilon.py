@@ -1,0 +1,124 @@
+"""``Υ_AOT``: the optimal strategy for a tree-shaped inference graph.
+
+Section 4 assumes "algorithms ``Υ_G(G, p)`` that take a graph G … and a
+vector of the success probabilities of the relevant retrievals p … and
+produce the optimal strategy for that graph", citing [Smi89] for the
+simple disjunctive tree case and [GO91] for approximations.  The
+general problem is NP-hard [Gre91]; for trees the classical
+precedence-constrained ratio-merge algorithm (Simon–Kadane chains,
+Horn/Garey merging under out-tree precedence) is exact:
+
+1. every arc starts as its own :class:`~repro.optimal.ratio.Block`;
+2. repeatedly take the block with the *globally maximal* ratio
+   ``P/E``;
+
+   * if its entry arc's parent block has already been emitted (or it
+     has no parent), emit it — nothing can any longer be scheduled
+     before it, and by the interchange argument nothing pending should
+     be;
+   * otherwise append it to its parent block (a maximal-ratio block
+     belongs immediately after its predecessor), and recompute the
+     composite's statistics;
+3. the emitted arc order is the optimal strategy.
+
+Merging is justified because a composite's ratio is a mediant of its
+parts — it lies between them — so the pending maximum never grows and
+step 2's commitment is safe.  Exactness is property-tested against
+brute-force enumeration on randomized graphs (with and without
+blockable internal arcs).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Tuple
+
+from ..errors import DistributionError
+from ..graphs.inference_graph import Arc, InferenceGraph
+from ..strategies.strategy import Strategy
+from .ratio import Block
+
+__all__ = ["upsilon_aot", "upsilon_ot"]
+
+
+def _validate_probs(graph: InferenceGraph, probs: Mapping[str, float]) -> None:
+    for arc in graph.experiments():
+        if arc.name not in probs:
+            raise DistributionError(
+                f"probability vector is missing experiment {arc.name!r}"
+            )
+        p = probs[arc.name]
+        if not 0.0 <= p <= 1.0:
+            raise DistributionError(f"p({arc.name}) = {p} is not in [0, 1]")
+
+
+def upsilon_aot(graph: InferenceGraph, probs: Mapping[str, float]) -> Strategy:
+    """The minimum-expected-cost strategy of ``graph`` under ``probs``.
+
+    ``probs`` maps every blockable arc name to its success probability;
+    the probabilities are treated as independent (footnote 8: the
+    ``Υ_G`` functions all assume independence).
+
+    Runs in ``O(n²)`` block-statistic recomputations, ``O(n³)`` arc
+    work overall — comfortably polynomial, as Section 4's efficiency
+    discussion requires.
+    """
+    _validate_probs(graph, probs)
+    arcs = graph.arcs()
+    blocks: Dict[str, Block] = {
+        arc.name: Block(graph, [arc], probs) for arc in arcs
+    }
+    # block id -> id of the block containing its parent arc (None = root).
+    owner: Dict[str, str] = {arc.name: arc.name for arc in arcs}
+    declaration = {arc.name: index for index, arc in enumerate(arcs)}
+    emitted: List[Arc] = []
+    emitted_blocks: set = set()
+
+    def parent_block_id(block_id: str) -> Optional[str]:
+        parent_arc = graph.parent_arc(blocks[block_id].top_arc)
+        if parent_arc is None:
+            return None
+        root = owner[parent_arc.name]
+        # Path-compress through merges.
+        while owner[root] != root:
+            root = owner[root]
+        owner[parent_arc.name] = root
+        return root
+
+    def sort_key(block_id: str) -> Tuple[float, int]:
+        block = blocks[block_id]
+        return (-block.ratio, declaration[block.top_arc.name])
+
+    pending = set(blocks)
+    while pending:
+        best = min(pending, key=sort_key)
+        parent = parent_block_id(best)
+        if parent is None or parent in emitted_blocks:
+            emitted.extend(blocks[best].arcs)
+            emitted_blocks.add(best)
+            pending.discard(best)
+        else:
+            merged = blocks[parent].merged_with(blocks[best], probs)
+            blocks[parent] = merged
+            owner[best] = parent
+            for arc in blocks[best].arcs:
+                owner[arc.name] = parent
+            pending.discard(best)
+            del blocks[best]
+
+    return Strategy(graph, emitted)
+
+
+def upsilon_ot(graph: InferenceGraph, probs: Mapping[str, float]) -> Strategy:
+    """[Smi89]'s ``Υ_OT`` for *simple disjunctive* tree graphs.
+
+    Identical machinery, restricted to graphs whose only experiments
+    are the retrievals themselves; raises
+    :class:`DistributionError` when handed a graph with blockable
+    reductions so callers notice they need the full ``Υ_AOT``.
+    """
+    if not graph.is_simple_disjunctive():
+        raise DistributionError(
+            "upsilon_ot handles simple disjunctive graphs only; "
+            "use upsilon_aot for graphs with blockable reductions"
+        )
+    return upsilon_aot(graph, probs)

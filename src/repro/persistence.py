@@ -1,0 +1,195 @@
+"""Saving and restoring learned state as JSON.
+
+The paper's guarantees rest on a *stationary* context distribution
+(assumption [3], Section 5.1) — which makes everything the learners
+accumulate durable across sessions: per-retrieval counters, the
+``Δ̃`` sums per candidate transformation, the sequential-test counter
+``i`` (which must keep growing across restarts or the δ-budget
+accounting breaks), and the current strategy.
+
+Formats are plain JSON — no pickling, so state files are inspectable
+and safe to load.  Graphs themselves are *not* serialized: state is
+restored against a freshly built graph, and every arc/transformation
+reference is validated against it.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from typing import Dict, List, Optional, Union
+
+from .errors import LearningError
+from .graphs.inference_graph import InferenceGraph
+from .learning.pib import ClimbRecord, PIB
+from .learning.statistics import DeltaAccumulator
+from .strategies.strategy import Strategy
+from .strategies.transformations import (
+    PathPromotion,
+    SiblingSwap,
+    Transformation,
+)
+
+__all__ = [
+    "strategy_to_dict",
+    "strategy_from_dict",
+    "transformation_from_name",
+    "pib_to_dict",
+    "pib_from_dict",
+    "save_pib",
+    "load_pib",
+]
+
+_SWAP_RE = re.compile(r"^swap\(([^,()]+),([^,()]+)\)$")
+_PROMOTE_RE = re.compile(r"^promote\(([^()]+)\)$")
+
+_FORMAT_VERSION = 1
+
+
+def strategy_to_dict(strategy: Strategy) -> Dict[str, object]:
+    """A JSON-ready description of a strategy (arc names in order)."""
+    return {"arcs": list(strategy.arc_names())}
+
+
+def strategy_from_dict(
+    graph: InferenceGraph, payload: Dict[str, object]
+) -> Strategy:
+    """Rebuild a strategy against ``graph``; legality is re-validated."""
+    arcs = payload.get("arcs")
+    if not isinstance(arcs, list):
+        raise LearningError("strategy payload needs an 'arcs' list")
+    return Strategy(graph, [str(name) for name in arcs])
+
+
+def transformation_from_name(name: str) -> Transformation:
+    """Reconstruct a transformation from its display name.
+
+    Supports the two built-in operator families (``swap(a,b)`` and
+    ``promote(r)``); custom transformation classes need their own
+    persistence.
+    """
+    swap = _SWAP_RE.match(name)
+    if swap:
+        return SiblingSwap(swap.group(1), swap.group(2))
+    promotion = _PROMOTE_RE.match(name)
+    if promotion:
+        return PathPromotion(promotion.group(1))
+    raise LearningError(f"unknown transformation name {name!r}")
+
+
+def pib_to_dict(pib: PIB) -> Dict[str, object]:
+    """Serialize a PIB learner's full resumable state."""
+    return {
+        "version": _FORMAT_VERSION,
+        "delta": pib.delta,
+        "test_every": pib.test_every,
+        "total_tests": pib.total_tests,
+        "contexts_processed": pib.contexts_processed,
+        "strategy": strategy_to_dict(pib.strategy),
+        "transformations": [t.name for t in pib.transformations],
+        "retrieval_statistics": {
+            "attempts": dict(pib.retrieval_statistics.attempts),
+            "successes": dict(pib.retrieval_statistics.successes),
+        },
+        "accumulators": [
+            {
+                "transformation": accumulator.transformation.name,
+                "total": accumulator.total,
+                "samples": accumulator.samples,
+            }
+            for accumulator in pib._accumulators
+        ],
+        "history": [
+            {
+                "step": record.step,
+                "context_number": record.context_number,
+                "transformation": record.transformation,
+                "samples": record.samples,
+                "estimated_gain": record.estimated_gain,
+                "threshold": record.threshold,
+                "from_arcs": list(record.from_arcs),
+                "to_arcs": list(record.to_arcs),
+            }
+            for record in pib.history
+        ],
+    }
+
+
+def pib_from_dict(
+    graph: InferenceGraph, payload: Dict[str, object]
+) -> PIB:
+    """Rebuild a PIB learner on ``graph`` from :func:`pib_to_dict` output.
+
+    The restored learner continues exactly where the saved one stopped:
+    same strategy, same ``Δ̃`` sums, same sequential-test counter — so
+    Theorem 1's budget keeps holding across the save/load boundary.
+    """
+    version = payload.get("version")
+    if version != _FORMAT_VERSION:
+        raise LearningError(
+            f"unsupported PIB state version {version!r} "
+            f"(this build writes {_FORMAT_VERSION})"
+        )
+    transformations = [
+        transformation_from_name(str(name))
+        for name in payload["transformations"]
+    ]
+    pib = PIB(
+        graph,
+        delta=float(payload["delta"]),
+        initial_strategy=strategy_from_dict(graph, payload["strategy"]),
+        transformations=transformations,
+        test_every=int(payload["test_every"]),
+    )
+    pib.total_tests = int(payload["total_tests"])
+    pib.contexts_processed = int(payload["contexts_processed"])
+
+    stats = payload["retrieval_statistics"]
+    for name, value in stats["attempts"].items():
+        if name not in pib.retrieval_statistics.attempts:
+            raise LearningError(f"saved counters name unknown arc {name!r}")
+        pib.retrieval_statistics.attempts[name] = int(value)
+    for name, value in stats["successes"].items():
+        pib.retrieval_statistics.successes[name] = int(value)
+
+    saved_accumulators = {
+        str(item["transformation"]): item for item in payload["accumulators"]
+    }
+    for accumulator in pib._accumulators:
+        saved = saved_accumulators.pop(accumulator.transformation.name, None)
+        if saved is not None:
+            accumulator.total = float(saved["total"])
+            accumulator.samples = int(saved["samples"])
+    if saved_accumulators:
+        raise LearningError(
+            "saved state has accumulators for unknown transformations: "
+            + ", ".join(sorted(saved_accumulators))
+        )
+
+    pib.history = [
+        ClimbRecord(
+            step=int(item["step"]),
+            context_number=int(item["context_number"]),
+            transformation=str(item["transformation"]),
+            samples=int(item["samples"]),
+            estimated_gain=float(item["estimated_gain"]),
+            threshold=float(item["threshold"]),
+            from_arcs=tuple(item["from_arcs"]),
+            to_arcs=tuple(item["to_arcs"]),
+        )
+        for item in payload["history"]
+    ]
+    return pib
+
+
+def save_pib(pib: PIB, path: str) -> None:
+    """Write a learner's state to ``path`` as JSON."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(pib_to_dict(pib), handle, indent=2, sort_keys=True)
+
+
+def load_pib(graph: InferenceGraph, path: str) -> PIB:
+    """Restore a learner saved by :func:`save_pib` against ``graph``."""
+    with open(path, encoding="utf-8") as handle:
+        payload = json.load(handle)
+    return pib_from_dict(graph, payload)

@@ -1,0 +1,94 @@
+"""Exhaustive strategy enumeration for small graphs.
+
+PAO's guarantee is relative to the *globally* optimal strategy
+``Θ_opt``; on small graphs we can find it by brute force and use it as
+the ground truth the property tests compare ``Υ_AOT`` against.
+
+Two enumerations are provided:
+
+* :func:`all_path_structured_strategies` — one strategy per permutation
+  of the retrieval arcs (Note 3's path view).  ``k`` retrievals give
+  ``k!`` strategies.
+* :func:`all_legal_strategies` — every legal arc sequence (all
+  topological orders of the arc forest).  Vastly larger; used only to
+  confirm that restricting attention to path-structured strategies
+  loses nothing (see :mod:`repro.optimal`).
+"""
+
+from __future__ import annotations
+
+from itertools import permutations
+from typing import Iterator, List
+
+from ..errors import StrategyError
+from ..graphs.inference_graph import Arc, InferenceGraph
+from .strategy import Strategy
+
+__all__ = [
+    "all_path_structured_strategies",
+    "all_legal_strategies",
+    "count_path_structured",
+]
+
+#: Enumerating more retrievals than this is almost certainly a mistake.
+_MAX_RETRIEVALS = 9
+
+
+def count_path_structured(graph: InferenceGraph) -> int:
+    """How many path-structured strategies the graph admits (``k!``)."""
+    count = 1
+    for index in range(2, len(graph.retrieval_arcs()) + 1):
+        count *= index
+    return count
+
+
+def all_path_structured_strategies(
+    graph: InferenceGraph, max_retrievals: int = _MAX_RETRIEVALS
+) -> Iterator[Strategy]:
+    """Yield every path-structured strategy of the graph.
+
+    Raises :class:`StrategyError` when the graph has more than
+    ``max_retrievals`` retrieval arcs (the count grows factorially).
+    """
+    retrievals = graph.retrieval_arcs()
+    if len(retrievals) > max_retrievals:
+        raise StrategyError(
+            f"{len(retrievals)} retrievals would enumerate "
+            f"{len(retrievals)}! strategies; raise max_retrievals to force"
+        )
+    for order in permutations(retrievals):
+        yield Strategy.from_retrieval_order(graph, order)
+
+
+def all_legal_strategies(
+    graph: InferenceGraph, limit: int = 200_000
+) -> Iterator[Strategy]:
+    """Yield every legal arc sequence (topological orders of the forest).
+
+    Stops with :class:`StrategyError` if more than ``limit`` sequences
+    would be produced — this enumeration explodes much faster than the
+    path-structured one.
+    """
+    arcs = graph.arcs()
+    produced = 0
+
+    def extend(prefix: List[Arc], available: List[Arc]) -> Iterator[Strategy]:
+        nonlocal produced
+        if not available:
+            produced += 1
+            if produced > limit:
+                raise StrategyError(
+                    f"more than {limit} legal strategies; raise the limit to force"
+                )
+            yield Strategy(graph, list(prefix))
+            return
+        placed = {arc.name for arc in prefix}
+        for index, arc in enumerate(available):
+            parent = graph.parent_arc(arc)
+            if parent is not None and parent.name not in placed:
+                continue
+            prefix.append(arc)
+            yield from extend(prefix, available[:index] + available[index + 1:])
+            prefix.pop()
+
+    yield from extend([], list(arcs))

@@ -1,0 +1,136 @@
+"""Executing a strategy on a context: the cost ``c(Θ, I)``.
+
+The query processor traverses the inference graph in strategy order,
+beginning at the root, searching for a success node (Section 2.1).
+Operationally:
+
+* an arc is *attempted* when its turn comes up and its source node has
+  been reached; attempting an arc always costs ``f(arc)``, whether or
+  not the context blocks it (Figure 1's worked example charges the
+  failed ``prof(manolis)`` retrieval its full unit);
+* a blocked arc does not extend the reached set (its subtree stays
+  unreachable), an unblocked arc does;
+* the search stops at the first success node reached — satisficing
+  search [SK75] — and the remaining subsequence of the strategy is
+  ignored.
+
+:func:`execute` returns an :class:`ExecutionResult` carrying the cost,
+the outcome, and the *observations* the run made — exactly the
+information PIB is allowed to learn from (it never sees the statuses of
+arcs the run did not attempt).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set
+
+from ..graphs.contexts import Context, PartialContext
+from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
+from .strategy import Strategy
+
+__all__ = ["ExecutionResult", "execute", "cost_of", "pessimistic_cost"]
+
+
+@dataclass
+class ExecutionResult:
+    """The outcome of running one strategy on one context.
+
+    ``attempted`` lists arcs in attempt order; ``observations`` records
+    each attempted blockable arc's revealed status.  ``success_arc`` is
+    the retrieval that answered the query, or ``None`` when the whole
+    graph was searched without success (the "no" answer).
+    """
+
+    strategy: Strategy
+    context: Context
+    cost: float
+    succeeded: bool
+    success_arc: Optional[Arc]
+    attempted: List[Arc] = field(default_factory=list)
+    observations: Dict[str, bool] = field(default_factory=dict)
+
+    def partial_context(self) -> PartialContext:
+        """The :class:`PartialContext` of what this run revealed."""
+        return PartialContext(self.strategy.graph, self.observations)
+
+
+def execute(
+    strategy: Strategy, context: Context, required_successes: int = 1
+) -> ExecutionResult:
+    """Run ``strategy`` against ``context`` and account its cost.
+
+    ``required_successes`` implements Section 5.2's first-``k`` variant
+    ("one set of variants seek the first k answers to a query"): the
+    search stops at the ``k``-th success node instead of the first.
+    ``success_arc`` reports the stopping retrieval; with ``k > 1`` the
+    run counts as succeeded only if all ``k`` successes were found.
+    """
+    if required_successes < 1:
+        raise ValueError("required_successes must be at least 1")
+    graph = strategy.graph
+    reached: Set[str] = {graph.root.name}
+    cost = 0.0
+    successes = 0
+    attempted: List[Arc] = []
+    observations: Dict[str, bool] = {}
+
+    for arc in strategy:
+        if arc.source.name not in reached:
+            continue  # tail never reached: the arc is silently skipped
+        attempted.append(arc)
+        traversable = context.traversable(arc)
+        cost += arc.cost if traversable else arc.blocked_cost
+        if arc.blockable:
+            observations[arc.name] = traversable
+        if not traversable:
+            continue
+        reached.add(arc.target.name)
+        if arc.target.is_success:
+            successes += 1
+            if successes >= required_successes:
+                return ExecutionResult(
+                    strategy, context, cost, True, arc, attempted, observations
+                )
+    return ExecutionResult(
+        strategy, context, cost, False, None, attempted, observations
+    )
+
+
+def cost_of(strategy: Strategy, context: Context) -> float:
+    """Shorthand for ``execute(strategy, context).cost`` — ``c(Θ, I)``."""
+    return execute(strategy, context).cost
+
+
+def pessimistic_cost(strategy: Strategy, partial: PartialContext) -> float:
+    """An upper bound on ``c(strategy, I)`` over every context ``I``
+    consistent with the observations in ``partial``.
+
+    This is the evaluation behind PIB's under-estimate ``Δ̃``
+    (Section 3.2): arcs the monitored run observed are charged their
+    actual outcome; unobserved arcs are charged their *worst-case*
+    attempt ``max(f, f_blocked)`` and completed adversarially —
+    retrievals blocked (no early stop), reductions traversable (full
+    subtree exposure).  With the paper's symmetric costs this equals
+    executing against ``partial.pessimistic_completion()``; with
+    Note 4's asymmetric costs the explicit max keeps the bound sound.
+    """
+    graph = strategy.graph
+    reached: Set[str] = {graph.root.name}
+    cost = 0.0
+    for arc in strategy:
+        if arc.source.name not in reached:
+            continue
+        observed = partial.observed(arc)
+        if observed is None:
+            cost += max(arc.cost, arc.blocked_cost)
+            traversable = arc.kind is not ArcKind.RETRIEVAL
+        else:
+            cost += arc.cost if observed else arc.blocked_cost
+            traversable = observed
+        if not traversable:
+            continue
+        reached.add(arc.target.name)
+        if arc.target.is_success:
+            return cost
+    return cost

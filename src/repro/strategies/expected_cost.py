@@ -1,0 +1,194 @@
+"""Expected cost ``C[Θ]`` of a strategy over a context distribution.
+
+Section 2.1 defines ``C_Pr[Θ] = E[c(Θ, I)] = Σ_I Pr(I)·c(Θ, I)``.
+Three evaluation routes are provided, fastest applicable first:
+
+* :func:`expected_cost_exact` — closed-form for *independent* arc
+  success probabilities (the assumption under which ``Υ_G`` operates,
+  footnote 8).  It uses linearity of expectation over arcs:
+  ``C[Θ] = Σ_a f(a) · Pr[a is attempted]``, with the attempt
+  probability computed by a tree product (see
+  :func:`attempt_probabilities`).  Runs in ``O(|A|²)`` and works for
+  every legal strategy, path-structured or not.
+* :func:`expected_cost_explicit` — exact for an explicit finite
+  distribution (a weighted list of contexts, possibly *correlated*,
+  which PIB permits); simulates each context once.
+* :func:`expected_cost_monte_carlo` — sampling estimate for anything
+  that can be sampled.
+
+The three agree on their common domain; the property tests check this
+on randomized graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+
+from ..errors import DistributionError
+from ..graphs.contexts import Context
+from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph, Node
+from .execution import execute
+from .strategy import Strategy
+
+__all__ = [
+    "attempt_probabilities",
+    "expected_cost_exact",
+    "expected_cost_explicit",
+    "expected_cost_monte_carlo",
+    "success_probability",
+    "reach_probability",
+]
+
+
+def _success_prob(arc: Arc, probs: Mapping[str, float]) -> float:
+    """Probability that ``arc`` is traversable, validating the vector."""
+    if not arc.blockable:
+        return 1.0
+    try:
+        p = probs[arc.name]
+    except KeyError:
+        raise DistributionError(
+            f"probability vector is missing blockable arc {arc.name!r}"
+        ) from None
+    if not 0.0 <= p <= 1.0:
+        raise DistributionError(f"p({arc.name}) = {p} is not in [0, 1]")
+    return p
+
+
+def _no_success_factor(
+    graph: InferenceGraph,
+    node: Node,
+    before: frozenset,
+    probs: Mapping[str, float],
+    forced: frozenset,
+) -> float:
+    """Pr[no retrieval in ``before`` within ``node``'s subtree has a fully
+    unblocked path from ``node``], with arcs in ``forced`` conditioned
+    unblocked."""
+    factor = 1.0
+    for arc in graph.children(node):
+        p = 1.0 if arc.name in forced else _success_prob(arc, probs)
+        if arc.kind is ArcKind.RETRIEVAL:
+            if arc.name in before:
+                factor *= 1.0 - p
+        else:
+            inner = _no_success_factor(graph, arc.target, before, probs, forced)
+            if inner < 1.0:
+                factor *= (1.0 - p) + p * inner
+    return factor
+
+
+def attempt_probabilities(
+    strategy: Strategy, probs: Mapping[str, float]
+) -> Dict[str, float]:
+    """``Pr[arc is attempted]`` for every arc, under independent blocking.
+
+    An arc ``a`` at position ``i`` is attempted iff its ancestors are
+    all unblocked *and* no retrieval placed before ``i`` has a fully
+    unblocked root path (any such retrieval means the satisficing
+    search already stopped, whether or not the processor got to attempt
+    it this run — if it did not, an even earlier success stopped it).
+    The two events are made independent by conditioning the shared
+    ancestor arcs unblocked inside the tree product.
+    """
+    graph = strategy.graph
+    result: Dict[str, float] = {}
+    retrievals_before: List[str] = []
+    for arc in strategy:
+        ancestors = graph.ancestors(arc)
+        forced = frozenset(a.name for a in ancestors)
+        reach = 1.0
+        for ancestor in ancestors:
+            reach *= _success_prob(ancestor, probs)
+        if reach > 0.0:
+            no_success = _no_success_factor(
+                graph, graph.root, frozenset(retrievals_before), probs, forced
+            )
+        else:
+            no_success = 0.0
+        result[arc.name] = reach * no_success
+        if arc.kind is ArcKind.RETRIEVAL:
+            retrievals_before.append(arc.name)
+    return result
+
+
+def expected_cost_exact(strategy: Strategy, probs: Mapping[str, float]) -> float:
+    """``C[Θ]`` under independent arc success probabilities.
+
+    Reproduces the paper's worked example: on ``G_A`` with unit costs
+    this returns 3.7 for ``Θ₁`` and 2.8 for ``Θ₂``.  Asymmetric
+    blocked/unblocked costs (Note 4's extension) are handled by
+    charging each attempt its mean ``p·f + (1−p)·f_blocked`` — the
+    arc's own outcome is independent of the attempt event.
+    """
+    attempted = attempt_probabilities(strategy, probs)
+    return sum(
+        arc.expected_attempt_cost(_success_prob(arc, probs))
+        * attempted[arc.name]
+        for arc in strategy
+    )
+
+
+def success_probability(graph: InferenceGraph, probs: Mapping[str, float]) -> float:
+    """Pr[some derivation exists] — strategy-independent in a tree.
+
+    Every complete strategy searches the whole graph on failure, so the
+    success probability depends only on the graph and the distribution.
+    """
+    all_retrievals = frozenset(a.name for a in graph.retrieval_arcs())
+    return 1.0 - _no_success_factor(
+        graph, graph.root, all_retrievals, probs, frozenset()
+    )
+
+
+def reach_probability(
+    graph: InferenceGraph, arc: Arc, probs: Mapping[str, float]
+) -> float:
+    """Definition 2's ``ρ(e)``: the best-case probability of reaching ``e``.
+
+    In a tree the strategy that maximizes the chance of reaching ``e``
+    heads straight down ``Π(e)``, so ``ρ(e)`` is the product of the
+    success probabilities along the path.
+    """
+    rho = 1.0
+    for ancestor in graph.ancestors(arc):
+        rho *= _success_prob(ancestor, probs)
+    return rho
+
+
+def expected_cost_explicit(
+    strategy: Strategy, weighted_contexts: Iterable[Tuple[float, Context]]
+) -> float:
+    """``Σ Pr(I)·c(Θ, I)`` for an explicit finite distribution.
+
+    Weights must be non-negative and sum to 1 (within 1e-9); the
+    distribution may correlate arcs arbitrarily — this is the
+    evaluation route for PIB's no-independence-needed setting.
+    """
+    total_weight = 0.0
+    total = 0.0
+    for weight, context in weighted_contexts:
+        if weight < 0:
+            raise DistributionError(f"negative context weight {weight}")
+        total_weight += weight
+        if weight:
+            total += weight * execute(strategy, context).cost
+    if abs(total_weight - 1.0) > 1e-9:
+        raise DistributionError(
+            f"context weights sum to {total_weight}, expected 1"
+        )
+    return total
+
+
+def expected_cost_monte_carlo(
+    strategy: Strategy,
+    sampler: Callable[[], Context],
+    samples: int,
+) -> float:
+    """Sample-mean estimate of ``C[Θ]`` from ``samples`` draws."""
+    if samples <= 0:
+        raise ValueError("samples must be positive")
+    total = 0.0
+    for _ in range(samples):
+        total += execute(strategy, sampler()).cost
+    return total / samples

@@ -1,0 +1,236 @@
+"""Query-processing strategies: legal orderings of a graph's arcs.
+
+Section 2.1: "We will write each strategy as a sequence of the elements
+of A, with the understanding that the remaining subsequence will be
+ignored after reaching a solution."  A sequence is *legal* when every
+arc appears exactly once and only after the arc leading into its source
+node — the query processor cannot attempt an arc before having reached
+its tail.
+
+Note 3 views a strategy as a sequence of *paths*, each descending from
+an already-visited node down to a retrieval; :meth:`Strategy.paths`
+computes that decomposition.  Strategies whose arc order is a
+concatenation of such paths are called *path-structured*; they
+correspond one-to-one with permutations of the retrieval arcs
+(:meth:`Strategy.from_retrieval_order`), and some optimal strategy is
+always path-structured — postponing an arc until just before the first
+retrieval that needs it can only shrink the set of scenarios in which
+its cost is paid (see ``repro.optimal``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+from ..errors import IllegalStrategyError
+from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph, Node
+
+__all__ = ["Strategy"]
+
+
+class Strategy:
+    """An immutable legal ordering of all arcs of an inference graph."""
+
+    __slots__ = ("graph", "_arcs", "_positions")
+
+    def __init__(self, graph: InferenceGraph, arcs: Sequence[Union[Arc, str]]):
+        resolved: List[Arc] = [
+            graph.arc(a) if isinstance(a, str) else a for a in arcs
+        ]
+        self.graph = graph
+        self._arcs: Tuple[Arc, ...] = tuple(resolved)
+        self._positions: Dict[str, int] = {
+            arc.name: index for index, arc in enumerate(self._arcs)
+        }
+        self._check_legal()
+
+    def _check_legal(self) -> None:
+        expected = {arc.name for arc in self.graph.arcs()}
+        seen = set()
+        for arc in self._arcs:
+            if self.graph.arc(arc.name) is not arc:
+                raise IllegalStrategyError(
+                    f"arc {arc.name!r} does not belong to this graph"
+                )
+            if arc.name in seen:
+                raise IllegalStrategyError(f"arc {arc.name!r} appears twice")
+            seen.add(arc.name)
+            parent = self.graph.parent_arc(arc)
+            if parent is not None and parent.name not in seen:
+                raise IllegalStrategyError(
+                    f"arc {arc.name!r} appears before its parent {parent.name!r}"
+                )
+        missing = expected - seen
+        if missing:
+            raise IllegalStrategyError(
+                f"strategy omits arcs: {sorted(missing)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def depth_first(
+        cls,
+        graph: InferenceGraph,
+        child_order: Optional[Dict[str, Sequence[str]]] = None,
+    ) -> "Strategy":
+        """The depth-first, left-to-right strategy (the paper's default).
+
+        ``child_order`` optionally overrides the sibling order at named
+        nodes (node name -> arc names in desired order).
+        """
+        order: List[Arc] = []
+
+        def walk(node: Node) -> None:
+            children = graph.children(node)
+            if child_order and node.name in child_order:
+                ranked = {name: i for i, name in enumerate(child_order[node.name])}
+                children = sorted(
+                    children, key=lambda a: ranked.get(a.name, len(ranked))
+                )
+            for arc in children:
+                order.append(arc)
+                walk(arc.target)
+
+        walk(graph.root)
+        return cls(graph, order)
+
+    @classmethod
+    def from_retrieval_order(
+        cls, graph: InferenceGraph, retrievals: Sequence[Union[Arc, str]]
+    ) -> "Strategy":
+        """The path-structured strategy visiting retrievals in this order.
+
+        Each retrieval contributes the not-yet-listed arcs on its root
+        path (Note 3's path), deepest-last.  Every retrieval arc of the
+        graph must appear exactly once.
+        """
+        resolved = [
+            graph.arc(r) if isinstance(r, str) else r for r in retrievals
+        ]
+        expected = {arc.name for arc in graph.retrieval_arcs()}
+        given = [arc.name for arc in resolved]
+        if sorted(given) != sorted(expected):
+            raise IllegalStrategyError(
+                "retrieval order must list every retrieval arc exactly once; "
+                f"expected {sorted(expected)}, got {sorted(given)}"
+            )
+        order: List[Arc] = []
+        placed = set()
+        for retrieval in resolved:
+            for arc in graph.ancestors(retrieval) + [retrieval]:
+                if arc.name not in placed:
+                    placed.add(arc.name)
+                    order.append(arc)
+        return cls(graph, order)
+
+    # ------------------------------------------------------------------
+    # Sequence protocol
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._arcs)
+
+    def __iter__(self) -> Iterator[Arc]:
+        return iter(self._arcs)
+
+    def __getitem__(self, index: int) -> Arc:
+        return self._arcs[index]
+
+    def arcs(self) -> Tuple[Arc, ...]:
+        """The arc sequence."""
+        return self._arcs
+
+    def arc_names(self) -> Tuple[str, ...]:
+        """The arc names in order (handy in tests and reports)."""
+        return tuple(arc.name for arc in self._arcs)
+
+    def position(self, arc: Union[Arc, str]) -> int:
+        """Index of ``arc`` in the sequence."""
+        name = arc if isinstance(arc, str) else arc.name
+        return self._positions[name]
+
+    # ------------------------------------------------------------------
+    # Structure
+    # ------------------------------------------------------------------
+
+    def retrieval_order(self) -> List[Arc]:
+        """The retrieval arcs in the order the strategy reaches them."""
+        return [a for a in self._arcs if a.kind is ArcKind.RETRIEVAL]
+
+    def paths(self) -> List[List[Arc]]:
+        """Note 3's path decomposition.
+
+        Splits the arc sequence after every retrieval arc.  For a
+        path-structured strategy each piece is a descending path from
+        an already-visited node down to a retrieval (e.g. ``Θ_ABCD ≈
+        ⟨⟨R_ga D_a⟩, ⟨R_gs R_sb D_b⟩, ⟨R_st R_tc D_c⟩, ⟨R_td D_d⟩⟩``).
+        """
+        pieces: List[List[Arc]] = []
+        current: List[Arc] = []
+        for arc in self._arcs:
+            current.append(arc)
+            if arc.kind is ArcKind.RETRIEVAL:
+                pieces.append(current)
+                current = []
+        if current:
+            pieces.append(current)
+        return pieces
+
+    def is_path_structured(self) -> bool:
+        """Whether every piece of :meth:`paths` is a descending chain."""
+        for piece in self.paths():
+            if piece[-1].kind is not ArcKind.RETRIEVAL:
+                return False
+            for earlier, later in zip(piece, piece[1:]):
+                if self.graph.parent_arc(later) is not earlier:
+                    return False
+        return True
+
+    def with_swap(self, first: Union[Arc, str], second: Union[Arc, str]) -> "Strategy":
+        """The strategy with two sibling subtrees' arc blocks interchanged.
+
+        ``first`` and ``second`` must descend from a common node
+        (Section 3.1's transformation: "interchanging r₁ (and its
+        descendents) with r₂ (and its descendents)").  Arc order inside
+        each block is preserved; arcs outside both subtrees keep their
+        positions relative to the blocks.
+        """
+        first = self.graph.arc(first) if isinstance(first, str) else first
+        second = self.graph.arc(second) if isinstance(second, str) else second
+        if first.source is not second.source:
+            raise IllegalStrategyError(
+                f"{first.name!r} and {second.name!r} are not siblings"
+            )
+        if first is second:
+            raise IllegalStrategyError("cannot swap an arc with itself")
+        block_a = {a.name for a in self.graph.subtree_arcs(first)}
+        block_b = {a.name for a in self.graph.subtree_arcs(second)}
+        seq_a = [a for a in self._arcs if a.name in block_a]
+        seq_b = [a for a in self._arcs if a.name in block_b]
+        start_a = self._positions[seq_a[0].name]
+        start_b = self._positions[seq_b[0].name]
+        swapped: List[Arc] = []
+        for index, arc in enumerate(self._arcs):
+            if index == start_a:
+                swapped.extend(seq_b)
+            elif index == start_b:
+                swapped.extend(seq_a)
+            if arc.name not in block_a and arc.name not in block_b:
+                swapped.append(arc)
+        return Strategy(self.graph, swapped)
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, Strategy)
+            and self.graph is other.graph
+            and self.arc_names() == other.arc_names()
+        )
+
+    def __hash__(self) -> int:
+        return hash((id(self.graph), self.arc_names()))
+
+    def __repr__(self) -> str:
+        return f"Strategy⟨{' '.join(self.arc_names())}⟩"

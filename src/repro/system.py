@@ -1,0 +1,203 @@
+"""The integrated self-optimizing query processor (Figure 4).
+
+Figure 4 of the paper sketches the overall architecture: queries flow
+through the query processor, PIB watches the executions, and every so
+often it tells the processor to switch strategies.  This module wires
+the whole stack together behind one call:
+
+    >>> qp = SelfOptimizingQueryProcessor(rule_base)
+    >>> answer = qp.query(parse_query("instructor(manolis)"), database)
+
+Per *query form* (``instructor^(b)``, ``age^(bf)``, …) the processor
+lazily compiles an inference graph, attaches a PIB learner, and
+executes incoming queries by walking the graph in the current
+strategy's order against a :class:`LazyDatalogContext` — so the
+database sees exactly the retrievals the strategy attempts, monitored
+or not (Section 5.1's unobtrusiveness).  Successful runs return the
+binding produced by the winning retrieval.
+
+Queries whose form cannot be compiled to a (disjunctive, acyclic)
+inference graph fall back to the plain SLD engine; learning simply
+does not apply to them, matching the paper's scope.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from .datalog.database import Database
+from .datalog.engine import TopDownEngine
+from .datalog.rules import QueryForm, RuleBase
+from .datalog.terms import Atom, Substitution
+from .errors import GraphError, RecursionLimitError
+from .graphs.builder import build_inference_graph
+from .graphs.contexts import LazyDatalogContext, _instantiate
+from .graphs.inference_graph import InferenceGraph
+from .learning.pib import ClimbRecord, PIB
+from .strategies.strategy import Strategy
+from .strategies.transformations import Transformation, all_sibling_swaps
+
+__all__ = ["SystemAnswer", "FormState", "SelfOptimizingQueryProcessor"]
+
+
+@dataclass(frozen=True)
+class SystemAnswer:
+    """The processor's reply to one query.
+
+    ``cost`` is the charged strategy-execution cost (the paper's
+    ``c(Θ, I)``); ``learned`` is true when this query came through a
+    compiled, PIB-monitored graph (as opposed to the SLD fallback);
+    ``climbed`` reports whether answering this very query triggered a
+    strategy switch.
+    """
+
+    proved: bool
+    substitution: Substitution
+    cost: float
+    learned: bool
+    climbed: bool = False
+
+
+@dataclass
+class FormState:
+    """Everything the processor keeps per query form."""
+
+    form: QueryForm
+    graph: InferenceGraph
+    learner: PIB
+    queries: int = 0
+
+
+class SelfOptimizingQueryProcessor:
+    """A query processor that gets faster on the forms it is asked.
+
+    Parameters mirror :class:`repro.learning.pib.PIB`; ``delta`` is the
+    *per-form* mistake budget (each form's learner runs its own
+    Theorem 1 guarantee).  ``max_depth`` bounds graph unfolding for
+    recursive rule bases and the SLD fallback's recursion depth.
+    """
+
+    def __init__(
+        self,
+        rule_base: RuleBase,
+        delta: float = 0.05,
+        transformations_factory: Optional[
+            Callable[[InferenceGraph], Sequence[Transformation]]
+        ] = None,
+        test_every: int = 1,
+        max_depth: Optional[int] = None,
+    ):
+        self.rule_base = rule_base
+        self.delta = delta
+        self.test_every = test_every
+        self.max_depth = max_depth
+        self._transformations_factory = (
+            transformations_factory or all_sibling_swaps
+        )
+        self._states: Dict[QueryForm, FormState] = {}
+        self._uncompilable: Dict[QueryForm, str] = {}
+        self._fallback = TopDownEngine(
+            rule_base, max_depth=max_depth or 64
+        )
+
+    # ------------------------------------------------------------------
+    # Per-form state
+    # ------------------------------------------------------------------
+
+    def _state_for(self, form: QueryForm) -> Optional[FormState]:
+        if form in self._uncompilable:
+            return None
+        state = self._states.get(form)
+        if state is None:
+            try:
+                graph = build_inference_graph(
+                    self.rule_base, form, max_depth=self.max_depth
+                )
+            except (GraphError, RecursionLimitError) as reason:
+                self._uncompilable[form] = str(reason)
+                return None
+            learner = PIB(
+                graph,
+                delta=self.delta,
+                transformations=list(self._transformations_factory(graph)),
+                test_every=self.test_every,
+            )
+            state = FormState(form=form, graph=graph, learner=learner)
+            self._states[form] = state
+        return state
+
+    def strategy_for(self, form: QueryForm) -> Optional[Strategy]:
+        """The current strategy for a form (``None`` if never compiled)."""
+        state = self._states.get(form)
+        return state.learner.strategy if state else None
+
+    def climb_history(self, form: QueryForm) -> List[ClimbRecord]:
+        """All strategy switches taken for this form."""
+        state = self._states.get(form)
+        return list(state.learner.history) if state else []
+
+    # ------------------------------------------------------------------
+    # Query answering
+    # ------------------------------------------------------------------
+
+    def query(self, query: Atom, database: Database) -> SystemAnswer:
+        """Answer one query, learning from the execution as a side effect."""
+        form = QueryForm.of(query)
+        state = self._state_for(form)
+        if state is None:
+            answer = self._fallback.prove(query, database)
+            return SystemAnswer(
+                proved=answer.proved,
+                substitution=answer.substitution,
+                cost=answer.trace.cost,
+                learned=False,
+            )
+
+        state.queries += 1
+        climbs_before = state.learner.climbs
+        context = LazyDatalogContext(state.graph, query, database)
+        result = state.learner.process(context)
+        substitution = Substitution()
+        if result.succeeded and result.success_arc is not None:
+            substitution = self._binding_for(
+                state.graph, result.success_arc, query, database
+            )
+        return SystemAnswer(
+            proved=result.succeeded,
+            substitution=substitution,
+            cost=result.cost,
+            learned=True,
+            climbed=state.learner.climbs > climbs_before,
+        )
+
+    @staticmethod
+    def _binding_for(
+        graph: InferenceGraph, success_arc, query: Atom, database: Database
+    ) -> Substitution:
+        """Recover the query-variable bindings behind a winning retrieval."""
+        if success_arc.goal is None:
+            return Substitution()
+        pattern = _instantiate(success_arc.goal, query, graph.root.goal)
+        for binding in database.retrieve(pattern):
+            return binding.restrict(set(query.variables()))
+        return Substitution()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def report(self) -> Dict[str, Dict[str, object]]:
+        """Per-form learning status, keyed by the printed form."""
+        summary: Dict[str, Dict[str, object]] = {}
+        for form, state in self._states.items():
+            summary[str(form)] = {
+                "queries": state.queries,
+                "climbs": state.learner.climbs,
+                "strategy": " ".join(state.learner.strategy.arc_names()),
+                "retrieval_frequencies":
+                    state.learner.retrieval_statistics.frequencies(),
+            }
+        for form, reason in self._uncompilable.items():
+            summary[str(form)] = {"fallback": reason}
+        return summary

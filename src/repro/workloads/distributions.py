@@ -1,0 +1,269 @@
+"""Context distributions: the stationary ``Pr : I → [0,1]`` of §2.1.
+
+Every learner in this library consumes contexts through an *oracle* —
+"this oracle could simply be the system's user, who is posing queries"
+(Section 3.1).  A :class:`ContextDistribution` is that oracle plus
+whatever exact structure it can expose:
+
+* :class:`IndependentDistribution` — each experiment arc blocks
+  independently (footnote 8's assumption, required by ``Υ``); exposes
+  the probability vector, so expected costs are exact and fast;
+* :class:`ExplicitDistribution` — an explicit weighted list of
+  contexts, allowing *arbitrary correlations* between arcs (PIB's
+  setting: it "does not require that the success probabilities of the
+  retrievals be independent", Section 5.3);
+* :class:`MixtureDistribution` — a convex mixture of distributions
+  (correlated even when the components are independent);
+* :class:`DatalogDistribution` — the concrete level: sample a
+  ``⟨query, DB⟩`` pair and compile it to a context through the engine.
+
+All classes implement ``sampler(rng)`` (a zero-argument oracle bound to
+a generator) and ``expected_cost(strategy)`` using the best available
+evaluation route.
+"""
+
+from __future__ import annotations
+
+import itertools
+import random
+from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from ..errors import DistributionError
+from ..datalog.database import Database
+from ..datalog.terms import Atom
+from ..graphs.contexts import Context, context_from_datalog
+from ..graphs.inference_graph import InferenceGraph
+from ..strategies.expected_cost import (
+    expected_cost_exact,
+    expected_cost_explicit,
+    expected_cost_monte_carlo,
+)
+from ..strategies.strategy import Strategy
+
+__all__ = [
+    "ContextDistribution",
+    "IndependentDistribution",
+    "ExplicitDistribution",
+    "MixtureDistribution",
+    "DatalogDistribution",
+]
+
+
+class ContextDistribution:
+    """Abstract stationary distribution over contexts."""
+
+    graph: InferenceGraph
+
+    def sample(self, rng: random.Random) -> Context:
+        """Draw one context."""
+        raise NotImplementedError
+
+    def sampler(self, rng: random.Random) -> Callable[[], Context]:
+        """A zero-argument oracle bound to ``rng`` — what PIB/PAO take."""
+        return lambda: self.sample(rng)
+
+    def support(self) -> Optional[List[Tuple[float, Context]]]:
+        """The weighted support, when finite and enumerable (else None)."""
+        return None
+
+    def arc_probabilities(self) -> Optional[Dict[str, float]]:
+        """Marginal success probabilities, when the arcs are independent."""
+        return None
+
+    def expected_cost(
+        self,
+        strategy: Strategy,
+        samples: int = 20_000,
+        rng: Optional[random.Random] = None,
+    ) -> float:
+        """``C[Θ]`` by the most exact available route.
+
+        Independent distributions use the closed form, enumerable ones
+        the explicit sum, anything else a Monte-Carlo estimate with
+        ``samples`` draws.
+        """
+        probs = self.arc_probabilities()
+        if probs is not None:
+            return expected_cost_exact(strategy, probs)
+        weighted = self.support()
+        if weighted is not None:
+            return expected_cost_explicit(strategy, weighted)
+        rng = rng or random.Random(0)
+        return expected_cost_monte_carlo(strategy, self.sampler(rng), samples)
+
+
+class IndependentDistribution(ContextDistribution):
+    """Independent per-arc blocking with a fixed probability vector."""
+
+    #: Above this many experiments the support is no longer enumerated.
+    ENUMERATION_LIMIT = 16
+
+    def __init__(self, graph: InferenceGraph, probs: Mapping[str, float]):
+        self.graph = graph
+        self.probs: Dict[str, float] = {}
+        for arc in graph.experiments():
+            if arc.name not in probs:
+                raise DistributionError(
+                    f"missing probability for experiment {arc.name!r}"
+                )
+            p = float(probs[arc.name])
+            if not 0.0 <= p <= 1.0:
+                raise DistributionError(f"p({arc.name}) = {p} not in [0, 1]")
+            self.probs[arc.name] = p
+        extra = set(probs) - set(self.probs)
+        if extra:
+            raise DistributionError(
+                f"probabilities given for non-experiments: {sorted(extra)}"
+            )
+
+    def sample(self, rng: random.Random) -> Context:
+        statuses = {
+            name: rng.random() < p for name, p in self.probs.items()
+        }
+        return Context(self.graph, statuses)
+
+    def arc_probabilities(self) -> Dict[str, float]:
+        return dict(self.probs)
+
+    def support(self) -> Optional[List[Tuple[float, Context]]]:
+        names = sorted(self.probs)
+        if len(names) > self.ENUMERATION_LIMIT:
+            return None
+        weighted: List[Tuple[float, Context]] = []
+        for outcome in itertools.product((True, False), repeat=len(names)):
+            weight = 1.0
+            statuses = {}
+            for name, ok in zip(names, outcome):
+                weight *= self.probs[name] if ok else 1.0 - self.probs[name]
+                statuses[name] = ok
+            if weight > 0.0:
+                weighted.append((weight, Context(self.graph, statuses)))
+        return weighted
+
+
+class ExplicitDistribution(ContextDistribution):
+    """A finite weighted list of contexts; correlations unrestricted."""
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        weighted: Sequence[Tuple[float, Mapping[str, bool]]],
+    ):
+        self.graph = graph
+        self._weighted: List[Tuple[float, Context]] = []
+        total = 0.0
+        for weight, statuses in weighted:
+            if weight < 0:
+                raise DistributionError(f"negative weight {weight}")
+            total += weight
+            context = (
+                statuses
+                if isinstance(statuses, Context)
+                else Context(graph, statuses)
+            )
+            self._weighted.append((weight, context))
+        if abs(total - 1.0) > 1e-9:
+            raise DistributionError(f"weights sum to {total}, expected 1")
+
+    def sample(self, rng: random.Random) -> Context:
+        roll = rng.random()
+        cumulative = 0.0
+        for weight, context in self._weighted:
+            cumulative += weight
+            if roll < cumulative:
+                return context
+        return self._weighted[-1][1]
+
+    def support(self) -> List[Tuple[float, Context]]:
+        return list(self._weighted)
+
+    def arc_probabilities(self) -> Optional[Dict[str, float]]:
+        """Marginals — returned only when the arcs really are independent."""
+        marginals: Dict[str, float] = {}
+        for arc in self.graph.experiments():
+            marginals[arc.name] = sum(
+                weight
+                for weight, context in self._weighted
+                if context.traversable(arc)
+            )
+        # Verify independence: joint == product of marginals on support.
+        for weight, context in self._weighted:
+            product = 1.0
+            for arc in self.graph.experiments():
+                p = marginals[arc.name]
+                product *= p if context.traversable(arc) else 1.0 - p
+            if abs(product - self._joint(context)) > 1e-9:
+                return None
+        return marginals
+
+    def _joint(self, context: Context) -> float:
+        return sum(
+            weight
+            for weight, candidate in self._weighted
+            if candidate == context
+        )
+
+
+class MixtureDistribution(ContextDistribution):
+    """A convex mixture of component distributions over one graph."""
+
+    def __init__(
+        self,
+        components: Sequence[Tuple[float, ContextDistribution]],
+    ):
+        if not components:
+            raise DistributionError("a mixture needs at least one component")
+        self.graph = components[0][1].graph
+        total = 0.0
+        for weight, component in components:
+            if weight < 0:
+                raise DistributionError(f"negative mixture weight {weight}")
+            if component.graph is not self.graph:
+                raise DistributionError(
+                    "all mixture components must share one graph"
+                )
+            total += weight
+        if abs(total - 1.0) > 1e-9:
+            raise DistributionError(f"mixture weights sum to {total}")
+        self._components = list(components)
+
+    def sample(self, rng: random.Random) -> Context:
+        roll = rng.random()
+        cumulative = 0.0
+        for weight, component in self._components:
+            cumulative += weight
+            if roll < cumulative:
+                return component.sample(rng)
+        return self._components[-1][1].sample(rng)
+
+    def support(self) -> Optional[List[Tuple[float, Context]]]:
+        merged: Dict[Context, float] = {}
+        for weight, component in self._components:
+            inner = component.support()
+            if inner is None:
+                return None
+            for inner_weight, context in inner:
+                merged[context] = merged.get(context, 0.0) + weight * inner_weight
+        return [(weight, context) for context, weight in merged.items()]
+
+
+class DatalogDistribution(ContextDistribution):
+    """Concrete contexts: sample ``⟨query, DB⟩`` and compile to arc statuses.
+
+    ``pair_sampler(rng)`` returns the next query atom and the database
+    it runs against (databases "can vary from one query processing
+    context to another", Section 2.1 — though a fixed database is the
+    common case).
+    """
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        pair_sampler: Callable[[random.Random], Tuple[Atom, Database]],
+    ):
+        self.graph = graph
+        self._pair_sampler = pair_sampler
+
+    def sample(self, rng: random.Random) -> Context:
+        query, database = self._pair_sampler(rng)
+        return context_from_datalog(self.graph, query, database)

@@ -1,0 +1,85 @@
+"""Figure 2's more complicated inference graph ``G_B``.
+
+``G_B`` hangs four retrievals off a three-level tree::
+
+    G ──R_ga──> A ──D_a──> []
+    G ──R_gs──> S ──R_sb──> B ──D_b──> []
+                S ──R_st──> T ──R_tc──> C ──D_c──> []
+                            T ──R_td──> D ──D_d──> []
+
+The depth-first left-to-right strategy is the paper's ``Θ_ABCD``
+(Equation 4); :func:`theta_abdc` and :func:`theta_acdb` are the two
+named transformations of Section 3.2 (move ``R_td D_d`` before
+``R_tc D_c``; move everything below ``R_st`` before ``R_sb``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..graphs.inference_graph import GraphBuilder, InferenceGraph
+from ..strategies.strategy import Strategy
+from ..strategies.transformations import SiblingSwap
+
+__all__ = [
+    "g_b",
+    "theta_abcd",
+    "theta_abdc",
+    "theta_acdb",
+    "tau_dc",
+    "figure2_probabilities",
+]
+
+
+def g_b() -> InferenceGraph:
+    """Figure 2's graph, unit costs, the paper's arc names."""
+    builder = GraphBuilder("G")
+    builder.reduction("Rga", "G", "A")
+    builder.retrieval("Da", "A")
+    builder.reduction("Rgs", "G", "S")
+    builder.reduction("Rsb", "S", "B")
+    builder.retrieval("Db", "B")
+    builder.reduction("Rst", "S", "T")
+    builder.reduction("Rtc", "T", "C")
+    builder.retrieval("Dc", "C")
+    builder.reduction("Rtd", "T", "D")
+    builder.retrieval("Dd", "D")
+    return builder.build()
+
+
+def theta_abcd(graph: InferenceGraph) -> Strategy:
+    """Equation 4: ``Θ_ABCD = ⟨R_ga D_a R_gs R_sb D_b R_st R_tc D_c R_td D_d⟩``."""
+    return Strategy(
+        graph,
+        ["Rga", "Da", "Rgs", "Rsb", "Db", "Rst", "Rtc", "Dc", "Rtd", "Dd"],
+    )
+
+
+def theta_abdc(graph: InferenceGraph) -> Strategy:
+    """``Θ_ABDC``: ``R_td D_d`` moved before ``R_tc D_c``."""
+    return Strategy(
+        graph,
+        ["Rga", "Da", "Rgs", "Rsb", "Db", "Rst", "Rtd", "Dd", "Rtc", "Dc"],
+    )
+
+
+def theta_acdb(graph: InferenceGraph) -> Strategy:
+    """``Θ_ACDB``: everything below ``R_st`` moved before ``R_sb``."""
+    return Strategy(
+        graph,
+        ["Rga", "Da", "Rgs", "Rst", "Rtc", "Dc", "Rtd", "Dd", "Rsb", "Db"],
+    )
+
+
+def tau_dc() -> SiblingSwap:
+    """The paper's ``τ_{d,c}``: reorder ``R_td``/``R_tc`` under ``T``
+    (``τ_{d,c}(Θ_ABCD) = Θ_ABDC``)."""
+    return SiblingSwap("Rtd", "Rtc")
+
+
+def figure2_probabilities() -> Dict[str, float]:
+    """A retrieval distribution matching Section 3.2's motivating
+    observation — "the retrievals D_a, D_b and D_c all fail, but D_d
+    succeeds" is the typical run — under which the paper's candidate
+    moves are genuine improvements."""
+    return {"Da": 0.05, "Db": 0.10, "Dc": 0.05, "Dd": 0.75}

@@ -1,0 +1,92 @@
+"""Random Datalog workload generators for the substrate benchmarks.
+
+Where :mod:`repro.graphs.random_graphs` fabricates symbolic graphs,
+this module fabricates *concrete* knowledge bases — rule chains over
+generated relations, fact databases with controllable selectivities,
+and query streams — so the engine-level benchmarks
+(``bench_engine.py``) and the end-to-end integration tests run against
+realistic Datalog, not just arc abstractions.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from ..datalog.rules import Literal, QueryForm, Rule, RuleBase
+from ..datalog.terms import Atom, Constant, Variable
+
+__all__ = [
+    "chain_rule_base",
+    "disjunctive_rule_base",
+    "random_database",
+    "query_stream",
+]
+
+
+def chain_rule_base(length: int, predicate: str = "p") -> RuleBase:
+    """A linear chain ``p0(X) :- p1(X). … p_{n-1}(X) :- p_n(X).``
+
+    Exercises deep reductions; ``p_n`` is the only extensional relation.
+    """
+    if length < 1:
+        raise ValueError("length must be at least 1")
+    rules = []
+    for index in range(length):
+        head = Atom(f"{predicate}{index}", [Variable("X")])
+        body = [Literal(Atom(f"{predicate}{index + 1}", [Variable("X")]))]
+        rules.append(Rule(head, body, name=f"C{index}"))
+    return RuleBase(rules)
+
+
+def disjunctive_rule_base(
+    branches: int,
+    root: str = "goal",
+    leaf_prefix: str = "leaf",
+) -> RuleBase:
+    """A one-level disjunction: ``goal(X) :- leaf_i(X).`` for each branch.
+
+    The Datalog analogue of a flat inference graph with ``branches``
+    retrievals — the shape the distributed-scan application uses.
+    """
+    if branches < 1:
+        raise ValueError("need at least one branch")
+    rules = []
+    for index in range(branches):
+        head = Atom(root, [Variable("X")])
+        body = [Literal(Atom(f"{leaf_prefix}{index}", [Variable("X")]))]
+        rules.append(Rule(head, body, name=f"B{index}"))
+    return RuleBase(rules)
+
+
+def random_database(
+    rng: random.Random,
+    relations: Dict[str, float],
+    universe: Sequence[str],
+) -> Database:
+    """Facts over ``universe``: each individual joins relation ``r``
+    with probability ``relations[r]`` (independent selectivities)."""
+    database = Database()
+    for name in universe:
+        constant = Constant(name)
+        for relation, selectivity in relations.items():
+            if rng.random() < selectivity:
+                database.add(Atom(relation, [constant]))
+    return database
+
+
+def query_stream(
+    rng: random.Random,
+    predicate: str,
+    mix: Dict[str, float],
+    count: int,
+) -> List[Atom]:
+    """``count`` ground queries ``predicate(κ)`` with ``κ ~ mix``."""
+    names = sorted(mix)
+    weights = [mix[name] for name in names]
+    return [
+        Atom(predicate, [Constant(rng.choices(names, weights=weights)[0])])
+        for _ in range(count)
+    ]

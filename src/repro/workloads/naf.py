@@ -1,0 +1,135 @@
+"""Section 5.2's negation-as-failure and first-k applications.
+
+``pauper(x) :- not owns(x, Y)``: "we can determine whether some
+individual is, or is not, a pauper by finding a single item that he
+owns; n.b., we do not have to find each of his multitude of
+possessions" — the refutation search inside the negation is itself a
+satisficing search, so PIB/PAO apply to ordering *it*.
+
+This module builds that scenario concretely: ownership is split across
+category relations (``owns_realestate``, ``owns_vehicle``, …), the
+refutation graph has one retrieval per category, and the population is
+skewed so some categories refute pauperhood far more often per unit of
+scan cost than others.  :func:`first_k_cost` implements the first-``k``
+variant ("one set of variants seek the first k answers to a query").
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from ..datalog.engine import TopDownEngine
+from ..datalog.parser import parse_program
+from ..datalog.rules import RuleBase
+from ..datalog.terms import Atom, Constant
+from ..graphs.contexts import Context
+from ..graphs.inference_graph import GraphBuilder, InferenceGraph
+from .distributions import ContextDistribution
+
+__all__ = [
+    "OWNERSHIP_CATEGORIES",
+    "pauper_rule_base",
+    "ownership_database",
+    "refutation_graph",
+    "OwnershipDistribution",
+    "first_k_cost",
+]
+
+#: Ownership categories with (scan cost, ownership rate among queried
+#: individuals).  Rates are marginal and independent per category.
+OWNERSHIP_CATEGORIES: Dict[str, Tuple[float, float]] = {
+    "realestate": (3.0, 0.10),
+    "vehicle": (1.5, 0.45),
+    "stocks": (2.0, 0.15),
+    "jewelry": (1.0, 0.25),
+}
+
+
+def pauper_rule_base() -> RuleBase:
+    """``pauper(X) :- person(X), not owns(X, Y).`` plus the category
+    rules folding the per-category relations into ``owns``."""
+    rules = ["pauper(X) :- person(X), not owns(X, Y)."]
+    for category in OWNERSHIP_CATEGORIES:
+        rules.append(f"@R_{category} owns(X, Y) :- owns_{category}(X, Y).")
+    return parse_program("\n".join(rules))
+
+
+def ownership_database(
+    rng: random.Random, n_people: int = 200
+) -> Database:
+    """A synthetic population with independent per-category ownership."""
+    database = Database()
+    for index in range(n_people):
+        person = Constant(f"person{index}")
+        database.add(Atom("person", [person]))
+        for category, (_cost, rate) in OWNERSHIP_CATEGORIES.items():
+            if rng.random() < rate:
+                database.add(
+                    Atom(
+                        f"owns_{category}",
+                        [person, Constant(f"{category}_{index}")],
+                    )
+                )
+    return database
+
+
+def refutation_graph(
+    categories: Optional[Mapping[str, Tuple[float, float]]] = None,
+) -> InferenceGraph:
+    """The satisficing search inside ``not owns(x, Y)``: one retrieval
+    per ownership category, costs from the category table."""
+    categories = categories or OWNERSHIP_CATEGORIES
+    builder = GraphBuilder("owns_anything")
+    for category, (cost, _rate) in categories.items():
+        builder.reduction(f"R_{category}", "owns_anything", f"{category}")
+        builder.retrieval(f"D_{category}", f"{category}", cost=cost)
+    return builder.build()
+
+
+class OwnershipDistribution(ContextDistribution):
+    """Contexts for the refutation graph: independent category ownership."""
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        categories: Optional[Mapping[str, Tuple[float, float]]] = None,
+    ):
+        self.graph = graph
+        self.categories = dict(categories or OWNERSHIP_CATEGORIES)
+
+    def arc_probabilities(self) -> Dict[str, float]:
+        return {
+            f"D_{category}": rate
+            for category, (_cost, rate) in self.categories.items()
+        }
+
+    def sample(self, rng: random.Random) -> Context:
+        statuses = {
+            name: rng.random() < p
+            for name, p in self.arc_probabilities().items()
+        }
+        return Context(self.graph, statuses)
+
+
+def first_k_cost(
+    engine: TopDownEngine,
+    query: Atom,
+    database: Database,
+    k: int,
+) -> Tuple[int, float]:
+    """Cost of the first-``k`` variant: ``(answers found, charged cost)``.
+
+    Useful for queries with a known small answer count ("``parent(x,Y)``
+    will only yield two bindings for Y"): the engine stops as soon as
+    ``k`` distinct answers are found rather than exhausting the space.
+    """
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    answers = list(engine.answers(query, database, limit=k))
+    if answers:
+        return len(answers), answers[-1].trace.cost
+    # No answer: the cost is that of the exhausted search.
+    failed = engine.prove(query, database)
+    return 0, failed.trace.cost

@@ -1,0 +1,185 @@
+"""The paper's running example: Figure 1's university knowledge base.
+
+Rule base::
+
+    @Rp instructor(X) :- prof(X).
+    @Rg instructor(X) :- grad(X).
+
+with query form ``instructor^(b)``, inference graph ``G_A`` (arcs
+``R_p D_p R_g D_g``), database ``DB_1 = {prof(russ), grad(manolis)}``,
+and the two strategies ``Θ₁ = ⟨R_p D_p R_g D_g⟩`` (profs first) and
+``Θ₂ = ⟨R_g D_g R_p D_p⟩`` (grads first).
+
+**A note on the paper's Section 2 numbers.**  The printed text says
+"60% of the queries are instructor(russ), 15% are instructor(manolis)"
+— which, with ``prof(russ)`` in ``DB_1``, would make ``D_p`` succeed
+60% of the time — yet computes ``C[Θ₁] = 2 + (1−0.15)·2 = 3.7`` and
+``C[Θ₂] = 2 + (1−0.6)·2 = 2.8`` and prefers ``Θ₂``.  Those formulas
+(and the preference, and Section 4's true vector ``p = ⟨0.2, 0.6⟩``
+with grads likelier) correspond to ``p_p = 0.15, p_g = 0.60``, i.e. a
+query mix of **15% russ / 60% manolis / 25% fred**; the two percentages
+in the sentence are evidently transposed.  We expose both readings:
+:func:`intended_query_mix` (reproduces every printed cost) and
+:func:`printed_query_mix` (the sentence as written).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, Mapping, Tuple
+
+from ..datalog.database import Database
+from ..datalog.parser import parse_atom, parse_program
+from ..datalog.rules import QueryForm, RuleBase
+from ..datalog.terms import Atom, Constant
+from ..graphs.builder import build_inference_graph
+from ..graphs.inference_graph import GraphBuilder, InferenceGraph
+from ..strategies.strategy import Strategy
+from .distributions import DatalogDistribution, IndependentDistribution
+
+__all__ = [
+    "university_rule_base",
+    "db1",
+    "db2",
+    "g_a",
+    "g_a_from_rules",
+    "theta_1",
+    "theta_2",
+    "intended_query_mix",
+    "printed_query_mix",
+    "minors_only_mix",
+    "query_distribution",
+    "intended_probabilities",
+    "section4_probabilities",
+    "section4_estimates",
+]
+
+_RULES_TEXT = """
+@Rp instructor(X) :- prof(X).
+@Rg instructor(X) :- grad(X).
+"""
+
+
+def university_rule_base() -> RuleBase:
+    """Figure 1's two-rule rule base."""
+    return parse_program(_RULES_TEXT)
+
+
+def db1() -> Database:
+    """``DB_1``: russ is a professor, manolis a graduate student."""
+    return Database.from_program("prof(russ). grad(manolis).")
+
+
+def db2(n_prof: int = 2000, n_grad: int = 500) -> Database:
+    """``DB_2``: the fact counts of Section 2's [Smi89] example.
+
+    2,000 ``prof`` facts and 500 ``grad`` facts (over synthetic
+    individuals ``p0 …`` / ``g0 …``), so the fact-count heuristic deems
+    a ``prof`` lookup 4× as likely to succeed.
+    """
+    database = Database()
+    for index in range(n_prof):
+        database.add(Atom("prof", [Constant(f"p{index}")]))
+    for index in range(n_grad):
+        database.add(Atom("grad", [Constant(f"g{index}")]))
+    return database
+
+
+def g_a() -> InferenceGraph:
+    """``G_A`` with the paper's arc names, unit costs, goal patterns."""
+    rule_base = university_rule_base()
+    prototype = QueryForm("instructor", "b").prototype()
+    builder = GraphBuilder("instructor", root_goal=prototype)
+    builder.reduction(
+        "Rp", "instructor", "prof",
+        rule=rule_base.rule_named("Rp"), goal=parse_atom("prof(B0)"),
+    )
+    builder.retrieval("Dp", "prof", goal=parse_atom("prof(B0)"))
+    builder.reduction(
+        "Rg", "instructor", "grad",
+        rule=rule_base.rule_named("Rg"), goal=parse_atom("grad(B0)"),
+    )
+    builder.retrieval("Dg", "grad", goal=parse_atom("grad(B0)"))
+    return builder.build()
+
+
+def g_a_from_rules() -> InferenceGraph:
+    """``G_A`` compiled by the generic graph builder (same shape as
+    :func:`g_a`, machine-generated names) — used to cross-check the
+    compiler."""
+    return build_inference_graph(
+        university_rule_base(), QueryForm("instructor", "b")
+    )
+
+
+def theta_1(graph: InferenceGraph) -> Strategy:
+    """``Θ₁ = ⟨R_p D_p R_g D_g⟩`` — try the prof rule first."""
+    return Strategy(graph, ["Rp", "Dp", "Rg", "Dg"])
+
+
+def theta_2(graph: InferenceGraph) -> Strategy:
+    """``Θ₂ = ⟨R_g D_g R_p D_p⟩`` — try the grad rule first."""
+    return Strategy(graph, ["Rg", "Dg", "Rp", "Dp"])
+
+
+def intended_query_mix() -> Dict[str, float]:
+    """The query mix matching every printed cost: 15% russ, 60%
+    manolis, 25% fred (see the module docstring on the transposition)."""
+    return {"russ": 0.15, "manolis": 0.60, "fred": 0.25}
+
+
+def printed_query_mix() -> Dict[str, float]:
+    """The sentence as printed: 60% russ, 15% manolis, 25% fred."""
+    return {"russ": 0.60, "manolis": 0.15, "fred": 0.25}
+
+
+def minors_only_mix(database: Database, rng_seed: int = 0) -> Dict[str, float]:
+    """Section 2's counter-example workload: "the user may … only ask
+    questions that deal with minors — none of the κᵢ appearing in
+    instructor(κᵢ) queries will be professors".
+
+    Uniform over the ``grad`` individuals of ``database`` — every query
+    hits ``D_g`` and never ``D_p``, making ``Θ₂`` clearly superior no
+    matter how many ``prof`` facts the database holds.
+    """
+    grads = [str(fact.args[0]) for fact in database.relation("grad", 1)]
+    if not grads:
+        raise ValueError("database holds no grad facts")
+    weight = 1.0 / len(grads)
+    return {name: weight for name in grads}
+
+
+def query_distribution(
+    graph: InferenceGraph,
+    mix: Mapping[str, float],
+    database: Database,
+) -> DatalogDistribution:
+    """Concrete ``⟨instructor(κ), DB⟩`` contexts with ``κ ~ mix``."""
+    names = sorted(mix)
+    weights = [mix[name] for name in names]
+    total = sum(weights)
+    if abs(total - 1.0) > 1e-9:
+        raise ValueError(f"query mix weights sum to {total}, expected 1")
+
+    def pair_sampler(rng: random.Random) -> Tuple[Atom, Database]:
+        name = rng.choices(names, weights=weights)[0]
+        return Atom("instructor", [Constant(name)]), database
+
+    return DatalogDistribution(graph, pair_sampler)
+
+
+def intended_probabilities() -> Dict[str, float]:
+    """The success probabilities behind the printed costs:
+    ``p_p = 0.15, p_g = 0.60`` → ``C[Θ₁] = 3.7, C[Θ₂] = 2.8``."""
+    return {"Dp": 0.15, "Dg": 0.60}
+
+
+def section4_probabilities() -> Dict[str, float]:
+    """Section 4's true vector ``p = ⟨p_p, p_g⟩ = ⟨0.2, 0.6⟩``."""
+    return {"Dp": 0.2, "Dg": 0.6}
+
+
+def section4_estimates() -> Dict[str, float]:
+    """Section 4's sampled frequencies ``p̂ = ⟨18/30, 10/20⟩`` (for
+    which ``Υ_AOT`` returns ``Θ₁``)."""
+    return {"Dp": 18 / 30, "Dg": 10 / 20}

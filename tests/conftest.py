@@ -1,0 +1,77 @@
+"""Shared fixtures: the paper's graphs, databases, and seeded RNGs."""
+
+import random
+
+import pytest
+
+from repro.workloads import (
+    db1,
+    db2,
+    figure2_probabilities,
+    g_a,
+    g_b,
+    intended_probabilities,
+    theta_1,
+    theta_2,
+    theta_abcd,
+    university_rule_base,
+)
+
+
+@pytest.fixture
+def rng():
+    """A deterministically seeded generator; never share across tests."""
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture
+def graph_a():
+    """Figure 1's ``G_A`` with the paper's arc names."""
+    return g_a()
+
+
+@pytest.fixture
+def graph_b():
+    """Figure 2's ``G_B``."""
+    return g_b()
+
+
+@pytest.fixture
+def strategy_theta1(graph_a):
+    return theta_1(graph_a)
+
+
+@pytest.fixture
+def strategy_theta2(graph_a):
+    return theta_2(graph_a)
+
+
+@pytest.fixture
+def strategy_abcd(graph_b):
+    return theta_abcd(graph_b)
+
+
+@pytest.fixture
+def probs_a():
+    """The intended Section 2 probabilities (``C[Θ1]=3.7, C[Θ2]=2.8``)."""
+    return intended_probabilities()
+
+
+@pytest.fixture
+def probs_b():
+    return figure2_probabilities()
+
+
+@pytest.fixture
+def database_1():
+    return db1()
+
+
+@pytest.fixture
+def database_2():
+    return db2(n_prof=200, n_grad=50)  # scaled-down DB_2 for speed
+
+
+@pytest.fixture
+def rules_university():
+    return university_rule_base()

@@ -1,0 +1,137 @@
+"""Unit tests for the adaptive query processor QP^A and attempt
+classification (Section 4.1)."""
+
+import random
+
+import pytest
+
+from repro.errors import LearningError
+from repro.graphs.contexts import Context
+from repro.graphs.inference_graph import GraphBuilder
+from repro.strategies.adaptive import (
+    AdaptiveQueryProcessor,
+    AttemptOutcome,
+    classify_attempt,
+)
+from repro.strategies.execution import execute
+from repro.strategies.strategy import Strategy
+from repro.workloads import IndependentDistribution, g_a, theta_1
+
+
+class TestClassifyAttempt:
+    def test_reached_experiment(self):
+        graph = g_a()
+        context = Context(graph, {"Dp": False, "Dg": True})
+        result = execute(theta_1(graph), context)
+        assert classify_attempt(result, graph.arc("Dp")) is AttemptOutcome.REACHED
+        assert classify_attempt(result, graph.arc("Dg")) is AttemptOutcome.REACHED
+
+    def test_not_attempted_after_success(self):
+        graph = g_a()
+        context = Context(graph, {"Dp": True, "Dg": True})
+        result = execute(theta_1(graph), context)
+        # Success at Dp: the run never headed for Dg.
+        assert classify_attempt(result, graph.arc("Dg")) is \
+            AttemptOutcome.NOT_ATTEMPTED
+
+    def test_blocked_on_path(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True)
+        builder.retrieval("Dx", "x")
+        builder.reduction("Rn", "root", "y")
+        builder.retrieval("Dy", "y")
+        graph = builder.build()
+        context = Context(graph, {"Rb": False, "Dx": True, "Dy": True})
+        result = execute(Strategy.depth_first(graph), context)
+        assert classify_attempt(result, graph.arc("Dx")) is \
+            AttemptOutcome.BLOCKED_ON_PATH
+        assert classify_attempt(result, graph.arc("Rb")) is \
+            AttemptOutcome.REACHED
+
+
+class TestAdaptiveProcessor:
+    def test_rejects_unknown_arcs(self):
+        graph = g_a()
+        with pytest.raises(LearningError):
+            AdaptiveQueryProcessor(graph, {"Rp": 3})
+
+    def test_rejects_bad_count_mode(self):
+        graph = g_a()
+        with pytest.raises(ValueError):
+            AdaptiveQueryProcessor(graph, {"Dp": 1}, count="bogus")
+
+    def test_targets_neediest_experiment(self):
+        graph = g_a()
+        qp = AdaptiveQueryProcessor(graph, {"Dp": 1, "Dg": 10})
+        strategy = qp.strategy_for_target(graph.arc("Dg"))
+        assert strategy.arc_names()[0] == "Rg"
+
+    def test_guarantees_samples_of_shadowed_retrieval(self):
+        # Section 4.1's motivation: if D_p always succeeds, a fixed Θ1
+        # never samples D_g; QP^A must still gather them.
+        graph = g_a()
+        distribution = IndependentDistribution(graph, {"Dp": 1.0, "Dg": 0.5})
+        qp = AdaptiveQueryProcessor(graph, {"Dp": 10, "Dg": 10}, count="reached")
+        rng = random.Random(0)
+        while not qp.done():
+            qp.process(distribution.sample(rng))
+        assert qp.reached["Dg"] >= 10
+        assert qp.reached["Dp"] >= 10
+
+    def test_byproduct_samples_count(self):
+        # The paper's example: aiming at D_p also yields D_g samples
+        # whenever D_p fails, so fewer dedicated D_g runs are needed.
+        graph = g_a()
+        distribution = IndependentDistribution(graph, {"Dp": 0.0, "Dg": 0.5})
+        qp = AdaptiveQueryProcessor(graph, {"Dp": 30, "Dg": 20}, count="reached")
+        rng = random.Random(1)
+        while not qp.done():
+            qp.process(distribution.sample(rng))
+        # Every failed D_p run continued into D_g: total contexts stays
+        # well below the naive 30 + 20.
+        assert qp.contexts_processed <= 35
+
+    def test_frequency_estimates(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, {"Dp": 0.8, "Dg": 0.3})
+        qp = AdaptiveQueryProcessor(graph, {"Dp": 300, "Dg": 300}, count="reached")
+        rng = random.Random(2)
+        while not qp.done():
+            qp.process(distribution.sample(rng))
+        estimates = qp.frequency_estimates()
+        assert estimates["Dp"] == pytest.approx(0.8, abs=0.1)
+        assert estimates["Dg"] == pytest.approx(0.3, abs=0.1)
+
+    def test_fallback_for_unreached(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True)
+        builder.retrieval("Dx", "x")
+        builder.reduction("Rn", "root", "y")
+        builder.retrieval("Dy", "y")
+        graph = builder.build()
+        # Rb always blocked: Dx unreachable; attempts still accrue.
+        distribution = IndependentDistribution(
+            graph, {"Rb": 0.0, "Dx": 0.9, "Dy": 0.5}
+        )
+        qp = AdaptiveQueryProcessor(
+            graph, {"Rb": 5, "Dx": 5, "Dy": 5}, count="attempts"
+        )
+        rng = random.Random(3)
+        while not qp.done():
+            qp.process(distribution.sample(rng))
+        estimates = qp.frequency_estimates(fallback=0.5)
+        assert estimates["Dx"] == 0.5  # never reached → fallback
+        assert qp.reached["Dx"] == 0
+        assert qp.attempts["Dx"] >= 5
+
+    def test_attempts_mode_counts_blocked_paths(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True)
+        builder.retrieval("Dx", "x")
+        builder.reduction("Rn", "root", "y")
+        builder.retrieval("Dy", "y")
+        graph = builder.build()
+        context = Context(graph, {"Rb": False, "Dx": True, "Dy": True})
+        qp = AdaptiveQueryProcessor(graph, {"Dx": 2}, count="attempts")
+        qp.process(context)
+        assert qp.counters()["Dx"] == 1  # blocked path still decrements

@@ -1,0 +1,53 @@
+"""Unit tests for the bench harness and reporting helpers."""
+
+import pytest
+
+from repro.bench.harness import ExperimentResult
+from repro.bench.reporting import banner, format_series, format_table
+
+
+class TestFormatTable:
+    def test_alignment_and_caption(self):
+        table = format_table(
+            "caption", ["col", "value"], [["a", 1.0], ["bb", 22.5]]
+        )
+        lines = table.splitlines()
+        assert lines[0] == "caption"
+        assert "col" in lines[2] and "value" in lines[2]
+        assert any("22.5" in line for line in lines)
+
+    def test_float_rendering(self):
+        table = format_table("t", ["x"], [[3.14159265]])
+        assert "3.142" in table
+
+    def test_footer(self):
+        table = format_table("t", ["x"], [[1]], footer="note")
+        assert table.splitlines()[-1] == "note"
+
+    def test_series(self):
+        series = format_series("s", "n", ["t1", "t2"], [[1, 0.5, 0.6]])
+        assert "t1" in series and "t2" in series
+
+
+class TestBanner:
+    def test_contains_title(self):
+        assert "hello" in banner("hello")
+
+
+class TestExperimentResult:
+    def test_checks_and_report(self):
+        result = ExperimentResult("demo")
+        assert result.check("always true", True)
+        assert not result.check("always false", False)
+        assert not result.all_passed
+        report = result.report()
+        assert "[PASS] always true" in report
+        assert "[FAIL] always false" in report
+
+    def test_all_passed_when_empty(self):
+        assert ExperimentResult("demo").all_passed
+
+    def test_print_report_returns_self(self, capsys):
+        result = ExperimentResult("demo")
+        assert result.print_report() is result
+        assert "demo" in capsys.readouterr().out

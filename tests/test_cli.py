@@ -1,0 +1,146 @@
+"""Tests for the command-line interface."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+
+
+RULES = """
+@Rp instructor(X) :- prof(X).
+@Rg instructor(X) :- grad(X).
+"""
+
+FACTS = "prof(russ). grad(manolis)."
+
+
+@pytest.fixture
+def kb_files(tmp_path):
+    rules = tmp_path / "kb.dl"
+    rules.write_text(RULES)
+    facts = tmp_path / "db.dl"
+    facts.write_text(FACTS)
+    return str(rules), str(facts)
+
+
+def run_cli(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+class TestQueryCommand:
+    def test_yes_answer(self, kb_files):
+        rules, facts = kb_files
+        code, output = run_cli([
+            "query", "--rules", rules, "--facts", facts,
+            "instructor(manolis)?",
+        ])
+        assert code == 0
+        assert output.startswith("yes")
+        assert "cost: 4" in output
+
+    def test_no_answer_exit_code(self, kb_files):
+        rules, facts = kb_files
+        code, output = run_cli([
+            "query", "--rules", rules, "--facts", facts,
+            "instructor(fred)?",
+        ])
+        assert code == 1
+        assert output.startswith("no")
+
+    def test_open_query_prints_binding(self, kb_files):
+        rules, facts = kb_files
+        code, output = run_cli([
+            "query", "--rules", rules, "--facts", facts, "instructor(X)",
+        ])
+        assert code == 0
+        assert "X = russ" in output
+
+    def test_trace_flag(self, kb_files):
+        rules, facts = kb_files
+        _, output = run_cli([
+            "query", "--rules", rules, "--facts", facts, "--trace",
+            "instructor(manolis)?",
+        ])
+        assert "retrieval prof(manolis): miss" in output
+        assert "retrieval grad(manolis): hit" in output
+
+    def test_missing_file_reports_error(self, kb_files, tmp_path):
+        _, facts = kb_files
+        code, output = run_cli([
+            "query", "--rules", str(tmp_path / "nope.dl"),
+            "--facts", facts, "p(a)",
+        ])
+        assert code == 2
+        assert "error:" in output
+
+
+class TestLearnCommand:
+    def test_learning_run(self, kb_files, tmp_path):
+        rules, facts = kb_files
+        stream = tmp_path / "stream.txt"
+        lines = ["% mostly grads"]
+        lines += ["instructor(manolis)"] * 250
+        lines += ["instructor(russ)"] * 40
+        stream.write_text("\n".join(lines))
+        code, output = run_cli([
+            "learn", "--rules", rules, "--facts", facts,
+            "--queries", str(stream), "--quiet",
+        ])
+        assert code == 0
+        assert "processed 290 queries" in output
+        assert "instructor^(b)" in output
+        assert "Rg D_grad Rp D_prof" in output  # climbed to grads-first
+
+    def test_empty_stream(self, kb_files, tmp_path):
+        rules, facts = kb_files
+        stream = tmp_path / "empty.txt"
+        stream.write_text("% nothing here\n")
+        code, output = run_cli([
+            "learn", "--rules", rules, "--facts", facts,
+            "--queries", str(stream),
+        ])
+        assert code == 1
+        assert "no queries" in output
+
+
+class TestOptimalCommand:
+    def test_prints_optimal_strategy(self, kb_files):
+        rules, _ = kb_files
+        code, output = run_cli([
+            "optimal", "--rules", rules, "--form", "instructor/b",
+            "--probs", "D_prof=0.15,D_grad=0.6",
+        ])
+        assert code == 0
+        assert "optimal strategy: Rg D_grad Rp D_prof" in output
+        assert "expected cost: 2.8" in output
+
+    def test_missing_probability(self, kb_files):
+        rules, _ = kb_files
+        code, output = run_cli([
+            "optimal", "--rules", rules, "--form", "instructor/b",
+            "--probs", "D_prof=0.15",
+        ])
+        assert code == 2
+        assert "missing probabilities" in output
+        assert "D_grad" in output
+
+    def test_bad_form_spec(self, kb_files):
+        rules, _ = kb_files
+        code, output = run_cli([
+            "optimal", "--rules", rules, "--form", "instructor",
+            "--probs", "D_prof=0.5",
+        ])
+        assert code == 2
+        assert "error:" in output
+
+    def test_bad_probs_spec(self, kb_files):
+        rules, _ = kb_files
+        code, output = run_cli([
+            "optimal", "--rules", rules, "--form", "instructor/b",
+            "--probs", "D_prof",
+        ])
+        assert code == 2
+        assert "error:" in output

@@ -1,0 +1,61 @@
+"""Smoke tests: the example scripts define a runnable ``main``.
+
+Full executions live outside the unit suite (some examples stream
+thousands of contexts); here we check each script parses, imports, and
+exposes the documented entry point — catching API drift the moment it
+happens.
+"""
+
+import ast
+import importlib.util
+import pathlib
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+EXAMPLE_FILES = sorted(EXAMPLES_DIR.glob("*.py"))
+
+
+@pytest.mark.parametrize(
+    "path", EXAMPLE_FILES, ids=[p.stem for p in EXAMPLE_FILES]
+)
+class TestExampleScripts:
+    def test_parses(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert isinstance(tree, ast.Module)
+
+    def test_has_main_and_guard(self, path):
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source)
+        functions = {
+            node.name for node in tree.body if isinstance(node, ast.FunctionDef)
+        }
+        assert "main" in functions
+        assert '__name__ == "__main__"' in source
+
+    def test_has_docstring(self, path):
+        tree = ast.parse(path.read_text(encoding="utf-8"))
+        assert ast.get_docstring(tree)
+
+    def test_imports_resolve(self, path):
+        # Importing the module must not execute main (the guard) and
+        # must not raise — every repro API the example touches exists.
+        spec = importlib.util.spec_from_file_location(
+            f"example_{path.stem}", path
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        assert callable(module.main)
+
+
+def test_expected_example_set():
+    names = {p.stem for p in EXAMPLE_FILES}
+    assert {
+        "quickstart",
+        "university_queries",
+        "distributed_scan",
+        "pauper_negation",
+        "conjunctive_rules",
+        "pao_vs_pib",
+        "self_optimizing_system",
+    } <= names

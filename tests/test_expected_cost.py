@@ -1,0 +1,167 @@
+"""Unit tests for the three expected-cost evaluation routes."""
+
+import random
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.graphs.contexts import Context
+from repro.graphs.inference_graph import GraphBuilder
+from repro.strategies.expected_cost import (
+    attempt_probabilities,
+    expected_cost_exact,
+    expected_cost_explicit,
+    expected_cost_monte_carlo,
+    reach_probability,
+    success_probability,
+)
+from repro.strategies.strategy import Strategy
+from repro.workloads import (
+    IndependentDistribution,
+    figure2_probabilities,
+    g_a,
+    g_b,
+    intended_probabilities,
+    theta_1,
+    theta_2,
+    theta_abcd,
+)
+
+
+class TestExactOnGA:
+    def test_paper_values(self):
+        graph = g_a()
+        probs = intended_probabilities()
+        assert expected_cost_exact(theta_1(graph), probs) == pytest.approx(3.7)
+        assert expected_cost_exact(theta_2(graph), probs) == pytest.approx(2.8)
+
+    def test_note3_path_formula_agrees(self):
+        # C[Θ] = Σ_paths Pr[all prior paths failed] × path cost.
+        graph = g_a()
+        probs = intended_probabilities()
+        c1 = 2.0 + (1 - probs["Dp"]) * 2.0
+        c2 = 2.0 + (1 - probs["Dg"]) * 2.0
+        assert expected_cost_exact(theta_1(graph), probs) == pytest.approx(c1)
+        assert expected_cost_exact(theta_2(graph), probs) == pytest.approx(c2)
+
+    def test_attempt_probabilities(self):
+        graph = g_a()
+        probs = intended_probabilities()
+        attempts = attempt_probabilities(theta_1(graph), probs)
+        assert attempts["Rp"] == 1.0
+        assert attempts["Dp"] == 1.0
+        assert attempts["Rg"] == pytest.approx(1 - probs["Dp"])
+        assert attempts["Dg"] == pytest.approx(1 - probs["Dp"])
+
+    def test_missing_probability_rejected(self):
+        graph = g_a()
+        with pytest.raises(DistributionError):
+            expected_cost_exact(theta_1(graph), {"Dp": 0.5})
+
+    def test_out_of_range_rejected(self):
+        graph = g_a()
+        with pytest.raises(DistributionError):
+            expected_cost_exact(theta_1(graph), {"Dp": 1.5, "Dg": 0.5})
+
+
+class TestExactOnGB:
+    def test_manual_path_computation(self):
+        graph = g_b()
+        probs = figure2_probabilities()
+        strategy = theta_abcd(graph)
+        pa, pb, pc, pd = probs["Da"], probs["Db"], probs["Dc"], probs["Dd"]
+        expected = (
+            2.0
+            + (1 - pa) * 3.0
+            + (1 - pa) * (1 - pb) * 3.0
+            + (1 - pa) * (1 - pb) * (1 - pc) * 2.0
+        )
+        assert expected_cost_exact(strategy, probs) == pytest.approx(expected)
+
+    def test_exact_matches_explicit_enumeration(self):
+        graph = g_b()
+        probs = figure2_probabilities()
+        distribution = IndependentDistribution(graph, probs)
+        for strategy in (
+            theta_abcd(graph),
+            Strategy.from_retrieval_order(graph, ["Dd", "Dc", "Db", "Da"]),
+            Strategy(graph, ["Rgs", "Rga", "Rst", "Rsb", "Rtd", "Da",
+                             "Db", "Dd", "Rtc", "Dc"]),
+        ):
+            exact = expected_cost_exact(strategy, probs)
+            explicit = expected_cost_explicit(strategy, distribution.support())
+            assert exact == pytest.approx(explicit)
+
+
+class TestInternalExperiments:
+    def setup_method(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True, cost=2.0)
+        builder.retrieval("Dx", "x", cost=3.0)
+        builder.reduction("Rn", "root", "y")
+        builder.retrieval("Dy", "y")
+        self.graph = builder.build()
+        self.probs = {"Rb": 0.4, "Dx": 0.7, "Dy": 0.5}
+
+    def test_exact_matches_enumeration(self):
+        distribution = IndependentDistribution(self.graph, self.probs)
+        strategy = Strategy.depth_first(self.graph)
+        assert expected_cost_exact(strategy, self.probs) == pytest.approx(
+            expected_cost_explicit(strategy, distribution.support())
+        )
+
+    def test_reach_probability(self):
+        d_x = self.graph.arc("Dx")
+        assert reach_probability(self.graph, d_x, self.probs) == pytest.approx(0.4)
+        d_y = self.graph.arc("Dy")
+        assert reach_probability(self.graph, d_y, self.probs) == 1.0
+
+    def test_success_probability(self):
+        # success iff (Rb ∧ Dx) ∨ Dy.
+        p = 1 - (1 - 0.4 * 0.7) * (1 - 0.5)
+        assert success_probability(self.graph, self.probs) == pytest.approx(p)
+
+
+class TestMonteCarlo:
+    def test_converges_to_exact(self):
+        graph = g_a()
+        probs = intended_probabilities()
+        distribution = IndependentDistribution(graph, probs)
+        rng = random.Random(42)
+        estimate = expected_cost_monte_carlo(
+            theta_1(graph), distribution.sampler(rng), samples=40_000
+        )
+        assert estimate == pytest.approx(3.7, abs=0.05)
+
+    def test_requires_positive_samples(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        with pytest.raises(ValueError):
+            expected_cost_monte_carlo(
+                theta_1(graph), distribution.sampler(random.Random(0)), 0
+            )
+
+
+class TestExplicit:
+    def test_weights_must_sum_to_one(self):
+        graph = g_a()
+        context = Context(graph, {"Dp": True, "Dg": True})
+        with pytest.raises(DistributionError):
+            expected_cost_explicit(theta_1(graph), [(0.5, context)])
+
+    def test_negative_weight_rejected(self):
+        graph = g_a()
+        context = Context(graph, {"Dp": True, "Dg": True})
+        with pytest.raises(DistributionError):
+            expected_cost_explicit(
+                theta_1(graph), [(-0.5, context), (1.5, context)]
+            )
+
+    def test_correlated_distribution(self):
+        # Exactly one of Dp/Dg succeeds — impossible as a product dist.
+        graph = g_a()
+        only_p = Context(graph, {"Dp": True, "Dg": False})
+        only_g = Context(graph, {"Dp": False, "Dg": True})
+        weighted = [(0.25, only_p), (0.75, only_g)]
+        cost = expected_cost_explicit(theta_1(graph), weighted)
+        assert cost == pytest.approx(0.25 * 2.0 + 0.75 * 4.0)

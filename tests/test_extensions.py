@@ -1,0 +1,191 @@
+"""Tests for the paper's documented extensions:
+
+* Note 4 / [OG90]: arc costs that depend on the traversal's outcome
+  (``blocked_cost``);
+* §5.2's first-``k`` satisficing variant at the graph level;
+* §3.2's richer transformation sets (path promotion as a macro move).
+"""
+
+import random
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.contexts import Context
+from repro.graphs.inference_graph import GraphBuilder
+from repro.graphs.random_graphs import random_instance, random_tree_graph
+from repro.optimal.brute_force import optimal_strategy_brute_force
+from repro.optimal.upsilon import upsilon_aot
+from repro.strategies.execution import execute
+from repro.strategies.expected_cost import (
+    expected_cost_exact,
+    expected_cost_explicit,
+)
+from repro.strategies.strategy import Strategy
+from repro.strategies.transformations import (
+    PathPromotion,
+    all_path_promotions,
+    neighbours,
+)
+from repro.learning.statistics import delta_tilde
+from repro.workloads import IndependentDistribution, g_b, theta_abcd
+
+
+class TestAsymmetricCosts:
+    def build(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Ra", "root", "a")
+        builder.retrieval("Da", "a", cost=1.0, blocked_cost=5.0)
+        builder.reduction("Rb", "root", "b")
+        builder.retrieval("Db", "b", cost=2.0, blocked_cost=0.5)
+        return builder.build()
+
+    def test_execution_charges_outcome_cost(self):
+        graph = self.build()
+        strategy = Strategy.depth_first(graph)
+        hit = Context(graph, {"Da": True, "Db": True})
+        miss_a = Context(graph, {"Da": False, "Db": True})
+        assert execute(strategy, hit).cost == pytest.approx(2.0)   # Ra + Da
+        # Ra + blocked Da (5) + Rb + Db = 1 + 5 + 1 + 2.
+        assert execute(strategy, miss_a).cost == pytest.approx(9.0)
+
+    def test_default_blocked_cost_is_symmetric(self):
+        builder = GraphBuilder("root")
+        builder.retrieval("D", "root", cost=3.0)
+        graph = builder.build()
+        assert graph.arc("D").blocked_cost == 3.0
+
+    def test_blocked_cost_on_non_blockable_rejected(self):
+        builder = GraphBuilder("root")
+        with pytest.raises(GraphError):
+            builder.reduction("R", "root", "x", blocked_cost=2.0)
+
+    def test_expected_attempt_cost(self):
+        graph = self.build()
+        arc = graph.arc("Da")
+        assert arc.expected_attempt_cost(0.25) == pytest.approx(
+            0.25 * 1.0 + 0.75 * 5.0
+        )
+
+    def test_exact_matches_enumeration(self):
+        graph = self.build()
+        probs = {"Da": 0.3, "Db": 0.6}
+        distribution = IndependentDistribution(graph, probs)
+        strategy = Strategy.depth_first(graph)
+        assert expected_cost_exact(strategy, probs) == pytest.approx(
+            expected_cost_explicit(strategy, distribution.support())
+        )
+
+    def test_chernoff_ranges_use_worst_case(self):
+        graph = self.build()
+        # f*(Ra) = 1 + max(1, 5) = 6.
+        assert graph.f_star(graph.arc("Ra")) == 6.0
+        assert graph.total_cost == 1 + 5 + 1 + 2
+
+    def test_upsilon_optimal_under_asymmetry(self):
+        rng = random.Random(31)
+        for _ in range(15):
+            graph, probs = random_instance(
+                rng, n_internal=3, n_retrievals=4,
+                blockable_reduction_rate=0.4,
+                asymmetric_blocked_costs=True,
+            )
+            upsilon_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+            _, brute_cost = optimal_strategy_brute_force(graph, probs)
+            assert upsilon_cost == pytest.approx(brute_cost)
+
+    def test_asymmetry_can_flip_the_optimal_order(self):
+        builder = GraphBuilder("root")
+        builder.retrieval("Dx", "root", cost=1.0, blocked_cost=10.0)
+        builder.retrieval("Dy", "root", cost=1.0)
+        graph = builder.build()
+        # Same success probability, but a failed Dx is very expensive:
+        # try Dy first even though both look identical nominally.
+        probs = {"Dx": 0.5, "Dy": 0.5}
+        best = upsilon_aot(graph, probs)
+        assert best.arc_names()[0] == "Dy"
+
+
+class TestFirstK:
+    def build(self):
+        builder = GraphBuilder("root")
+        for name in ("a", "b", "c"):
+            builder.reduction(f"R{name}", "root", name)
+            builder.retrieval(f"D{name}", name)
+        return builder.build()
+
+    def test_stops_at_kth_success(self):
+        graph = self.build()
+        strategy = Strategy.depth_first(graph)
+        context = Context(graph, {"Da": True, "Db": True, "Dc": True})
+        one = execute(strategy, context, required_successes=1)
+        two = execute(strategy, context, required_successes=2)
+        assert one.cost == pytest.approx(2.0)
+        assert two.cost == pytest.approx(4.0)
+        assert two.succeeded and two.success_arc.name == "Db"
+
+    def test_insufficient_answers_is_failure(self):
+        graph = self.build()
+        strategy = Strategy.depth_first(graph)
+        context = Context(graph, {"Da": True, "Db": False, "Dc": False})
+        result = execute(strategy, context, required_successes=2)
+        assert not result.succeeded
+        assert result.cost == graph.total_cost
+
+    def test_k_validated(self):
+        graph = self.build()
+        context = Context(graph, {"Da": True, "Db": True, "Dc": True})
+        with pytest.raises(ValueError):
+            execute(Strategy.depth_first(graph), context,
+                    required_successes=0)
+
+
+class TestPathPromotion:
+    def test_promotes_deep_retrieval(self):
+        graph = g_b()
+        promoted = PathPromotion("Dd").apply(theta_abcd(graph))
+        assert promoted.arc_names()[:4] == ("Rgs", "Rst", "Rtd", "Dd")
+        # The remaining retrievals keep their order.
+        assert [a.name for a in promoted.retrieval_order()] == [
+            "Dd", "Da", "Db", "Dc",
+        ]
+
+    def test_one_operator_per_retrieval(self):
+        graph = g_b()
+        assert len(all_path_promotions(graph)) == 4
+
+    def test_unknown_retrieval_rejected(self):
+        graph = g_b()
+        with pytest.raises(ValueError):
+            PathPromotion("Dz").apply(theta_abcd(graph))
+
+    def test_delta_tilde_sound_for_promotions(self):
+        graph = g_b()
+        probs = {"Da": 0.2, "Db": 0.4, "Dc": 0.3, "Dd": 0.7}
+        distribution = IndependentDistribution(graph, probs)
+        strategy = theta_abcd(graph)
+        rng = random.Random(17)
+        candidates = [c for _, c in neighbours(
+            strategy, all_path_promotions(graph)
+        )]
+        for _ in range(300):
+            context = distribution.sample(rng)
+            run = execute(strategy, context)
+            for candidate in candidates:
+                true_delta = run.cost - execute(candidate, context).cost
+                assert delta_tilde(run, candidate) <= true_delta + 1e-9
+
+    def test_pib_climbs_with_promotions(self):
+        from repro.learning.pib import PIB
+
+        graph = g_b()
+        probs = {"Da": 0.02, "Db": 0.02, "Dc": 0.02, "Dd": 0.9}
+        distribution = IndependentDistribution(graph, probs)
+        pib = PIB(
+            graph, delta=0.1,
+            initial_strategy=theta_abcd(graph),
+            transformations=all_path_promotions(graph),
+        )
+        pib.run(distribution.sampler(random.Random(23)), 4000)
+        # D_d dominates: its path must be promoted to the front.
+        assert pib.strategy.retrieval_order()[0].name == "Dd"

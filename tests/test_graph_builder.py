@@ -1,0 +1,147 @@
+"""Unit tests for compiling rule bases into inference graphs."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import QueryForm
+from repro.errors import GraphError, RecursionLimitError
+from repro.graphs.builder import build_inference_graph
+from repro.graphs.inference_graph import ArcKind
+
+
+class TestUniversityCompilation:
+    def setup_method(self):
+        self.rules = parse_program("""
+            @Rp instructor(X) :- prof(X).
+            @Rg instructor(X) :- grad(X).
+        """)
+        self.graph = build_inference_graph(
+            self.rules, QueryForm("instructor", "b")
+        )
+
+    def test_shape_matches_figure1(self):
+        kinds = [arc.kind for arc in self.graph.arcs()]
+        assert kinds == [
+            ArcKind.REDUCTION, ArcKind.RETRIEVAL,
+            ArcKind.REDUCTION, ArcKind.RETRIEVAL,
+        ]
+
+    def test_rule_names_label_arcs(self):
+        names = [arc.name for arc in self.graph.arcs()]
+        assert names == ["Rp", "D_prof", "Rg", "D_grad"]
+
+    def test_retrieval_goals_carry_bound_prototype(self):
+        d_prof = self.graph.arc("D_prof")
+        assert d_prof.goal.predicate == "prof"
+        assert d_prof.goal.binding_pattern() == "f"  # B0 is a variable
+
+    def test_reductions_not_blockable(self):
+        assert not self.graph.arc("Rp").blockable
+        assert self.graph.is_simple_disjunctive()
+
+
+class TestDeepChains:
+    def test_chain_depth(self):
+        rules = parse_program("""
+            a(X) :- b(X).
+            b(X) :- c(X).
+            c(X) :- d(X).
+        """)
+        graph = build_inference_graph(rules, QueryForm("a", "b"))
+        retrievals = graph.retrieval_arcs()
+        assert len(retrievals) == 1
+        assert graph.depth(retrievals[0]) == 3
+
+    def test_mixed_tree(self):
+        rules = parse_program("""
+            goal(X) :- left(X).
+            goal(X) :- right(X).
+            left(X) :- deep(X).
+        """)
+        graph = build_inference_graph(rules, QueryForm("goal", "b"))
+        assert len(graph.retrieval_arcs()) == 2
+        depths = sorted(graph.depth(a) for a in graph.retrieval_arcs())
+        assert depths == [1, 2]
+
+
+class TestBlockableReductions:
+    def test_constant_head_is_blockable(self):
+        # The paper's grad(fred) :- admitted(fred, X) situation.
+        rules = parse_program("""
+            @Rg grad(X) :- enrolled(X).
+            @Rf grad(fred) :- admitted(fred, Y).
+        """)
+        graph = build_inference_graph(rules, QueryForm("grad", "b"))
+        assert not graph.arc("Rg").blockable
+        assert graph.arc("Rf").blockable
+        assert not graph.is_simple_disjunctive()
+
+    def test_free_position_constant_also_blockable(self):
+        rules = parse_program("@R p(X, other) :- q(X).")
+        graph = build_inference_graph(rules, QueryForm("p", "bf"))
+        assert graph.arc("R").blockable
+
+
+class TestRecursionHandling:
+    def test_recursive_without_depth_raises(self):
+        rules = parse_program("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- hop(X, Y).
+            hop(X, Y) :- path(X, Y).
+        """)
+        with pytest.raises(RecursionLimitError):
+            build_inference_graph(rules, QueryForm("path", "bb"))
+
+    def test_recursive_with_depth_truncates(self):
+        rules = parse_program("""
+            @Re path(X, Y) :- edge(X, Y).
+            @Rh path(X, Y) :- hop(X, Y).
+            @Rp hop(X, Y) :- path(X, Y).
+        """)
+        graph = build_inference_graph(
+            rules, QueryForm("path", "bb"), max_depth=5
+        )
+        assert len(graph.retrieval_arcs()) >= 1
+        assert all(graph.depth(a) <= 5 for a in graph.arcs())
+
+
+class TestRejections:
+    def test_conjunctive_rule_rejected(self):
+        rules = parse_program("p(X) :- q(X), r(X).")
+        with pytest.raises(GraphError, match="conjunctive"):
+            build_inference_graph(rules, QueryForm("p", "b"))
+
+    def test_negation_rejected(self):
+        rules = parse_program("p(X) :- q(X), not r(X).")
+        with pytest.raises(GraphError):
+            build_inference_graph(rules, QueryForm("p", "b"))
+
+    def test_fact_rule_rejected(self):
+        rules = parse_program("p(X) :- q(X). q(a).")
+        with pytest.raises(GraphError, match="fact"):
+            build_inference_graph(rules, QueryForm("p", "b"))
+
+
+class TestCostPolicy:
+    def test_custom_costs_applied(self):
+        rules = parse_program("@R p(X) :- q(X).")
+
+        def costs(kind, rule, goal):
+            return 5.0 if kind is ArcKind.RETRIEVAL else 2.0
+
+        graph = build_inference_graph(
+            rules, QueryForm("p", "b"), cost_policy=costs
+        )
+        assert graph.arc("R").cost == 2.0
+        assert graph.retrieval_arcs()[0].cost == 5.0
+
+
+class TestCrossCheckWithManualGA:
+    def test_same_cost_structure_as_handbuilt(self):
+        from repro.workloads import g_a, g_a_from_rules
+
+        manual = g_a()
+        compiled = g_a_from_rules()
+        assert len(manual.arcs()) == len(compiled.arcs())
+        assert manual.total_cost == compiled.total_cost
+        assert len(manual.retrieval_arcs()) == len(compiled.retrieval_arcs())

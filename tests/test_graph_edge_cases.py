@@ -1,0 +1,138 @@
+"""Edge-case tests for graph construction and validation not covered by
+the main suites: single-retrieval graphs, deep chains, wide fans."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.inference_graph import GraphBuilder
+from repro.optimal import optimal_strategy_brute_force, upsilon_aot
+from repro.strategies import (
+    Strategy,
+    all_sibling_swaps,
+    expected_cost_exact,
+    execute,
+)
+from repro.graphs.contexts import Context
+from repro.learning import PIB, sample_requirements
+
+
+class TestSingleRetrievalGraph:
+    def build(self):
+        builder = GraphBuilder("root")
+        builder.retrieval("D", "root", cost=2.0)
+        return builder.build()
+
+    def test_only_one_strategy(self):
+        graph = self.build()
+        strategy = Strategy.depth_first(graph)
+        assert strategy.arc_names() == ("D",)
+        assert all_sibling_swaps(graph) == []
+
+    def test_f_not_is_zero(self):
+        graph = self.build()
+        assert graph.f_not(graph.arc("D")) == 0.0
+
+    def test_pao_needs_no_samples(self):
+        # F¬ = 0 ⇒ Equation 7 budget 0: any estimate yields the (only)
+        # strategy.
+        graph = self.build()
+        budgets = sample_requirements(graph, epsilon=0.5, delta=0.1)
+        assert budgets == {"D": 0}
+
+    def test_pib_is_a_no_op(self):
+        graph = self.build()
+        pib = PIB(graph, delta=0.1)
+        context = Context(graph, {"D": True})
+        pib.process(context)
+        assert pib.climbs == 0
+
+    def test_expected_cost(self):
+        graph = self.build()
+        strategy = Strategy.depth_first(graph)
+        assert expected_cost_exact(strategy, {"D": 0.3}) == 2.0
+
+
+class TestDeepChain:
+    def build(self, depth=12):
+        builder = GraphBuilder("n0")
+        for level in range(depth):
+            builder.reduction(f"R{level}", f"n{level}", f"n{level + 1}")
+        builder.retrieval("D", f"n{depth}")
+        return builder.build()
+
+    def test_f_star_accumulates(self):
+        graph = self.build(12)
+        assert graph.f_star(graph.arc("R0")) == 13.0
+
+    def test_execution_walks_whole_chain(self):
+        graph = self.build(12)
+        strategy = Strategy.depth_first(graph)
+        hit = Context(graph, {"D": True})
+        assert execute(strategy, hit).cost == 13.0
+
+    def test_pi_length(self):
+        graph = self.build(12)
+        assert len(graph.pi(graph.arc("D"))) == 12
+
+
+class TestWideFan:
+    def build(self, width=12):
+        builder = GraphBuilder("root")
+        for index in range(width):
+            builder.retrieval(f"D{index}", "root", cost=1.0 + index * 0.1)
+        return builder.build()
+
+    def test_upsilon_orders_by_ratio(self):
+        graph = self.build(8)
+        # Identical probabilities: cheaper retrievals first.
+        probs = {f"D{i}": 0.4 for i in range(8)}
+        best = upsilon_aot(graph, probs)
+        order = [arc.name for arc in best.retrieval_order()]
+        assert order == [f"D{i}" for i in range(8)]
+
+    def test_upsilon_matches_brute_force_on_fan(self):
+        import random
+
+        graph = self.build(6)
+        rng = random.Random(4)
+        probs = {f"D{i}": rng.uniform(0.05, 0.95) for i in range(6)}
+        upsilon_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+        _, brute = optimal_strategy_brute_force(graph, probs)
+        assert upsilon_cost == pytest.approx(brute)
+
+    def test_swap_count_is_quadratic(self):
+        graph = self.build(12)
+        assert len(all_sibling_swaps(graph)) == 12 * 11 // 2
+
+
+class TestValidationCorners:
+    def test_empty_graph_rejected(self):
+        builder = GraphBuilder("root")
+        # A bare root with no arcs: legal to build, but strategies and
+        # learners need at least one arc — depth_first is empty.
+        graph = builder.build()
+        strategy = Strategy.depth_first(graph)
+        assert len(strategy) == 0
+
+    def test_arc_to_root_rejected(self):
+        from repro.graphs.inference_graph import Arc, ArcKind, InferenceGraph, Node
+
+        root = Node("r")
+        other = Node("x")
+        with pytest.raises(GraphError):
+            InferenceGraph(
+                root,
+                [root, other],
+                [
+                    Arc("out", root, other, ArcKind.REDUCTION),
+                    Arc("back", other, root, ArcKind.REDUCTION),
+                ],
+            )
+
+    def test_unreachable_node_rejected(self):
+        from repro.graphs.inference_graph import Arc, ArcKind, InferenceGraph, Node
+
+        root = Node("r")
+        island = Node("island")
+        with pytest.raises(GraphError, match="unreachable"):
+            InferenceGraph(root, [root, island], [])

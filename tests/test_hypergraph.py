@@ -1,0 +1,149 @@
+"""Unit tests for the and-or hypergraph extension (Note 4)."""
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import QueryForm
+from repro.errors import GraphError, RecursionLimitError
+from repro.graphs.hypergraph import (
+    AndOrGraph,
+    HyperArc,
+    HyperContext,
+    Policy,
+    build_and_or_graph,
+    evaluate,
+    sibling_orderings,
+)
+
+
+def conjunctive_graph():
+    """goal :- a, b.   goal :- c.   (a, b, c extensional)"""
+    rules = parse_program("""
+        @R1 goal(X) :- a(X), b(X).
+        @R2 goal(X) :- c(X).
+    """)
+    return build_and_or_graph(rules, QueryForm("goal", "b"))
+
+
+class TestConstruction:
+    def test_hyperarc_children(self):
+        graph = conjunctive_graph()
+        r1 = graph.arc("R1")
+        assert len(r1.children) == 2
+        assert not r1.is_retrieval
+
+    def test_retrieval_arcs(self):
+        graph = conjunctive_graph()
+        retrievals = graph.retrieval_arcs()
+        assert {arc.goal.predicate for arc in retrievals} == {"a", "b", "c"}
+
+    def test_recursion_needs_depth(self):
+        rules = parse_program("""
+            p(X) :- q(X), p(X).
+            p(X) :- base(X).
+        """)
+        with pytest.raises(RecursionLimitError):
+            build_and_or_graph(rules, QueryForm("p", "b"))
+        graph = build_and_or_graph(rules, QueryForm("p", "b"), max_depth=3)
+        assert graph.retrieval_arcs()
+
+    def test_negation_rejected(self):
+        rules = parse_program("p(X) :- q(X), not r(X).")
+        with pytest.raises(GraphError):
+            build_and_or_graph(rules, QueryForm("p", "b"))
+
+
+class TestEvaluation:
+    def statuses(self, graph, **by_predicate):
+        mapping = {}
+        for arc in graph.retrieval_arcs():
+            mapping[arc.name] = by_predicate[arc.goal.predicate]
+        return HyperContext(graph, mapping)
+
+    def test_and_requires_all_children(self):
+        graph = conjunctive_graph()
+        policy = Policy(graph)
+        both = self.statuses(graph, a=True, b=True, c=False)
+        one = self.statuses(graph, a=True, b=False, c=False)
+        assert evaluate(policy, both).succeeded
+        assert not evaluate(policy, one).succeeded
+
+    def test_or_falls_through(self):
+        graph = conjunctive_graph()
+        policy = Policy(graph)
+        only_c = self.statuses(graph, a=False, b=False, c=True)
+        assert evaluate(policy, only_c).succeeded
+
+    def test_and_abandons_at_first_failed_child(self):
+        graph = conjunctive_graph()
+        policy = Policy(graph)
+        context = self.statuses(graph, a=False, b=True, c=True)
+        result = evaluate(policy, context)
+        # b never attempted: a already failed the conjunction.
+        attempted_predicates = {
+            graph.arc(name).goal.predicate
+            for name in result.attempted_retrievals
+        }
+        assert "b" not in attempted_predicates
+
+    def test_policy_order_changes_cost(self):
+        graph = conjunctive_graph()
+        context = self.statuses(graph, a=False, b=True, c=True)
+        default = evaluate(Policy(graph), context)
+        c_first = evaluate(
+            Policy(graph, {"root": ["R2", "R1"]}), context
+        )
+        assert c_first.succeeded and default.succeeded
+        assert c_first.cost < default.cost
+
+    def test_costs_accumulate_per_arc(self):
+        graph = conjunctive_graph()
+        policy = Policy(graph)
+        context = self.statuses(graph, a=True, b=True, c=True)
+        result = evaluate(policy, context)
+        # R1 (1) + D_a (1) + D_b (1) = 3.
+        assert result.cost == pytest.approx(3.0)
+
+    def test_shared_subgoals_memoized(self):
+        rules = parse_program("""
+            @Rboth goal(X) :- sub(X), sub(X).
+        """)
+        graph = build_and_or_graph(rules, QueryForm("goal", "b"))
+        statuses = {arc.name: True for arc in graph.retrieval_arcs()}
+        result = evaluate(Policy(graph), HyperContext(graph, statuses))
+        assert result.succeeded
+        # Each distinct subgoal node searched once.
+        assert len(result.attempted_retrievals) == \
+            len(set(result.attempted_retrievals))
+
+
+class TestPolicy:
+    def test_order_must_permute(self):
+        graph = conjunctive_graph()
+        with pytest.raises(GraphError):
+            Policy(graph, {"root": ["R1"]})
+
+    def test_with_order(self):
+        graph = conjunctive_graph()
+        policy = Policy(graph).with_order("root", ["R2", "R1"])
+        assert [arc.name for arc in policy.alternatives("root")] == ["R2", "R1"]
+
+    def test_sibling_orderings(self):
+        graph = conjunctive_graph()
+        orders = sibling_orderings(graph, "root")
+        assert sorted(map(tuple, orders)) == [("R1", "R2"), ("R2", "R1")]
+
+
+class TestValidation:
+    def test_unknown_child_rejected(self):
+        with pytest.raises(GraphError):
+            AndOrGraph(
+                "root",
+                {"root": None},
+                [HyperArc("R", "root", ("missing",), 1.0)],
+            )
+
+    def test_missing_status_rejected(self):
+        graph = conjunctive_graph()
+        with pytest.raises(GraphError):
+            HyperContext(graph, {})

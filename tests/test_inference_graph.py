@@ -1,0 +1,163 @@
+"""Unit tests for inference graphs and the Note 5 cost functions."""
+
+import pytest
+
+from repro.errors import GraphError
+from repro.graphs.inference_graph import (
+    Arc,
+    ArcKind,
+    GraphBuilder,
+    InferenceGraph,
+    Node,
+)
+
+
+def build_ga():
+    builder = GraphBuilder("instructor")
+    builder.reduction("Rp", "instructor", "prof")
+    builder.retrieval("Dp", "prof")
+    builder.reduction("Rg", "instructor", "grad")
+    builder.retrieval("Dg", "grad")
+    return builder.build()
+
+
+def build_gb():
+    builder = GraphBuilder("G")
+    builder.reduction("Rga", "G", "A").retrieval("Da", "A")
+    builder.reduction("Rgs", "G", "S")
+    builder.reduction("Rsb", "S", "B").retrieval("Db", "B")
+    builder.reduction("Rst", "S", "T")
+    builder.reduction("Rtc", "T", "C").retrieval("Dc", "C")
+    builder.reduction("Rtd", "T", "D").retrieval("Dd", "D")
+    return builder.build()
+
+
+class TestConstruction:
+    def test_arcs_in_declaration_order(self):
+        graph = build_ga()
+        assert [a.name for a in graph.arcs()] == ["Rp", "Dp", "Rg", "Dg"]
+
+    def test_node_and_arc_lookup(self):
+        graph = build_ga()
+        assert graph.node("prof").name == "prof"
+        assert graph.arc("Dp").kind is ArcKind.RETRIEVAL
+
+    def test_children_order(self):
+        graph = build_ga()
+        assert [a.name for a in graph.children(graph.root)] == ["Rp", "Rg"]
+
+    def test_parent_arc(self):
+        graph = build_ga()
+        assert graph.parent_arc(graph.arc("Dp")).name == "Rp"
+        assert graph.parent_arc(graph.arc("Rp")) is None
+
+    def test_retrievals_end_in_success_leaves(self):
+        graph = build_ga()
+        for arc in graph.retrieval_arcs():
+            assert arc.target.is_success
+            assert graph.children(arc.target) == []
+
+    def test_retrievals_always_blockable(self):
+        graph = build_ga()
+        assert all(a.blockable for a in graph.retrieval_arcs())
+        with pytest.raises(GraphError):
+            Arc("D", Node("x"), Node("s", is_success=True),
+                ArcKind.RETRIEVAL, blockable=False)
+
+    def test_positive_cost_required(self):
+        with pytest.raises(GraphError):
+            Arc("a", Node("x"), Node("y"), ArcKind.REDUCTION, cost=0.0)
+
+    def test_duplicate_arc_name_rejected(self):
+        builder = GraphBuilder("r")
+        builder.retrieval("D", "r")
+        builder.reduction("D", "r", "x")
+        with pytest.raises(GraphError):
+            builder.build()
+
+    def test_two_incoming_arcs_rejected(self):
+        # Not tree shaped: two distinct paths to one node ({A:-B, B:-C, A:-C}).
+        root = Node("A")
+        b = Node("B")
+        c = Node("C")
+        arcs = [
+            Arc("ab", root, b, ArcKind.REDUCTION),
+            Arc("bc", b, c, ArcKind.REDUCTION),
+            Arc("ac", root, c, ArcKind.REDUCTION),
+        ]
+        with pytest.raises(GraphError):
+            InferenceGraph(root, [root, b, c], arcs)
+
+    def test_experiments_lists_blockable(self):
+        builder = GraphBuilder("r")
+        builder.reduction("Rb", "r", "x", blockable=True)
+        builder.retrieval("Dx", "x")
+        builder.reduction("Rn", "r", "y")
+        builder.retrieval("Dy", "y")
+        graph = builder.build()
+        assert {a.name for a in graph.experiments()} == {"Rb", "Dx", "Dy"}
+        assert not graph.is_simple_disjunctive()
+        assert build_ga().is_simple_disjunctive()
+
+
+class TestCostFunctions:
+    def test_f_star_ga(self):
+        graph = build_ga()
+        assert graph.f_star(graph.arc("Rp")) == 2.0
+        assert graph.f_star(graph.arc("Dp")) == 1.0
+
+    def test_f_star_gb(self):
+        graph = build_gb()
+        # Rgs covers Rsb Db Rst Rtc Dc Rtd Dd + itself = 8 unit arcs.
+        assert graph.f_star(graph.arc("Rgs")) == 8.0
+        assert graph.f_star(graph.arc("Rst")) == 5.0
+        assert graph.f_star(graph.arc("Rtd")) == 2.0
+
+    def test_f_not_matches_note5(self):
+        graph = build_ga()
+        assert graph.f_not(graph.arc("Dg")) == 2.0  # f(Rp)+f(Dp)
+        assert graph.f_not(graph.arc("Dp")) == 2.0  # f(Rg)+f(Dg)
+
+    def test_f_not_gb(self):
+        graph = build_gb()
+        # Paths through Dd: Rgs Rst Rtd Dd; off-path = Rga Da Rsb Db Rtc Dc.
+        assert graph.f_not(graph.arc("Dd")) == 6.0
+        # Rst lies on two root-leaf paths (Dc's and Dd's): off-path
+        # arcs are Rga Da Rsb Db = 4.
+        assert graph.f_not(graph.arc("Rst")) == 4.0
+
+    def test_total_cost(self):
+        assert build_ga().total_cost == 4.0
+        assert build_gb().total_cost == 10.0
+
+    def test_custom_costs(self):
+        builder = GraphBuilder("r")
+        builder.reduction("R", "r", "x", cost=2.5)
+        builder.retrieval("D", "x", cost=0.5)
+        graph = builder.build()
+        assert graph.f_star(graph.arc("R")) == 3.0
+
+    def test_ancestors_is_pi(self):
+        graph = build_gb()
+        assert [a.name for a in graph.ancestors(graph.arc("Dd"))] == [
+            "Rgs", "Rst", "Rtd",
+        ]
+        assert graph.pi(graph.arc("Da")) == graph.ancestors(graph.arc("Da"))
+
+    def test_depth(self):
+        graph = build_gb()
+        assert graph.depth(graph.arc("Rga")) == 0
+        assert graph.depth(graph.arc("Dd")) == 3
+
+    def test_subtree_arcs(self):
+        graph = build_gb()
+        names = {a.name for a in graph.subtree_arcs(graph.arc("Rst"))}
+        assert names == {"Rst", "Rtc", "Dc", "Rtd", "Dd"}
+
+
+class TestPretty:
+    def test_pretty_mentions_every_arc(self):
+        graph = build_gb()
+        rendering = graph.pretty()
+        for arc in graph.arcs():
+            assert arc.name in rendering

@@ -1,0 +1,125 @@
+"""End-to-end integration tests: the full pipeline from Datalog text to
+learned strategies, and the bench experiments in miniature."""
+
+import random
+
+import pytest
+
+from repro.bench.experiments import (
+    experiment_figure1,
+    experiment_figure2_pib,
+    experiment_lemma1,
+    experiment_pib1_filter,
+    experiment_smith_vs_learned,
+)
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import QueryForm
+from repro.graphs.builder import build_inference_graph
+from repro.learning.pao import pao
+from repro.learning.pib import PIB
+from repro.optimal.upsilon import upsilon_aot
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.workloads import (
+    db1,
+    g_a,
+    intended_query_mix,
+    query_distribution,
+    theta_1,
+    theta_2,
+)
+
+
+class TestDatalogToLearnedStrategy:
+    """Text rules → compiled graph → concrete query stream → PIB."""
+
+    def test_full_pipeline_on_fresh_domain(self):
+        rules = parse_program("""
+            @Remp works(X) :- employee(X).
+            @Rcon works(X) :- contractor(X).
+            @Rint works(X) :- intern(X).
+        """)
+        graph = build_inference_graph(rules, QueryForm("works", "b"))
+
+        from repro.datalog.database import Database
+        from repro.datalog.terms import Atom, Constant
+        from repro.workloads.distributions import DatalogDistribution
+
+        database = Database()
+        people = {}
+        rng = random.Random(0)
+        for index in range(300):
+            name = f"person{index}"
+            relation = rng.choices(
+                ["employee", "contractor", "intern", "unknown"],
+                weights=[0.05, 0.15, 0.70, 0.10],
+            )[0]
+            people[name] = relation
+            if relation != "unknown":
+                database.add(Atom(relation, [Constant(name)]))
+
+        names = sorted(people)
+
+        def pair_sampler(sample_rng):
+            return (
+                Atom("works", [Constant(sample_rng.choice(names))]),
+                database,
+            )
+
+        distribution = DatalogDistribution(graph, pair_sampler)
+        pib = PIB(graph, delta=0.05)
+        pib.run(distribution.sampler(random.Random(1)), 2500)
+        # Interns dominate the query stream: the intern rule must come
+        # first after learning.
+        first_arc = pib.strategy.arc_names()[0]
+        assert first_arc == "Rint"
+
+    def test_pao_on_datalog_distribution(self):
+        graph = g_a()
+        distribution = query_distribution(graph, intended_query_mix(), db1())
+        outcome = pao(
+            graph, epsilon=1.0, delta=0.1,
+            oracle=distribution.sampler(random.Random(2)),
+        )
+        assert outcome.strategy.arc_names() == theta_2(graph).arc_names()
+        # Estimated frequencies reflect the query mix.
+        assert outcome.estimates["Dg"] == pytest.approx(0.60, abs=0.15)
+        assert outcome.estimates["Dp"] == pytest.approx(0.15, abs=0.12)
+
+    def test_learned_strategy_transfers_to_engine_rule_order(self):
+        """The learned arc order can drive the SLD engine directly."""
+        from repro.datalog.engine import TopDownEngine
+        from repro.datalog.parser import parse_query
+        from repro.workloads import university_rule_base
+
+        graph = g_a()
+        learned = theta_2(graph)  # grads first, as PIB learns
+        rule_rank = {
+            arc.rule.name: position
+            for position, arc in enumerate(learned)
+            if arc.rule is not None
+        }
+        engine = TopDownEngine(
+            university_rule_base(),
+            rule_order=lambda goal, rules: sorted(
+                rules, key=lambda r: rule_rank.get(r.name, len(rule_rank))
+            ),
+        )
+        answer = engine.prove(parse_query("instructor(manolis)"), db1())
+        assert answer.proved and answer.trace.cost == 2.0
+
+
+class TestExperimentsInMiniature:
+    def test_figure1_experiment_passes(self):
+        assert experiment_figure1().all_passed
+
+    def test_smith_experiment_passes(self):
+        assert experiment_smith_vs_learned(contexts=1200).all_passed
+
+    def test_figure2_experiment_passes(self):
+        assert experiment_figure2_pib(contexts=2500).all_passed
+
+    def test_pib1_filter_experiment_passes(self):
+        assert experiment_pib1_filter(trials=80).all_passed
+
+    def test_lemma1_experiment_passes(self):
+        assert experiment_lemma1(trials=60).all_passed

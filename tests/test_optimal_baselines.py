@@ -1,0 +1,135 @@
+"""Unit tests for brute force, the greedy Υ̃, and the [Smi89] baseline."""
+
+import random
+
+import pytest
+
+from repro.graphs.random_graphs import random_instance
+from repro.optimal.approximate import path_ratio, upsilon_greedy
+from repro.optimal.brute_force import (
+    optimal_strategy_brute_force,
+    optimal_strategy_explicit,
+    path_structured_suffices,
+)
+from repro.optimal.smith import smith_estimates, smith_strategy
+from repro.optimal.upsilon import upsilon_aot
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.workloads import (
+    db1,
+    db2,
+    g_a,
+    g_b,
+    intended_probabilities,
+    theta_1,
+)
+from repro.workloads.distributed import (
+    SegmentAccessDistribution,
+    SegmentedTable,
+    segment_scan_graph,
+)
+
+
+class TestBruteForce:
+    def test_ga_optimum(self):
+        graph = g_a()
+        strategy, cost = optimal_strategy_brute_force(
+            graph, intended_probabilities()
+        )
+        assert strategy.arc_names() == ("Rg", "Dg", "Rp", "Dp")
+        assert cost == pytest.approx(2.8)
+
+    def test_optimum_never_beaten_by_any_legal_order(self):
+        # Validates the path-structured restriction on G_A and G_B.
+        assert path_structured_suffices(g_a(), intended_probabilities())
+
+    def test_path_structured_suffices_on_random_graphs(self):
+        rng = random.Random(3)
+        for _ in range(5):
+            graph, probs = random_instance(rng, n_internal=2, n_retrievals=4)
+            assert path_structured_suffices(graph, probs)
+
+    def test_path_structured_suffices_with_internal_experiments(self):
+        rng = random.Random(4)
+        for _ in range(5):
+            graph, probs = random_instance(
+                rng, n_internal=3, n_retrievals=4,
+                blockable_reduction_rate=0.6,
+            )
+            assert path_structured_suffices(graph, probs)
+
+    def test_explicit_distribution_optimum(self):
+        table = SegmentedTable(
+            segments=["s1", "s2"],
+            scan_costs={"s1": 5.0, "s2": 1.0},
+            hit_rates={"s1": 0.5, "s2": 0.4},
+        )
+        graph = segment_scan_graph(table)
+        distribution = SegmentAccessDistribution(graph, table)
+        strategy, cost = optimal_strategy_explicit(
+            graph, distribution.support()
+        )
+        # s2 first: ratio 0.4/1 > 0.5/5.
+        assert [a.name for a in strategy.retrieval_order()] == [
+            "scan_s2", "scan_s1",
+        ]
+        assert cost == pytest.approx(table.expected_cost(["s2", "s1"]))
+
+
+class TestGreedy:
+    def test_path_ratio(self):
+        graph = g_a()
+        probs = intended_probabilities()
+        assert path_ratio(graph, graph.arc("Dp"), probs) == pytest.approx(
+            0.15 / 2.0
+        )
+
+    def test_greedy_optimal_on_disjoint_paths(self):
+        # G_A's paths share no arcs: greedy == exact.
+        graph = g_a()
+        probs = intended_probabilities()
+        greedy = upsilon_greedy(graph, probs)
+        exact = upsilon_aot(graph, probs)
+        assert greedy.arc_names() == exact.arc_names()
+
+    def test_greedy_never_better_than_exact(self):
+        rng = random.Random(5)
+        for _ in range(20):
+            graph, probs = random_instance(rng, n_internal=3, n_retrievals=5)
+            greedy_cost = expected_cost_exact(upsilon_greedy(graph, probs), probs)
+            exact_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+            assert greedy_cost >= exact_cost - 1e-9
+
+    def test_greedy_usually_close(self):
+        rng = random.Random(6)
+        ratios = []
+        for _ in range(30):
+            graph, probs = random_instance(rng, n_internal=3, n_retrievals=5)
+            greedy_cost = expected_cost_exact(upsilon_greedy(graph, probs), probs)
+            exact_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+            ratios.append(greedy_cost / exact_cost)
+        assert sum(ratios) / len(ratios) < 1.15
+
+
+class TestSmith:
+    def test_db2_estimates_ratio(self):
+        graph = g_a()
+        estimates = smith_estimates(graph, db2())
+        assert estimates["Dp"] == pytest.approx(1.0)
+        assert estimates["Dg"] == pytest.approx(0.25)  # 500/2000
+
+    def test_db2_picks_theta1(self):
+        graph = g_a()
+        assert smith_strategy(graph, db2()).arc_names() == \
+            theta_1(graph).arc_names()
+
+    def test_db1_balanced(self):
+        graph = g_a()
+        estimates = smith_estimates(graph, db1())
+        assert estimates["Dp"] == estimates["Dg"] == 1.0
+
+    def test_empty_database(self):
+        from repro.datalog.database import Database
+
+        graph = g_a()
+        estimates = smith_estimates(graph, Database())
+        assert estimates == {"Dp": 0.0, "Dg": 0.0}

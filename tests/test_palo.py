@@ -1,0 +1,110 @@
+"""Unit tests for the PALO variant (ε-local optimality, [CG91])."""
+
+import random
+
+import pytest
+
+from repro.errors import LearningError, SampleBudgetExceeded
+from repro.learning.palo import PALO
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.strategies.transformations import all_sibling_swaps, neighbours
+from repro.workloads import (
+    IndependentDistribution,
+    figure2_probabilities,
+    g_a,
+    g_b,
+    intended_probabilities,
+    theta_1,
+    theta_2,
+    theta_abcd,
+)
+
+
+class TestConvergence:
+    def test_converges_on_ga(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        palo = PALO(graph, epsilon=0.3, delta=0.05,
+                    initial_strategy=theta_1(graph))
+        final = palo.run(distribution.sampler(random.Random(0)), 50_000)
+        assert palo.converged
+        assert final.arc_names() == theta_2(graph).arc_names()
+
+    def test_result_is_epsilon_local_optimum(self):
+        graph = g_b()
+        probs = figure2_probabilities()
+        distribution = IndependentDistribution(graph, probs)
+        epsilon = 0.4
+        palo = PALO(graph, epsilon=epsilon, delta=0.05,
+                    initial_strategy=theta_abcd(graph))
+        final = palo.run(distribution.sampler(random.Random(1)), 400_000)
+        final_cost = expected_cost_exact(final, probs)
+        for _, candidate in neighbours(final, all_sibling_swaps(graph)):
+            assert expected_cost_exact(candidate, probs) >= \
+                final_cost - epsilon - 1e-9
+
+    def test_budget_exhaustion_raises(self):
+        graph = g_a()
+        # Nearly indistinguishable neighbours: needs many samples.
+        distribution = IndependentDistribution(graph, {"Dp": 0.5, "Dg": 0.5001})
+        palo = PALO(graph, epsilon=0.00001, delta=0.05)
+        with pytest.raises(SampleBudgetExceeded):
+            palo.run(distribution.sampler(random.Random(2)), 200)
+
+    def test_larger_epsilon_converges_faster(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        tight = PALO(graph, epsilon=0.1, delta=0.05,
+                     initial_strategy=theta_2(graph))
+        loose = PALO(graph, epsilon=2.0, delta=0.05,
+                     initial_strategy=theta_2(graph))
+        tight.run(distribution.sampler(random.Random(3)), 500_000)
+        loose.run(distribution.sampler(random.Random(3)), 500_000)
+        assert loose.contexts_processed <= tight.contexts_processed
+
+
+class TestValidation:
+    def test_epsilon_positive(self):
+        with pytest.raises(LearningError):
+            PALO(g_a(), epsilon=0.0)
+
+    def test_delta_range(self):
+        with pytest.raises(LearningError):
+            PALO(g_a(), epsilon=0.5, delta=1.0)
+
+    def test_process_after_convergence_rejected(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        palo = PALO(graph, epsilon=3.0, delta=0.1,
+                    initial_strategy=theta_2(graph))
+        palo.run(distribution.sampler(random.Random(4)), 100_000)
+        with pytest.raises(LearningError):
+            palo.process(distribution.sample(random.Random(5)))
+
+    def test_no_neighbours_is_trivially_converged(self):
+        from repro.graphs.inference_graph import GraphBuilder
+
+        builder = GraphBuilder("root")
+        builder.retrieval("D", "root")
+        graph = builder.build()
+        palo = PALO(graph, epsilon=0.5)
+        assert palo.converged
+
+
+class TestClimbQuality:
+    def test_all_climbs_improve_truly(self):
+        graph = g_b()
+        probs = figure2_probabilities()
+        distribution = IndependentDistribution(graph, probs)
+        palo = PALO(graph, epsilon=0.3, delta=0.05,
+                    initial_strategy=theta_abcd(graph))
+        try:
+            palo.run(distribution.sampler(random.Random(6)), 300_000)
+        except SampleBudgetExceeded:
+            pass
+        from repro.strategies.strategy import Strategy
+
+        for record in palo.history:
+            before = expected_cost_exact(Strategy(graph, record.from_arcs), probs)
+            after = expected_cost_exact(Strategy(graph, record.to_arcs), probs)
+            assert after < before + 1e-9

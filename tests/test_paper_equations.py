@@ -1,0 +1,145 @@
+"""Line-by-line fidelity tests: the implementation against the paper's
+printed formulas and the Figure 3 pseudo-code."""
+
+import math
+import random
+
+import pytest
+
+from repro.learning.chernoff import (
+    pib_sequential_threshold,
+    pib_sum_threshold,
+)
+from repro.learning.pib import PIB
+from repro.learning.pib1 import PIB1
+from repro.workloads import (
+    IndependentDistribution,
+    g_a,
+    g_b,
+    intended_probabilities,
+    theta_1,
+    theta_abcd,
+)
+
+
+class TestEquation3Literal:
+    """Equation 3:  k_g·f*(R_p) − k_p·f*(R_g) ≥ (f*(R_p)+f*(R_g))·√(m/2·ln(1/δ))."""
+
+    def test_left_side_is_counter_expression(self):
+        graph = g_a()
+        filt = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        filt.record_counts(m=100, k_p=7, k_g=31)
+        f_star_rp = graph.f_star(graph.arc("Rp"))
+        f_star_rg = graph.f_star(graph.arc("Rg"))
+        assert filt.estimated_gain == 31 * f_star_rp - 7 * f_star_rg
+
+    def test_right_side_is_printed_radical(self):
+        graph = g_a()
+        filt = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        filt.record_counts(m=144, k_p=0, k_g=0)
+        lam = graph.f_star(graph.arc("Rp")) + graph.f_star(graph.arc("Rg"))
+        assert filt.threshold == pytest.approx(
+            lam * math.sqrt(144 / 2 * math.log(1 / 0.05))
+        )
+
+    def test_decision_boundary(self):
+        graph = g_a()
+        # Find the first k_g that crosses the boundary at m=100, k_p=0.
+        lam = 4.0
+        threshold = lam * math.sqrt(100 / 2 * math.log(1 / 0.05))
+        k_needed = math.ceil(threshold / 2.0)
+        accept = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        accept.record_counts(m=100, k_p=0, k_g=k_needed)
+        reject = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        reject.record_counts(m=100, k_p=0, k_g=k_needed - 1)
+        assert accept.would_accept()
+        assert not reject.would_accept()
+
+
+class TestEquation6Literal:
+    """Equation 6:  Δ̃ ≥ Λ·√(|S|/2 · ln(i²π²/(6δ)))."""
+
+    def test_printed_radical(self):
+        n, i, delta, lam = 50, 200, 0.05, 7.0
+        expected = lam * math.sqrt(
+            n / 2 * math.log(i ** 2 * math.pi ** 2 / (6 * delta))
+        )
+        assert pib_sequential_threshold(n, i, delta, lam) == pytest.approx(
+            expected
+        )
+
+    def test_reduces_toward_single_test_for_i_1(self):
+        # With i = 1 the schedule's ln(π²/(6δ)) exceeds ln(1/δ) only by
+        # the constant π²/6 — the first test is barely more expensive.
+        n, delta, lam = 50, 0.05, 7.0
+        first = pib_sequential_threshold(n, 1, delta, lam)
+        single = pib_sum_threshold(n, delta, lam)
+        assert single < first < 1.2 * single
+
+
+class TestFigure3Loop:
+    """Figure 3's bookkeeping: i grows by |T(Θ_j)| per context, S resets
+    on every climb."""
+
+    def test_total_tests_counter(self):
+        graph = g_b()
+        probs = {"Da": 0.5, "Db": 0.5, "Dc": 0.5, "Dd": 0.5}
+        distribution = IndependentDistribution(graph, probs)
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_abcd(graph))
+        k = len(pib.transformations)
+        rng = random.Random(0)
+        for index in range(1, 8):
+            pib.process(distribution.sample(rng))
+            assert pib.total_tests == index * k
+
+    def test_sample_set_resets_on_climb(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        rng = random.Random(1)
+        while not pib.history:
+            pib.process(distribution.sample(rng))
+        # Immediately after the climb, the new neighbourhood is empty.
+        assert all(acc.samples == 0 for acc in pib._accumulators)
+
+    def test_i_survives_climbs(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        rng = random.Random(2)
+        for _ in range(400):
+            pib.process(distribution.sample(rng))
+        # One test per context (|T| = 1 on G_A): the counter must count
+        # them all, across the climb.
+        assert pib.total_tests == 400
+
+
+class TestLambdaExamples:
+    """The Λ examples printed after Equation 5."""
+
+    def test_lambda_values_on_gb(self):
+        from repro.strategies.transformations import SiblingSwap
+
+        graph = g_b()
+        assert SiblingSwap("Rtc", "Rtd").chernoff_range(graph) == \
+            graph.f_star(graph.arc("Rtc")) + graph.f_star(graph.arc("Rtd"))
+        assert SiblingSwap("Rsb", "Rst").chernoff_range(graph) == \
+            graph.f_star(graph.arc("Rsb")) + graph.f_star(graph.arc("Rst"))
+
+    def test_lambda_ga_example(self):
+        # "Λ = f*(R_p) + f*(R_g), as −f*(R_g) ≤ Δ_i ≤ f*(R_p)."
+        from repro.graphs.contexts import Context
+        from repro.strategies.execution import execute
+        from repro.workloads import theta_2
+
+        graph = g_a()
+        lo = -graph.f_star(graph.arc("Rg"))
+        hi = graph.f_star(graph.arc("Rp"))
+        for dp in (True, False):
+            for dg in (True, False):
+                context = Context(graph, {"Dp": dp, "Dg": dg})
+                delta = (
+                    execute(theta_1(graph), context).cost
+                    - execute(theta_2(graph), context).cost
+                )
+                assert lo <= delta <= hi

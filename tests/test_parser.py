@@ -1,0 +1,130 @@
+"""Unit tests for the Datalog parser and tokenizer."""
+
+import pytest
+
+from repro.datalog.parser import (
+    parse_atom,
+    parse_program,
+    parse_query,
+    parse_rule,
+    tokenize,
+)
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.errors import ParseError
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        kinds = [token.kind for token in tokenize("p(X) :- q(X).")]
+        assert kinds == [
+            "NAME", "LPAREN", "NAME", "RPAREN", "IMPLIES",
+            "NAME", "LPAREN", "NAME", "RPAREN", "DOT", "EOF",
+        ]
+
+    def test_comments_skipped(self):
+        kinds = [t.kind for t in tokenize("% a comment\np(a).")]
+        assert kinds == ["NAME", "LPAREN", "NAME", "RPAREN", "DOT", "EOF"]
+
+    def test_line_tracking(self):
+        tokens = list(tokenize("a.\nb."))
+        assert tokens[0].line == 1
+        assert tokens[2].line == 2
+
+    def test_unknown_character(self):
+        with pytest.raises(ParseError):
+            list(tokenize("p(a) & q(a)."))
+
+    def test_numbers(self):
+        tokens = [t for t in tokenize("p(3, -2, 4.5).") if t.kind == "NUMBER"]
+        assert [t.text for t in tokens] == ["3", "-2", "4.5"]
+
+
+class TestParseAtom:
+    def test_constants_and_variables(self):
+        atom = parse_atom("p(a, X, _y)")
+        assert atom.args == (Constant("a"), Variable("X"), Variable("_y"))
+
+    def test_nullary(self):
+        assert parse_atom("halt") == Atom("halt")
+
+    def test_numbers_and_strings(self):
+        atom = parse_atom('p(3, 4.5, "hi there")')
+        assert atom.args == (Constant(3), Constant(4.5), Constant("hi there"))
+
+    def test_uppercase_predicate_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("Pred(a)")
+
+    def test_trailing_garbage_rejected(self):
+        with pytest.raises(ParseError):
+            parse_atom("p(a) q")
+
+
+class TestParseRule:
+    def test_fact(self):
+        rule = parse_rule("prof(russ).")
+        assert rule.is_fact and rule.head == Atom("prof", ["russ"])
+
+    def test_rule_with_body(self):
+        rule = parse_rule("instructor(X) :- prof(X).")
+        assert rule.head == Atom("instructor", ["X"])
+        assert rule.body[0].atom == Atom("prof", ["X"])
+
+    def test_conjunction(self):
+        rule = parse_rule("a(X) :- b(X), c(X), d(X).")
+        assert len(rule.body) == 3
+
+    def test_negation_keyword(self):
+        rule = parse_rule("pauper(X) :- person(X), not owns(X, Y).")
+        assert not rule.body[1].positive
+
+    def test_negation_prolog_style(self):
+        rule = parse_rule(r"pauper(X) :- person(X), \+ owns(X, Y).")
+        assert not rule.body[1].positive
+
+    def test_not_as_predicate_name(self):
+        # 'not' followed by a paren is an atom named 'not'? No: our
+        # grammar treats 'not <atom>' as negation only when followed by
+        # a NAME; 'not(X)' parses as atom not(X).
+        rule = parse_rule("p(X) :- not(X).")
+        assert rule.body[0].positive
+        assert rule.body[0].atom.predicate == "not"
+
+    def test_label_annotation(self):
+        rule = parse_rule("@Rp instructor(X) :- prof(X).")
+        assert rule.name == "Rp"
+
+    def test_missing_dot(self):
+        with pytest.raises(ParseError):
+            parse_rule("p(a)")
+
+
+class TestParseProgram:
+    def test_multiple_clauses(self):
+        base = parse_program("""
+            % the university rule base
+            @Rp instructor(X) :- prof(X).
+            @Rg instructor(X) :- grad(X).
+        """)
+        assert len(base) == 2
+        assert {rule.name for rule in base} == {"Rp", "Rg"}
+
+    def test_empty_program(self):
+        assert len(parse_program("")) == 0
+
+    def test_unsafe_rule_rejected_at_load(self):
+        with pytest.raises(Exception):
+            parse_program("p(X, Y) :- q(X).")
+
+
+class TestParseQuery:
+    def test_strips_question_mark(self):
+        assert parse_query("instructor(manolis)?") == Atom(
+            "instructor", ["manolis"]
+        )
+
+    def test_strips_dot(self):
+        assert parse_query("p(a).") == Atom("p", ["a"])
+
+    def test_bare_atom(self):
+        assert parse_query("  p(X) ") == Atom("p", ["X"])

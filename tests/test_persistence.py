@@ -1,0 +1,124 @@
+"""Tests for JSON persistence of learned state."""
+
+import json
+import random
+
+import pytest
+
+from repro.errors import LearningError
+from repro.persistence import (
+    load_pib,
+    pib_from_dict,
+    pib_to_dict,
+    save_pib,
+    strategy_from_dict,
+    strategy_to_dict,
+    transformation_from_name,
+)
+from repro.learning.pib import PIB
+from repro.strategies.strategy import Strategy
+from repro.strategies.transformations import PathPromotion, SiblingSwap
+from repro.workloads import (
+    IndependentDistribution,
+    g_a,
+    intended_probabilities,
+    theta_1,
+    theta_2,
+)
+
+
+class TestStrategyRoundTrip:
+    def test_roundtrip(self):
+        graph = g_a()
+        strategy = theta_2(graph)
+        rebuilt = strategy_from_dict(graph, strategy_to_dict(strategy))
+        assert rebuilt.arc_names() == strategy.arc_names()
+
+    def test_bad_payload(self):
+        with pytest.raises(LearningError):
+            strategy_from_dict(g_a(), {"nope": 1})
+
+    def test_illegal_saved_order_rejected(self):
+        from repro.errors import IllegalStrategyError
+
+        with pytest.raises(IllegalStrategyError):
+            strategy_from_dict(g_a(), {"arcs": ["Dp", "Rp", "Rg", "Dg"]})
+
+
+class TestTransformationNames:
+    def test_swap(self):
+        assert transformation_from_name("swap(Rg,Rp)") == SiblingSwap("Rp", "Rg")
+
+    def test_promotion(self):
+        assert transformation_from_name("promote(Dd)") == PathPromotion("Dd")
+
+    def test_unknown(self):
+        with pytest.raises(LearningError):
+            transformation_from_name("mystery(x)")
+
+
+class TestPIBRoundTrip:
+    def make_trained_pib(self, contexts=120, seed=0):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        pib.run(distribution.sampler(random.Random(seed)), contexts)
+        return graph, distribution, pib
+
+    def test_state_roundtrip_preserves_everything(self):
+        graph, _, pib = self.make_trained_pib()
+        restored = pib_from_dict(graph, pib_to_dict(pib))
+        assert restored.strategy.arc_names() == pib.strategy.arc_names()
+        assert restored.total_tests == pib.total_tests
+        assert restored.contexts_processed == pib.contexts_processed
+        assert restored.retrieval_statistics.frequencies() == \
+            pib.retrieval_statistics.frequencies()
+        assert [a.total for a in restored._accumulators] == \
+            [a.total for a in pib._accumulators]
+        assert restored.history == pib.history
+
+    def test_restored_learner_continues_identically(self):
+        graph, distribution, pib = self.make_trained_pib(contexts=100)
+        restored = pib_from_dict(graph, pib_to_dict(pib))
+        # Feeding both the same continuation stream produces the same
+        # climbs and final strategy.
+        stream_a = distribution.sampler(random.Random(99))
+        stream_b = distribution.sampler(random.Random(99))
+        for _ in range(400):
+            pib.process(stream_a())
+            restored.process(stream_b())
+        assert restored.strategy.arc_names() == pib.strategy.arc_names()
+        assert restored.climbs == pib.climbs
+
+    def test_save_load_file(self, tmp_path):
+        graph, _, pib = self.make_trained_pib()
+        path = tmp_path / "pib.json"
+        save_pib(pib, str(path))
+        # The file is real, inspectable JSON.
+        payload = json.loads(path.read_text())
+        assert payload["version"] == 1
+        restored = load_pib(graph, str(path))
+        assert restored.strategy.arc_names() == pib.strategy.arc_names()
+
+    def test_version_mismatch_rejected(self):
+        graph, _, pib = self.make_trained_pib(contexts=5)
+        payload = pib_to_dict(pib)
+        payload["version"] = 999
+        with pytest.raises(LearningError):
+            pib_from_dict(graph, payload)
+
+    def test_unknown_arc_in_counters_rejected(self):
+        graph, _, pib = self.make_trained_pib(contexts=5)
+        payload = pib_to_dict(pib)
+        payload["retrieval_statistics"]["attempts"]["Dzz"] = 3
+        with pytest.raises(LearningError):
+            pib_from_dict(graph, payload)
+
+    def test_unknown_accumulator_rejected(self):
+        graph, _, pib = self.make_trained_pib(contexts=5)
+        payload = pib_to_dict(pib)
+        payload["accumulators"].append(
+            {"transformation": "swap(Ra,Rb)", "total": 0.0, "samples": 0}
+        )
+        with pytest.raises(LearningError):
+            pib_from_dict(graph, payload)

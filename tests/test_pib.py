@@ -1,0 +1,169 @@
+"""Unit tests for the anytime PIB algorithm (Figure 3, Theorem 1)."""
+
+import random
+
+import pytest
+
+from repro.errors import LearningError
+from repro.graphs.random_graphs import random_instance
+from repro.learning.pib import PIB
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.strategies.strategy import Strategy
+from repro.strategies.transformations import SiblingSwap
+from repro.workloads import (
+    ExplicitDistribution,
+    IndependentDistribution,
+    figure2_probabilities,
+    g_a,
+    g_b,
+    intended_probabilities,
+    theta_1,
+    theta_2,
+    theta_abcd,
+)
+
+
+class TestConstruction:
+    def test_default_initial_is_depth_first(self):
+        graph = g_a()
+        assert PIB(graph).strategy == Strategy.depth_first(graph)
+
+    def test_default_transformations_are_sibling_swaps(self):
+        pib = PIB(g_b())
+        assert len(pib.transformations) == 3
+
+    def test_delta_validated(self):
+        with pytest.raises(LearningError):
+            PIB(g_a(), delta=0.0)
+        with pytest.raises(LearningError):
+            PIB(g_a(), delta=1.5)
+
+    def test_test_every_validated(self):
+        with pytest.raises(LearningError):
+            PIB(g_a(), test_every=0)
+
+
+class TestClimbing:
+    def test_climbs_to_theta2_on_grad_heavy_stream(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        pib.run(distribution.sampler(random.Random(0)), 800)
+        assert pib.strategy.arc_names() == theta_2(graph).arc_names()
+        assert pib.climbs == 1
+
+    def test_stays_put_when_already_optimal(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_2(graph))
+        pib.run(distribution.sampler(random.Random(1)), 800)
+        assert pib.climbs == 0
+        assert pib.strategy.arc_names() == theta_2(graph).arc_names()
+
+    def test_climb_history_records(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        pib.run(distribution.sampler(random.Random(2)), 800)
+        assert len(pib.history) == 1
+        record = pib.history[0]
+        assert record.step == 1
+        assert record.transformation == "swap(Rg,Rp)"
+        assert record.estimated_gain >= record.threshold
+        assert record.from_arcs == theta_1(graph).arc_names()
+        assert record.to_arcs == theta_2(graph).arc_names()
+
+    def test_multiple_climbs_on_gb(self):
+        graph = g_b()
+        distribution = IndependentDistribution(graph, figure2_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_abcd(graph))
+        pib.run(distribution.sampler(random.Random(3)), 4000)
+        assert pib.climbs >= 2
+        # Every climb improved the true cost.
+        probs = figure2_probabilities()
+        for record in pib.history:
+            before = expected_cost_exact(Strategy(graph, record.from_arcs), probs)
+            after = expected_cost_exact(Strategy(graph, record.to_arcs), probs)
+            assert after < before
+
+    def test_statistics_reset_after_climb(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        pib.run(distribution.sampler(random.Random(4)), 800)
+        report = pib.neighbourhood_report()
+        assert all(
+            row["samples"] < pib.contexts_processed for row in report
+        )
+
+
+class TestCorrelatedDistributions:
+    def test_pib_handles_anticorrelated_arcs(self):
+        """Exactly one of Dp/Dg succeeds — Υ's independence assumption
+        fails, PIB doesn't care (Section 5.3)."""
+        graph = g_a()
+        distribution = ExplicitDistribution(graph, [
+            (0.8, {"Dp": False, "Dg": True}),
+            (0.2, {"Dp": True, "Dg": False}),
+        ])
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        pib.run(distribution.sampler(random.Random(5)), 600)
+        assert pib.strategy.arc_names() == theta_2(graph).arc_names()
+
+
+class TestTestFrequency:
+    def test_batched_testing_still_climbs(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph),
+                  test_every=25)
+        pib.run(distribution.sampler(random.Random(6)), 1000)
+        assert pib.strategy.arc_names() == theta_2(graph).arc_names()
+
+    def test_custom_transformation_set(self):
+        graph = g_b()
+        only_tc_td = [SiblingSwap("Rtc", "Rtd")]
+        distribution = IndependentDistribution(graph, figure2_probabilities())
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_abcd(graph),
+                  transformations=only_tc_td)
+        pib.run(distribution.sampler(random.Random(7)), 3000)
+        # Only the one operator is available; at most one distinct climb
+        # is meaningful and it must be the τ_dc move.
+        for record in pib.history:
+            assert record.transformation == "swap(Rtc,Rtd)"
+
+
+class TestProcessReturnsResult:
+    def test_caller_sees_execution_result(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05)
+        result = pib.process(distribution.sample(random.Random(8)))
+        assert result.cost > 0
+        assert pib.contexts_processed == 1
+
+    def test_retrieval_statistics_accrue(self):
+        graph = g_a()
+        distribution = IndependentDistribution(graph, intended_probabilities())
+        pib = PIB(graph, delta=0.05)
+        for _ in range(50):
+            pib.process(distribution.sample(random.Random(9)))
+        assert pib.retrieval_statistics.total_attempts() >= 50
+
+
+class TestTheorem1Small:
+    def test_no_erroneous_climbs_across_random_instances(self):
+        rng = random.Random(10)
+        for _ in range(15):
+            graph, probs = random_instance(rng, n_internal=2, n_retrievals=4)
+            distribution = IndependentDistribution(graph, probs)
+            pib = PIB(graph, delta=0.05)
+            pib.run(distribution.sampler(rng), 400)
+            for record in pib.history:
+                before = expected_cost_exact(
+                    Strategy(graph, record.from_arcs), probs
+                )
+                after = expected_cost_exact(
+                    Strategy(graph, record.to_arcs), probs
+                )
+                assert after <= before + 1e-9

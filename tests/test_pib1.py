@@ -1,0 +1,144 @@
+"""Unit tests for the PIB₁ one-shot filter (Section 3.1)."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import LearningError
+from repro.graphs.contexts import Context
+from repro.learning.pib1 import PIB1
+from repro.strategies.execution import execute
+from repro.workloads import IndependentDistribution, g_a, theta_1, theta_2
+
+
+def observe_counts(pib1, graph, strategy, dp_successes, dg_only, neither):
+    """Feed synthetic runs realizing the given counter values."""
+    for _ in range(dp_successes):
+        pib1.observe(execute(strategy, Context(graph, {"Dp": True, "Dg": True})))
+    for _ in range(dg_only):
+        pib1.observe(execute(strategy, Context(graph, {"Dp": False, "Dg": True})))
+    for _ in range(neither):
+        pib1.observe(execute(strategy, Context(graph, {"Dp": False, "Dg": False})))
+
+
+class TestCounters:
+    def test_counters_from_observation(self):
+        graph = g_a()
+        strategy = theta_1(graph)
+        pib1 = PIB1(graph, strategy, "Rp", "Rg", delta=0.05)
+        observe_counts(pib1, graph, strategy, 3, 5, 2)
+        assert (pib1.m, pib1.k_p, pib1.k_g) == (10, 3, 5)
+
+    def test_record_counts_direct(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        pib1.record_counts(m=100, k_p=10, k_g=60)
+        assert pib1.estimated_gain == pytest.approx(60 * 2.0 - 10 * 2.0)
+
+    def test_inconsistent_counts_rejected(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        with pytest.raises(LearningError):
+            pib1.record_counts(m=5, k_p=4, k_g=3)
+
+    def test_observe_requires_own_strategy(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        foreign_run = execute(theta_2(graph),
+                              Context(graph, {"Dp": True, "Dg": True}))
+        with pytest.raises(LearningError):
+            pib1.observe(foreign_run)
+
+
+class TestEquation3:
+    def test_threshold_matches_formula(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        pib1.record_counts(m=200, k_p=0, k_g=0)
+        expected = 4.0 * math.sqrt(200 / 2 * math.log(1 / 0.05))
+        assert pib1.threshold == pytest.approx(expected)
+
+    def test_accepts_clear_improvement(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        # gain = 2(k_g − k_p) = 2·80 = 160 > 69.2.
+        pib1.record_counts(m=200, k_p=10, k_g=90)
+        swapped = pib1.decide()
+        assert swapped is not None
+        assert swapped.arc_names() == ("Rg", "Dg", "Rp", "Dp")
+
+    def test_rejects_insufficient_evidence(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        pib1.record_counts(m=200, k_p=40, k_g=50)  # gain 20 < 69.2
+        assert pib1.decide() is None
+
+    def test_no_samples_never_accepts(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        assert not pib1.would_accept()
+
+    def test_one_shot_enforced(self):
+        graph = g_a()
+        pib1 = PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.05)
+        pib1.record_counts(m=10, k_p=1, k_g=1)
+        pib1.decide()
+        with pytest.raises(LearningError):
+            pib1.decide()
+
+
+class TestValidation:
+    def test_non_siblings_rejected(self):
+        from repro.workloads import g_b, theta_abcd
+
+        graph = g_b()
+        with pytest.raises(LearningError):
+            PIB1(graph, theta_abcd(graph), "Rga", "Rsb", delta=0.05)
+
+    def test_order_must_match_strategy(self):
+        graph = g_a()
+        with pytest.raises(LearningError):
+            PIB1(graph, theta_2(graph), "Rp", "Rg", delta=0.05)
+
+    def test_delta_range(self):
+        graph = g_a()
+        with pytest.raises(LearningError):
+            PIB1(graph, theta_1(graph), "Rp", "Rg", delta=0.0)
+        with pytest.raises(LearningError):
+            PIB1(graph, theta_1(graph), "Rp", "Rg", delta=1.0)
+
+
+class TestStatisticalBehaviour:
+    def test_false_positive_rate_bounded(self):
+        """When Θ₂ is truly worse, acceptance frequency stays ≤ δ."""
+        graph = g_a()
+        strategy = theta_1(graph)
+        delta = 0.2
+        # Prof-heavy: the swap would hurt.
+        distribution = IndependentDistribution(graph, {"Dp": 0.7, "Dg": 0.1})
+        rng = random.Random(13)
+        accepted = 0
+        trials = 200
+        for _ in range(trials):
+            pib1 = PIB1(graph, strategy, "Rp", "Rg", delta=delta)
+            for _ in range(60):
+                pib1.observe(execute(strategy, distribution.sample(rng)))
+            if pib1.decide() is not None:
+                accepted += 1
+        assert accepted / trials <= delta
+
+    def test_power_when_improvement_is_large(self):
+        graph = g_a()
+        strategy = theta_1(graph)
+        distribution = IndependentDistribution(graph, {"Dp": 0.05, "Dg": 0.9})
+        rng = random.Random(14)
+        accepted = 0
+        trials = 100
+        for _ in range(trials):
+            pib1 = PIB1(graph, strategy, "Rp", "Rg", delta=0.1)
+            for _ in range(120):
+                pib1.observe(execute(strategy, distribution.sample(rng)))
+            if pib1.decide() is not None:
+                accepted += 1
+        assert accepted / trials > 0.95

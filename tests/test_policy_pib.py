@@ -1,0 +1,110 @@
+"""Tests for PIB-style policy improvement on and-or graphs."""
+
+import random
+
+import pytest
+
+from repro.datalog.parser import parse_program
+from repro.datalog.rules import QueryForm
+from repro.errors import LearningError
+from repro.graphs.hypergraph import (
+    HyperContext,
+    Policy,
+    build_and_or_graph,
+    evaluate,
+)
+from repro.learning.policy import PolicyPIB, PolicySwap, all_policy_swaps
+
+
+def make_graph():
+    rules = parse_program("""
+        @Rboth  goal(X) :- a(X), b(X).
+        @Rquick goal(X) :- c(X).
+        @Rlong  goal(X) :- d(X), e(X), f(X).
+    """)
+    return build_and_or_graph(rules, QueryForm("goal", "b"))
+
+
+def sampler(graph, rates, rng):
+    def draw():
+        statuses = {
+            arc.name: rng.random() < rates[arc.goal.predicate]
+            for arc in graph.retrieval_arcs()
+        }
+        return HyperContext(graph, statuses)
+
+    return draw
+
+
+class TestPolicySwap:
+    def test_apply_swaps_positions(self):
+        graph = make_graph()
+        swap = PolicySwap("root", "Rboth", "Rquick")
+        policy = swap.apply(Policy(graph))
+        assert [a.name for a in policy.alternatives("root")] == [
+            "Rquick", "Rboth", "Rlong",
+        ]
+
+    def test_missing_alternative_rejected(self):
+        graph = make_graph()
+        with pytest.raises(LearningError):
+            PolicySwap("root", "Rboth", "Rnope").apply(Policy(graph))
+
+    def test_all_policy_swaps_counts(self):
+        graph = make_graph()
+        swaps = all_policy_swaps(graph)
+        # Only the root has >1 alternatives: C(3,2) = 3 swaps.
+        assert len([s for s in swaps if s.goal == "root"]) == 3
+        assert all(s.goal == "root" for s in swaps)
+
+
+class TestPolicyPIB:
+    def test_learns_to_try_quick_rule_first(self):
+        graph = make_graph()
+        rates = {"a": 0.2, "b": 0.5, "c": 0.7, "d": 0.9, "e": 0.9, "f": 0.9}
+        rng = random.Random(0)
+        learner = PolicyPIB(graph, delta=0.05)
+        learner.run(sampler(graph, rates, rng), 2500)
+        first = learner.policy.alternatives("root")[0]
+        assert first.name == "Rquick"
+        assert learner.climbs >= 1
+
+    def test_every_climb_improves_measured_cost(self):
+        graph = make_graph()
+        rates = {"a": 0.3, "b": 0.4, "c": 0.6, "d": 0.8, "e": 0.7, "f": 0.6}
+        rng = random.Random(1)
+        learner = PolicyPIB(graph, delta=0.05)
+
+        def mean_cost(policy, seed, samples=4000):
+            draw = sampler(graph, rates, random.Random(seed))
+            return sum(
+                evaluate(policy, draw()).cost for _ in range(samples)
+            ) / samples
+
+        initial_cost = mean_cost(learner.policy, 99)
+        learner.run(sampler(graph, rates, rng), 3000)
+        final_cost = mean_cost(learner.policy, 99)
+        assert final_cost <= initial_cost + 1e-9
+
+    def test_answers_flow_through(self):
+        graph = make_graph()
+        rates = {k: 1.0 for k in "abcdef"}
+        learner = PolicyPIB(graph, delta=0.1)
+        result = learner.process(
+            sampler(graph, rates, random.Random(2))()
+        )
+        assert result.succeeded
+        assert learner.contexts_processed == 1
+
+    def test_delta_validated(self):
+        with pytest.raises(LearningError):
+            PolicyPIB(make_graph(), delta=1.5)
+
+    def test_custom_swap_set(self):
+        graph = make_graph()
+        only_one = [PolicySwap("root", "Rboth", "Rquick")]
+        learner = PolicyPIB(graph, delta=0.1, swaps=only_one)
+        rates = {"a": 0.05, "b": 0.05, "c": 0.9, "d": 0.1, "e": 0.1, "f": 0.1}
+        learner.run(sampler(graph, rates, random.Random(3)), 2500)
+        for _, name in learner.history:
+            assert name == only_one[0].name

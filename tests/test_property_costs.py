@@ -1,0 +1,163 @@
+"""Property-based tests for expected-cost identities and Υ optimality.
+
+These are the load-bearing correctness checks of the reproduction: the
+closed-form expected cost must agree with explicit enumeration, the
+ratio-merge ``Υ_AOT`` must match brute force, and PIB's ``Δ̃`` must
+never over-estimate the true difference.
+"""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs.random_graphs import random_instance
+from repro.optimal.brute_force import optimal_strategy_brute_force
+from repro.optimal.upsilon import upsilon_aot
+from repro.strategies.enumeration import all_path_structured_strategies
+from repro.strategies.execution import execute
+from repro.strategies.expected_cost import (
+    attempt_probabilities,
+    expected_cost_exact,
+    expected_cost_explicit,
+    success_probability,
+)
+from repro.strategies.strategy import Strategy
+from repro.strategies.transformations import all_sibling_swaps, neighbours
+from repro.learning.statistics import delta_tilde
+from repro.workloads.distributions import IndependentDistribution
+
+seeds = st.integers(min_value=0, max_value=10_000)
+blockable_rates = st.sampled_from([0.0, 0.4, 1.0])
+
+
+def make_instance(seed, blockable_rate):
+    rng = random.Random(seed)
+    n_internal = rng.randint(1, 4)
+    # A graph with k internal nodes has at most k leaf goals, each
+    # needing a retrieval; request at least that many.
+    n_retrievals = rng.randint(n_internal, n_internal + 2)
+    return random_instance(
+        rng,
+        n_internal=n_internal,
+        n_retrievals=n_retrievals,
+        blockable_reduction_rate=blockable_rate,
+    )
+
+
+class TestExpectedCostIdentities:
+    @settings(max_examples=60, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_exact_equals_enumeration(self, seed, blockable_rate):
+        graph, probs = make_instance(seed, blockable_rate)
+        distribution = IndependentDistribution(graph, probs)
+        support = distribution.support()
+        strategy = Strategy.depth_first(graph)
+        assert abs(
+            expected_cost_exact(strategy, probs)
+            - expected_cost_explicit(strategy, support)
+        ) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_exact_on_random_retrieval_orders(self, seed, blockable_rate):
+        graph, probs = make_instance(seed, blockable_rate)
+        rng = random.Random(seed + 1)
+        retrievals = graph.retrieval_arcs()
+        rng.shuffle(retrievals)
+        strategy = Strategy.from_retrieval_order(graph, retrievals)
+        distribution = IndependentDistribution(graph, probs)
+        assert abs(
+            expected_cost_exact(strategy, probs)
+            - expected_cost_explicit(strategy, distribution.support())
+        ) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds)
+    def test_attempt_probabilities_in_unit_interval(self, seed):
+        graph, probs = make_instance(seed, 0.4)
+        attempts = attempt_probabilities(Strategy.depth_first(graph), probs)
+        assert all(-1e-12 <= p <= 1 + 1e-12 for p in attempts.values())
+        # The first arc is always attempted.
+        first = Strategy.depth_first(graph)[0]
+        assert attempts[first.name] == 1.0
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_success_probability_matches_enumeration(self, seed, rate):
+        graph, probs = make_instance(seed, rate)
+        distribution = IndependentDistribution(graph, probs)
+        enumerated = sum(
+            weight
+            for weight, context in distribution.support()
+            if execute(Strategy.depth_first(graph), context).succeeded
+        )
+        assert abs(success_probability(graph, probs) - enumerated) < 1e-9
+
+    @settings(max_examples=40, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_cost_bounded_by_total(self, seed, rate):
+        graph, probs = make_instance(seed, rate)
+        for strategy in [Strategy.depth_first(graph)]:
+            cost = expected_cost_exact(strategy, probs)
+            assert 0 < cost <= graph.total_cost + 1e-9
+
+
+class TestUpsilonOptimality:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_upsilon_matches_brute_force(self, seed, blockable_rate):
+        graph, probs = make_instance(seed, blockable_rate)
+        upsilon_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+        _, brute_cost = optimal_strategy_brute_force(graph, probs)
+        assert abs(upsilon_cost - brute_cost) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds)
+    def test_optimal_is_local_optimum_under_swaps(self, seed):
+        graph, probs = make_instance(seed, 0.0)
+        optimal = upsilon_aot(graph, probs)
+        base_cost = expected_cost_exact(optimal, probs)
+        for _, candidate in neighbours(optimal, all_sibling_swaps(graph)):
+            assert expected_cost_exact(candidate, probs) >= base_cost - 1e-9
+
+
+class TestDeltaTildeSoundness:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_delta_tilde_never_exceeds_delta(self, seed, blockable_rate):
+        graph, probs = make_instance(seed, blockable_rate)
+        distribution = IndependentDistribution(graph, probs)
+        rng = random.Random(seed + 2)
+        strategy = Strategy.depth_first(graph)
+        candidates = [c for _, c in neighbours(strategy, all_sibling_swaps(graph))]
+        for _ in range(10):
+            context = distribution.sample(rng)
+            run = execute(strategy, context)
+            for candidate in candidates:
+                true_delta = run.cost - execute(candidate, context).cost
+                assert delta_tilde(run, candidate) <= true_delta + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_delta_tilde_sound_with_asymmetric_costs(self, seed, rate):
+        """Note 4's outcome-dependent costs must not break Δ̃ ≤ Δ."""
+        rng = random.Random(seed)
+        n_internal = rng.randint(1, 4)
+        graph, probs = random_instance(
+            rng,
+            n_internal=n_internal,
+            n_retrievals=rng.randint(n_internal, n_internal + 2),
+            blockable_reduction_rate=rate,
+            asymmetric_blocked_costs=True,
+        )
+        distribution = IndependentDistribution(graph, probs)
+        sample_rng = random.Random(seed + 3)
+        strategy = Strategy.depth_first(graph)
+        candidates = [c for _, c in neighbours(strategy, all_sibling_swaps(graph))]
+        for _ in range(10):
+            context = distribution.sample(sample_rng)
+            run = execute(strategy, context)
+            for candidate in candidates:
+                true_delta = run.cost - execute(candidate, context).cost
+                assert delta_tilde(run, candidate) <= true_delta + 1e-9

@@ -1,0 +1,115 @@
+"""Property-based tests for strategy structure and transformations."""
+
+import random
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.graphs.random_graphs import random_instance
+from repro.strategies.execution import execute
+from repro.strategies.strategy import Strategy
+from repro.strategies.transformations import all_sibling_swaps, neighbours
+from repro.workloads.distributions import IndependentDistribution
+
+seeds = st.integers(min_value=0, max_value=10_000)
+
+
+def make_instance(seed, blockable_rate=0.3):
+    rng = random.Random(seed)
+    n_internal = rng.randint(1, 4)
+    return random_instance(
+        rng,
+        n_internal=n_internal,
+        n_retrievals=rng.randint(n_internal, n_internal + 2),
+        blockable_reduction_rate=blockable_rate,
+    )
+
+
+class TestStrategyInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_depth_first_is_path_structured(self, seed):
+        graph, _ = make_instance(seed)
+        assert Strategy.depth_first(graph).is_path_structured()
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_retrieval_order_roundtrip(self, seed):
+        graph, _ = make_instance(seed)
+        rng = random.Random(seed + 1)
+        retrievals = graph.retrieval_arcs()
+        rng.shuffle(retrievals)
+        strategy = Strategy.from_retrieval_order(graph, retrievals)
+        assert [a.name for a in strategy.retrieval_order()] == [
+            a.name for a in retrievals
+        ]
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_swaps_preserve_legality_and_membership(self, seed):
+        graph, _ = make_instance(seed)
+        strategy = Strategy.depth_first(graph)
+        for transformation, candidate in neighbours(
+            strategy, all_sibling_swaps(graph)
+        ):
+            assert sorted(candidate.arc_names()) == sorted(strategy.arc_names())
+            # Involution.
+            assert transformation.apply(candidate).arc_names() == \
+                strategy.arc_names()
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_paths_partition_the_arcs(self, seed):
+        graph, _ = make_instance(seed)
+        strategy = Strategy.depth_first(graph)
+        flattened = [arc.name for piece in strategy.paths() for arc in piece]
+        assert flattened == list(strategy.arc_names())
+
+
+class TestExecutionInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(seeds, st.integers(min_value=0, max_value=5))
+    def test_cost_positive_and_bounded(self, seed, draw_index):
+        graph, probs = make_instance(seed)
+        distribution = IndependentDistribution(graph, probs)
+        rng = random.Random(seed + draw_index)
+        context = distribution.sample(rng)
+        result = execute(Strategy.depth_first(graph), context)
+        assert 0 < result.cost <= graph.total_cost + 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_failure_iff_full_cost_in_simple_graphs(self, seed):
+        graph, probs = make_instance(seed, blockable_rate=0.0)
+        distribution = IndependentDistribution(graph, probs)
+        rng = random.Random(seed + 7)
+        strategy = Strategy.depth_first(graph)
+        for _ in range(5):
+            result = execute(strategy, distribution.sample(rng))
+            if not result.succeeded:
+                # With no blockable reductions a failed search visits
+                # every arc (tolerance: summation order differs).
+                assert abs(result.cost - graph.total_cost) < 1e-9
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_observations_subset_of_attempted(self, seed):
+        graph, probs = make_instance(seed)
+        distribution = IndependentDistribution(graph, probs)
+        context = distribution.sample(random.Random(seed + 11))
+        result = execute(Strategy.depth_first(graph), context)
+        attempted = {arc.name for arc in result.attempted}
+        assert set(result.observations) <= attempted
+
+    @settings(max_examples=50, deadline=None)
+    @given(seeds)
+    def test_same_context_same_cost_regardless_of_equivalent_runs(self, seed):
+        """Strategies are static and deterministic (assumption [1])."""
+        graph, probs = make_instance(seed)
+        distribution = IndependentDistribution(graph, probs)
+        context = distribution.sample(random.Random(seed + 13))
+        strategy = Strategy.depth_first(graph)
+        first = execute(strategy, context)
+        second = execute(strategy, context)
+        assert first.cost == second.cost
+        assert first.succeeded == second.succeeded

@@ -1,0 +1,115 @@
+"""Property-based tests for unification and substitutions."""
+
+import hypothesis.strategies as st
+from hypothesis import given, settings
+
+from repro.datalog.terms import Atom, Constant, Substitution, Variable
+from repro.datalog.unify import fresh_variable_factory, match, rename_apart, unify
+
+# -- strategies ---------------------------------------------------------
+
+constants = st.sampled_from([Constant(c) for c in "abcde"])
+variables = st.sampled_from([Variable(v) for v in ("X", "Y", "Z", "W")])
+terms = st.one_of(constants, variables)
+predicates = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def atoms(draw, max_arity=3):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=0, max_value=max_arity))
+    args = [draw(terms) for _ in range(arity)]
+    return Atom(predicate, args)
+
+
+@st.composite
+def ground_atoms(draw, max_arity=3):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=0, max_value=max_arity))
+    args = [draw(constants) for _ in range(arity)]
+    return Atom(predicate, args)
+
+
+@st.composite
+def substitutions(draw):
+    pairs = draw(st.dictionaries(variables, constants, max_size=3))
+    return Substitution(pairs)
+
+
+# -- properties ---------------------------------------------------------
+
+class TestUnifyProperties:
+    @given(atoms(), atoms())
+    def test_unifier_equalizes(self, left, right):
+        unifier = unify(left, right)
+        if unifier is not None:
+            assert left.substitute(unifier) == right.substitute(unifier)
+
+    @given(atoms(), atoms())
+    def test_symmetry_of_unifiability(self, left, right):
+        assert (unify(left, right) is None) == (unify(right, left) is None)
+
+    @given(atoms())
+    def test_self_unification_is_empty(self, atom):
+        unifier = unify(atom, atom)
+        assert unifier is not None and len(unifier) == 0
+
+    @given(atoms(), substitutions())
+    def test_instances_unify_with_their_generalization(self, atom, subst):
+        instance = atom.substitute(subst)
+        assert unify(atom, instance) is not None
+
+    @given(atoms(), ground_atoms())
+    def test_match_implies_unify(self, pattern, target):
+        binding = match(pattern, target)
+        if binding is not None:
+            assert pattern.substitute(binding) == target
+            assert unify(pattern, target) is not None
+
+    @given(atoms(), ground_atoms())
+    def test_unify_with_ground_target_implies_match(self, pattern, target):
+        if unify(pattern, target) is not None:
+            assert match(pattern, target) is not None
+
+
+class TestSubstitutionProperties:
+    @given(atoms(), substitutions())
+    def test_application_idempotent_for_ground_ranges(self, atom, subst):
+        once = atom.substitute(subst)
+        assert once.substitute(subst) == once
+
+    @given(atoms(), substitutions(), substitutions())
+    def test_compose_is_sequential_application(self, atom, first, second):
+        assert atom.substitute(first).substitute(second) == atom.substitute(
+            first.compose(second)
+        )
+
+    @given(substitutions())
+    def test_compose_with_empty_is_identity(self, subst):
+        empty = Substitution()
+        assert subst.compose(empty) == subst
+        assert empty.compose(subst) == subst
+
+
+class TestRenameProperties:
+    @given(st.lists(atoms(), min_size=1, max_size=4))
+    def test_renaming_preserves_structure(self, atom_list):
+        factory = fresh_variable_factory()
+        renamed = rename_apart(tuple(atom_list), factory)
+        assert len(renamed) == len(atom_list)
+        for original, fresh in zip(atom_list, renamed):
+            assert original.predicate == fresh.predicate
+            assert original.arity == fresh.arity
+            # Renaming is a variable-for-variable bijection: a renamed
+            # atom always unifies with its original.
+            assert unify(original, fresh) is not None
+
+    @given(st.lists(atoms(), min_size=1, max_size=4))
+    def test_renaming_avoids_original_variables(self, atom_list):
+        factory = fresh_variable_factory()
+        renamed = rename_apart(tuple(atom_list), factory)
+        original_vars = set()
+        for atom in atom_list:
+            original_vars.update(atom.variables())
+        for atom in renamed:
+            assert original_vars.isdisjoint(atom.variables())

@@ -1,0 +1,134 @@
+"""Unit tests for the random graph/workload generators."""
+
+import random
+
+import pytest
+
+from repro.graphs.random_graphs import (
+    random_instance,
+    random_probabilities,
+    random_tree_graph,
+)
+from repro.workloads.generators import (
+    chain_rule_base,
+    disjunctive_rule_base,
+    query_stream,
+    random_database,
+)
+
+
+class TestRandomTreeGraph:
+    def test_requested_sizes(self):
+        rng = random.Random(0)
+        graph = random_tree_graph(rng, n_internal=4, n_retrievals=6)
+        assert len(graph.retrieval_arcs()) == 6
+        internal = [a for a in graph.arcs() if not a.target.is_success]
+        assert len(internal) == 3  # root is a node, 3 reduction arcs
+
+    def test_every_leaf_goal_has_a_retrieval(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            graph = random_tree_graph(rng, n_internal=5, n_retrievals=7)
+            for node in graph.nodes():
+                if node.is_success:
+                    continue
+                children = graph.children(node)
+                assert children, f"dead-end goal node {node.name}"
+
+    def test_cost_range_respected(self):
+        rng = random.Random(2)
+        graph = random_tree_graph(
+            rng, n_internal=3, n_retrievals=5, cost_range=(2.0, 2.5)
+        )
+        assert all(2.0 <= arc.cost <= 2.5 for arc in graph.arcs())
+
+    def test_blockable_rate_zero_gives_simple_disjunctive(self):
+        rng = random.Random(3)
+        graph = random_tree_graph(rng, n_internal=4, n_retrievals=5)
+        assert graph.is_simple_disjunctive()
+
+    def test_blockable_rate_one_blocks_all_reductions(self):
+        rng = random.Random(4)
+        graph = random_tree_graph(
+            rng, n_internal=4, n_retrievals=5, blockable_reduction_rate=1.0
+        )
+        reductions = [a for a in graph.arcs() if not a.target.is_success]
+        assert all(a.blockable for a in reductions)
+
+    def test_reproducible_for_same_seed(self):
+        first = random_tree_graph(random.Random(5), 4, 6)
+        second = random_tree_graph(random.Random(5), 4, 6)
+        assert [a.name for a in first.arcs()] == [a.name for a in second.arcs()]
+        assert [a.cost for a in first.arcs()] == [a.cost for a in second.arcs()]
+
+    def test_too_few_retrievals_rejected(self):
+        # A bushy tree eventually has more leaf goals than requested
+        # retrievals; the generator must refuse rather than emit a
+        # graph with dead-end goals.
+        saw_rejection = False
+        for seed in range(50):
+            rng = random.Random(seed)
+            try:
+                graph = random_tree_graph(
+                    rng, n_internal=6, n_retrievals=1, max_children=3
+                )
+            except ValueError:
+                saw_rejection = True
+            else:
+                # When it does build, it must still be dead-end free.
+                for node in graph.nodes():
+                    assert node.is_success or graph.children(node)
+        assert saw_rejection
+
+    def test_validation(self):
+        rng = random.Random(7)
+        with pytest.raises(ValueError):
+            random_tree_graph(rng, n_internal=0, n_retrievals=3)
+        with pytest.raises(ValueError):
+            random_tree_graph(rng, n_internal=2, n_retrievals=0)
+
+
+class TestRandomProbabilities:
+    def test_covers_all_experiments(self):
+        graph, probs = random_instance(random.Random(8), 3, 5,
+                                       blockable_reduction_rate=0.5)
+        assert set(probs) == {a.name for a in graph.experiments()}
+
+    def test_range(self):
+        rng = random.Random(9)
+        graph = random_tree_graph(rng, 3, 5)
+        probs = random_probabilities(rng, graph, low=0.2, high=0.4)
+        assert all(0.2 <= p <= 0.4 for p in probs.values())
+
+
+class TestDatalogGenerators:
+    def test_chain_rule_base(self):
+        base = chain_rule_base(4)
+        assert len(base) == 4
+        assert base.edb_predicates() == {("p4", 1)}
+        assert not base.is_recursive()
+
+    def test_disjunctive_rule_base(self):
+        base = disjunctive_rule_base(3)
+        assert len(base) == 3
+        assert all(rule.is_disjunctive_simple for rule in base)
+
+    def test_random_database_selectivities(self):
+        rng = random.Random(10)
+        universe = [f"u{i}" for i in range(2000)]
+        db = random_database(rng, {"common": 0.8, "rare": 0.1}, universe)
+        assert db.count("common", 1) / 2000 == pytest.approx(0.8, abs=0.05)
+        assert db.count("rare", 1) / 2000 == pytest.approx(0.1, abs=0.05)
+
+    def test_query_stream_mix(self):
+        rng = random.Random(11)
+        stream = query_stream(rng, "q", {"a": 0.75, "b": 0.25}, 2000)
+        assert len(stream) == 2000
+        a_count = sum(1 for atom in stream if str(atom.args[0]) == "a")
+        assert a_count / 2000 == pytest.approx(0.75, abs=0.05)
+
+    def test_generator_validation(self):
+        with pytest.raises(ValueError):
+            chain_rule_base(0)
+        with pytest.raises(ValueError):
+            disjunctive_rule_base(0)

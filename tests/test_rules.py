@@ -1,0 +1,146 @@
+"""Unit tests for rules, rule bases, query forms, and stratification."""
+
+import pytest
+
+from repro.datalog.parser import parse_program, parse_rule
+from repro.datalog.rules import Literal, QueryForm, Rule, RuleBase
+from repro.datalog.terms import Atom, Variable
+from repro.errors import EvaluationError, StratificationError
+
+
+class TestLiteral:
+    def test_positive_default(self):
+        assert Literal(Atom("p", ["a"])).positive
+
+    def test_str(self):
+        assert str(Literal(Atom("p", ["a"]), positive=False)) == "not p(a)"
+
+    def test_substitute_preserves_polarity(self):
+        lit = Literal(Atom("p", ["X"]), positive=False)
+        from repro.datalog.terms import Constant, Substitution
+        out = lit.substitute(Substitution({Variable("X"): Constant("a")}))
+        assert not out.positive and out.atom == Atom("p", ["a"])
+
+
+class TestRule:
+    def test_fact_detection(self):
+        assert Rule(Atom("p", ["a"])).is_fact
+        assert not parse_rule("p(X) :- q(X).").is_fact
+
+    def test_simple_disjunctive(self):
+        assert parse_rule("p(X) :- q(X).").is_disjunctive_simple
+        assert not parse_rule("p(X) :- q(X), r(X).").is_disjunctive_simple
+
+    def test_body_accepts_atoms(self):
+        rule = Rule(Atom("p", ["X"]), [Atom("q", ["X"])])
+        assert rule.body[0] == Literal(Atom("q", ["X"]))
+
+    def test_safety_accepts_range_restricted(self):
+        parse_rule("p(X) :- q(X, Y).").check_safety()
+
+    def test_safety_rejects_unbound_head_variable(self):
+        with pytest.raises(EvaluationError):
+            Rule(Atom("p", ["X", "Y"]), [Atom("q", ["X"])]).check_safety()
+
+    def test_safety_allows_local_negated_existential(self):
+        # The paper's pauper rule: Y is local to the negated literal.
+        parse_rule("pauper(X) :- person(X), not owns(X, Y).").check_safety()
+
+    def test_safety_rejects_negated_variable_shared_with_head(self):
+        with pytest.raises(EvaluationError):
+            Rule(
+                Atom("p", ["X", "Y"]),
+                [Literal(Atom("q", ["X"])), Literal(Atom("r", ["X", "Y"]), False)],
+            ).check_safety()
+
+    def test_variables(self):
+        rule = parse_rule("p(X) :- q(X, Y).")
+        assert rule.variables() == {Variable("X"), Variable("Y")}
+
+    def test_str_roundtrip(self):
+        text = "p(X) :- q(X), not r(X)."
+        assert str(parse_rule(text)) == text
+
+
+class TestQueryForm:
+    def test_of_query(self):
+        assert QueryForm.of(Atom("instructor", ["manolis"])) == QueryForm(
+            "instructor", "b"
+        )
+        assert QueryForm.of(Atom("age", ["russ", "X"])) == QueryForm("age", "bf")
+
+    def test_matches(self):
+        form = QueryForm("p", "bf")
+        assert form.matches(Atom("p", ["a", "X"]))
+        assert not form.matches(Atom("p", ["X", "a"]))
+        assert not form.matches(Atom("q", ["a", "X"]))
+
+    def test_prototype_pattern(self):
+        proto = QueryForm("p", "bfb").prototype()
+        assert proto.predicate == "p"
+        assert [arg.name for arg in proto.args] == ["B0", "F1", "B2"]
+
+    def test_rejects_bad_pattern(self):
+        with pytest.raises(ValueError):
+            QueryForm("p", "bx")
+
+    def test_str(self):
+        assert str(QueryForm("instructor", "b")) == "instructor^(b)"
+
+
+class TestRuleBase:
+    def test_auto_naming(self):
+        base = RuleBase([parse_rule("p(X) :- q(X).")])
+        assert next(iter(base)).name == "R1"
+
+    def test_explicit_names_kept(self):
+        base = parse_program("@Rp instructor(X) :- prof(X).")
+        assert base.rule_named("Rp").head.predicate == "instructor"
+
+    def test_rule_named_missing(self):
+        with pytest.raises(KeyError):
+            RuleBase().rule_named("nope")
+
+    def test_rules_for_signature(self):
+        base = parse_program(
+            "p(X) :- q(X). p(X, Y) :- r(X, Y). s(X) :- q(X)."
+        )
+        assert len(base.rules_for(Atom("p", ["a"]))) == 1
+        assert len(base.rules_for(Atom("p", ["a", "b"]))) == 1
+        assert base.rules_for(Atom("missing", ["a"])) == []
+
+    def test_idb_edb_partition(self):
+        base = parse_program("p(X) :- q(X). q(X) :- r(X).")
+        assert base.idb_predicates() == {("p", 1), ("q", 1)}
+        assert base.edb_predicates() == {("r", 1)}
+
+    def test_recursion_detection(self):
+        assert parse_program("p(X) :- e(X, Y), p(Y). p(X) :- base(X).",
+                             ).is_recursive()
+        assert not parse_program("p(X) :- q(X). q(X) :- r(X).").is_recursive()
+
+    def test_mutual_recursion_detected(self):
+        base = parse_program("p(X) :- q(X). q(X) :- p(X).")
+        assert base.is_recursive()
+
+    def test_stratification_levels(self):
+        base = parse_program(
+            "reachable(X) :- edge(X). unreachable(X) :- node(X), not reachable(X)."
+        )
+        strata = base.stratification()
+        level = {sig: i for i, group in enumerate(strata) for sig in group}
+        assert level[("unreachable", 1)] > level[("reachable", 1)]
+
+    def test_unstratifiable_raises(self):
+        base = parse_program("p(X) :- node(X), not q(X). q(X) :- node(X), not p(X).")
+        with pytest.raises(StratificationError):
+            base.stratification()
+
+    def test_uses_negation(self):
+        assert parse_program("p(X) :- q(X), not r(X).").uses_negation()
+        assert not parse_program("p(X) :- q(X).").uses_negation()
+
+    def test_len_and_iteration_order(self):
+        base = parse_program("a(X) :- b(X). c(X) :- d(X).")
+        assert len(base) == 2
+        assert [rule.head.predicate for rule in base] == ["a", "c"]

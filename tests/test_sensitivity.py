@@ -1,0 +1,85 @@
+"""Unit tests for Lemma 1's sensitivity analysis."""
+
+import random
+
+import pytest
+
+from repro.graphs.random_graphs import random_instance
+from repro.learning.sensitivity import (
+    excess_cost,
+    lemma1_bound,
+    sensitivity_report,
+)
+from repro.strategies.expected_cost import reach_probability
+from repro.workloads import g_a, intended_probabilities
+
+
+class TestBound:
+    def test_zero_when_estimates_exact(self):
+        graph = g_a()
+        probs = intended_probabilities()
+        assert lemma1_bound(graph, probs, probs) == 0.0
+        assert excess_cost(graph, probs, probs) == 0.0
+
+    def test_manual_ga_value(self):
+        graph = g_a()
+        p_true = {"Dp": 0.2, "Dg": 0.6}
+        p_est = {"Dp": 0.7, "Dg": 0.6}
+        # ρ = 1 for both retrievals; F¬ = 2 for both.
+        assert lemma1_bound(graph, p_true, p_est) == pytest.approx(
+            2 * (2.0 * 1.0 * 0.5)
+        )
+
+    def test_excess_cost_when_estimate_flips_order(self):
+        graph = g_a()
+        p_true = {"Dp": 0.2, "Dg": 0.6}
+        p_est = {"Dp": 0.9, "Dg": 0.1}  # flips the optimal order
+        lhs = excess_cost(graph, p_true, p_est)
+        assert lhs > 0
+        assert lhs <= lemma1_bound(graph, p_true, p_est) + 1e-9
+
+    def test_bound_holds_on_random_instances(self):
+        rng = random.Random(21)
+        for _ in range(50):
+            graph, p_true = random_instance(
+                rng, n_internal=3, n_retrievals=5,
+                blockable_reduction_rate=0.4,
+            )
+            p_est = {
+                name: min(1.0, max(0.0, p + rng.uniform(-0.4, 0.4)))
+                for name, p in p_true.items()
+            }
+            assert excess_cost(graph, p_true, p_est) <= \
+                lemma1_bound(graph, p_true, p_est) + 1e-9
+
+    def test_low_reach_dampens_bound(self):
+        from repro.graphs.inference_graph import GraphBuilder
+
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True)
+        builder.retrieval("Dx", "x")
+        builder.reduction("Rn", "root", "y")
+        builder.retrieval("Dy", "y")
+        graph = builder.build()
+        base = {"Rb": 0.9, "Dx": 0.5, "Dy": 0.5}
+        rare = {"Rb": 0.01, "Dx": 0.5, "Dy": 0.5}
+        est_base = dict(base, Dx=1.0)
+        est_rare = dict(rare, Dx=1.0)
+        assert lemma1_bound(graph, rare, est_rare) < \
+            lemma1_bound(graph, base, est_base)
+        d_x = graph.arc("Dx")
+        assert reach_probability(graph, d_x, rare) == pytest.approx(0.01)
+
+
+class TestReport:
+    def test_report_contains_terms(self):
+        graph = g_a()
+        p_true = intended_probabilities()
+        p_est = {"Dp": 0.5, "Dg": 0.5}
+        report = sensitivity_report(graph, p_true, p_est)
+        assert set(report) == {
+            "excess_cost", "lemma1_bound", "term[Dp]", "term[Dg]",
+        }
+        assert report["lemma1_bound"] == pytest.approx(
+            report["term[Dp]"] + report["term[Dg]"]
+        )

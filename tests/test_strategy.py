@@ -1,0 +1,159 @@
+"""Unit tests for strategy representation, legality, and structure."""
+
+import pytest
+
+from repro.errors import IllegalStrategyError
+from repro.strategies.strategy import Strategy
+from repro.workloads import g_a, g_b, theta_abcd, theta_abdc
+
+
+class TestLegality:
+    def test_valid_sequence(self):
+        graph = g_a()
+        strategy = Strategy(graph, ["Rp", "Dp", "Rg", "Dg"])
+        assert strategy.arc_names() == ("Rp", "Dp", "Rg", "Dg")
+
+    def test_interleaved_but_legal(self):
+        graph = g_a()
+        strategy = Strategy(graph, ["Rp", "Rg", "Dp", "Dg"])
+        assert not strategy.is_path_structured()
+
+    def test_child_before_parent_rejected(self):
+        graph = g_a()
+        with pytest.raises(IllegalStrategyError, match="before its parent"):
+            Strategy(graph, ["Dp", "Rp", "Rg", "Dg"])
+
+    def test_missing_arc_rejected(self):
+        graph = g_a()
+        with pytest.raises(IllegalStrategyError, match="omits"):
+            Strategy(graph, ["Rp", "Dp", "Rg"])
+
+    def test_duplicate_arc_rejected(self):
+        graph = g_a()
+        with pytest.raises(IllegalStrategyError, match="twice"):
+            Strategy(graph, ["Rp", "Dp", "Rp", "Dg"])
+
+    def test_foreign_arc_rejected(self):
+        graph_one = g_a()
+        graph_two = g_a()
+        foreign = graph_two.arc("Rp")
+        with pytest.raises(IllegalStrategyError):
+            Strategy(graph_one, [foreign, graph_one.arc("Dp"),
+                                 graph_one.arc("Rg"), graph_one.arc("Dg")])
+
+
+class TestConstructors:
+    def test_depth_first_default(self):
+        graph = g_b()
+        strategy = Strategy.depth_first(graph)
+        assert strategy.arc_names() == (
+            "Rga", "Da", "Rgs", "Rsb", "Db", "Rst", "Rtc", "Dc", "Rtd", "Dd",
+        )
+
+    def test_depth_first_child_order_override(self):
+        graph = g_a()
+        strategy = Strategy.depth_first(
+            graph, child_order={"instructor": ["Rg", "Rp"]}
+        )
+        assert strategy.arc_names() == ("Rg", "Dg", "Rp", "Dp")
+
+    def test_from_retrieval_order(self):
+        graph = g_b()
+        strategy = Strategy.from_retrieval_order(graph, ["Dd", "Da", "Dc", "Db"])
+        assert strategy.arc_names() == (
+            "Rgs", "Rst", "Rtd", "Dd", "Rga", "Da", "Rtc", "Dc", "Rsb", "Db",
+        )
+        assert strategy.is_path_structured()
+
+    def test_from_retrieval_order_requires_all(self):
+        graph = g_b()
+        with pytest.raises(IllegalStrategyError):
+            Strategy.from_retrieval_order(graph, ["Dd", "Da"])
+
+    def test_from_retrieval_order_rejects_duplicates(self):
+        graph = g_a()
+        with pytest.raises(IllegalStrategyError):
+            Strategy.from_retrieval_order(graph, ["Dp", "Dp"])
+
+
+class TestPaths:
+    def test_note3_decomposition_of_theta_abcd(self):
+        graph = g_b()
+        pieces = theta_abcd(graph).paths()
+        assert [[a.name for a in piece] for piece in pieces] == [
+            ["Rga", "Da"],
+            ["Rgs", "Rsb", "Db"],
+            ["Rst", "Rtc", "Dc"],
+            ["Rtd", "Dd"],
+        ]
+
+    def test_path_structured_detection(self):
+        graph = g_b()
+        assert theta_abcd(graph).is_path_structured()
+
+    def test_retrieval_order(self):
+        graph = g_b()
+        assert [a.name for a in theta_abcd(graph).retrieval_order()] == [
+            "Da", "Db", "Dc", "Dd",
+        ]
+
+
+class TestSwap:
+    def test_swap_siblings_ga(self):
+        graph = g_a()
+        theta1 = Strategy(graph, ["Rp", "Dp", "Rg", "Dg"])
+        theta2 = theta1.with_swap("Rp", "Rg")
+        assert theta2.arc_names() == ("Rg", "Dg", "Rp", "Dp")
+
+    def test_swap_is_involution(self):
+        graph = g_b()
+        strategy = theta_abcd(graph)
+        swapped_twice = strategy.with_swap("Rtc", "Rtd").with_swap("Rtc", "Rtd")
+        assert swapped_twice.arc_names() == strategy.arc_names()
+
+    def test_paper_tau_dc(self):
+        graph = g_b()
+        assert theta_abcd(graph).with_swap("Rtd", "Rtc").arc_names() == \
+            theta_abdc(graph).arc_names()
+
+    def test_swap_different_sized_subtrees(self):
+        graph = g_b()
+        # Rsb subtree has 2 arcs, Rst subtree has 5.
+        swapped = theta_abcd(graph).with_swap("Rsb", "Rst")
+        assert swapped.arc_names() == (
+            "Rga", "Da", "Rgs", "Rst", "Rtc", "Dc", "Rtd", "Dd", "Rsb", "Db",
+        )
+
+    def test_swap_non_siblings_rejected(self):
+        graph = g_b()
+        with pytest.raises(IllegalStrategyError):
+            theta_abcd(graph).with_swap("Rga", "Rsb")
+
+    def test_swap_self_rejected(self):
+        graph = g_a()
+        with pytest.raises(IllegalStrategyError):
+            Strategy.depth_first(graph).with_swap("Rp", "Rp")
+
+
+class TestSequenceProtocol:
+    def test_len_iter_getitem(self):
+        graph = g_a()
+        strategy = Strategy.depth_first(graph)
+        assert len(strategy) == 4
+        assert strategy[0].name == "Rp"
+        assert [a.name for a in strategy] == list(strategy.arc_names())
+
+    def test_position(self):
+        graph = g_a()
+        strategy = Strategy.depth_first(graph)
+        assert strategy.position("Dg") == 3
+        assert strategy.position(graph.arc("Rp")) == 0
+
+    def test_equality(self):
+        graph = g_a()
+        assert Strategy.depth_first(graph) == Strategy(
+            graph, ["Rp", "Dp", "Rg", "Dg"]
+        )
+        assert Strategy.depth_first(graph) != Strategy(
+            graph, ["Rg", "Dg", "Rp", "Dp"]
+        )

@@ -1,0 +1,140 @@
+"""Tests for the integrated self-optimizing query processor (Figure 4)."""
+
+import random
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.terms import Atom, Constant, Variable
+from repro.graphs.contexts import LazyDatalogContext
+from repro.system import SelfOptimizingQueryProcessor
+from repro.workloads import db1, university_rule_base
+
+
+class TestLazyDatalogContext:
+    def test_statuses_resolved_on_demand(self):
+        from repro.workloads import g_a, theta_2
+        from repro.strategies import execute
+
+        graph = g_a()
+        context = LazyDatalogContext(
+            graph, parse_query("instructor(manolis)"), db1()
+        )
+        assert context.probed() == {}
+        result = execute(theta_2(graph), context)
+        # Θ2 stops at Dg: Dp never probed — the monitor is unobtrusive.
+        assert result.succeeded
+        assert context.probed() == {"Dg": True}
+
+    def test_matches_eager_context(self):
+        from repro.graphs.contexts import context_from_datalog
+        from repro.workloads import g_a
+
+        graph = g_a()
+        for name in ("manolis", "russ", "fred"):
+            query = parse_query(f"instructor({name})")
+            lazy = LazyDatalogContext(graph, query, db1())
+            eager = context_from_datalog(graph, query, db1())
+            for arc in graph.experiments():
+                assert lazy.traversable(arc) == eager.traversable(arc)
+
+
+class TestQueryAnswering:
+    def setup_method(self):
+        self.qp = SelfOptimizingQueryProcessor(university_rule_base())
+        self.db = db1()
+
+    def test_ground_query_yes(self):
+        answer = self.qp.query(parse_query("instructor(manolis)"), self.db)
+        assert answer.proved and answer.learned
+        assert answer.cost == 4.0  # initial depth-first strategy
+
+    def test_ground_query_no(self):
+        answer = self.qp.query(parse_query("instructor(fred)"), self.db)
+        assert not answer.proved
+        assert answer.cost == 4.0  # searched the whole graph
+
+    def test_open_query_binds_variables(self):
+        answer = self.qp.query(parse_query("instructor(X)"), self.db)
+        assert answer.proved
+        assert answer.substitution[Variable("X")] in (
+            Constant("russ"), Constant("manolis"),
+        )
+
+    def test_forms_are_tracked_separately(self):
+        self.qp.query(parse_query("instructor(manolis)"), self.db)
+        self.qp.query(parse_query("instructor(X)"), self.db)
+        report = self.qp.report()
+        assert "instructor^(b)" in report
+        assert "instructor^(f)" in report
+
+
+class TestLearningThroughTheSystem:
+    def test_strategy_improves_with_a_skewed_stream(self):
+        qp = SelfOptimizingQueryProcessor(university_rule_base(), delta=0.05)
+        database = db1()
+        rng = random.Random(0)
+        names = ["manolis"] * 70 + ["russ"] * 10 + ["fred"] * 20
+        climbed = False
+        for _ in range(700):
+            name = rng.choice(names)
+            answer = qp.query(parse_query(f"instructor({name})"), database)
+            climbed = climbed or answer.climbed
+        from repro.datalog.rules import QueryForm
+
+        strategy = qp.strategy_for(QueryForm("instructor", "b"))
+        assert climbed
+        assert strategy.arc_names()[0] == "Rg"  # grads first
+        history = qp.climb_history(QueryForm("instructor", "b"))
+        assert len(history) == 1
+
+    def test_costs_drop_after_the_climb(self):
+        qp = SelfOptimizingQueryProcessor(university_rule_base(), delta=0.05)
+        database = db1()
+        query = parse_query("instructor(manolis)")
+        before = qp.query(query, database).cost
+        rng = random.Random(1)
+        for _ in range(600):
+            qp.query(parse_query("instructor(manolis)"), database)
+        after = qp.query(query, database).cost
+        assert before == 4.0 and after == 2.0
+
+
+class TestFallback:
+    def test_conjunctive_form_falls_back_to_sld(self):
+        rules = parse_program("""
+            eligible(X) :- enrolled(X), paid(X).
+        """)
+        qp = SelfOptimizingQueryProcessor(rules)
+        database = Database.from_program("enrolled(a). paid(a). enrolled(b).")
+        yes = qp.query(parse_query("eligible(a)"), database)
+        no = qp.query(parse_query("eligible(b)"), database)
+        assert yes.proved and not yes.learned
+        assert not no.proved
+        assert "eligible^(b)" in qp.report()
+        assert "fallback" in qp.report()["eligible^(b)"]
+
+    def test_recursive_form_falls_back_without_depth(self):
+        rules = parse_program("""
+            path(X, Y) :- edge(X, Y).
+            path(X, Y) :- edge(X, Z), path(Z, Y).
+        """)
+        qp = SelfOptimizingQueryProcessor(rules)
+        database = Database.from_program("edge(a, b). edge(b, c).")
+        answer = qp.query(parse_query("path(a, c)"), database)
+        assert answer.proved and not answer.learned
+
+    def test_mixed_workload(self):
+        rules = parse_program("""
+            @Rp instructor(X) :- prof(X).
+            @Rg instructor(X) :- grad(X).
+            senior(X) :- prof(X), tenured(X).
+        """)
+        qp = SelfOptimizingQueryProcessor(rules)
+        database = Database.from_program(
+            "prof(russ). grad(manolis). tenured(russ)."
+        )
+        learned = qp.query(parse_query("instructor(russ)"), database)
+        fallback = qp.query(parse_query("senior(russ)"), database)
+        assert learned.learned and fallback.proved and not fallback.learned

@@ -1,0 +1,144 @@
+"""Unit tests for the ratio machinery and the Υ optimizers."""
+
+import random
+
+import pytest
+
+from repro.errors import DistributionError
+from repro.graphs.inference_graph import GraphBuilder
+from repro.graphs.random_graphs import random_instance
+from repro.optimal.brute_force import optimal_strategy_brute_force
+from repro.optimal.ratio import Block, block_statistics
+from repro.optimal.upsilon import upsilon_aot, upsilon_ot
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.strategies.strategy import Strategy
+from repro.workloads import (
+    g_a,
+    g_b,
+    intended_probabilities,
+    section4_estimates,
+    theta_1,
+    theta_2,
+)
+
+
+class TestBlockStatistics:
+    def test_single_retrieval_block(self):
+        graph = g_a()
+        expected, success = block_statistics(
+            graph, [graph.arc("Rp"), graph.arc("Dp")], {"Dp": 0.3, "Dg": 0.5}
+        )
+        assert expected == pytest.approx(2.0)
+        assert success == pytest.approx(0.3)
+
+    def test_block_with_two_retrievals(self):
+        graph = g_a()
+        arcs = [graph.arc(name) for name in ("Rp", "Dp", "Rg", "Dg")]
+        expected, success = block_statistics(graph, arcs, {"Dp": 0.3, "Dg": 0.5})
+        assert expected == pytest.approx(2.0 + 0.7 * 2.0)
+        assert success == pytest.approx(0.3 + 0.7 * 0.5)
+
+    def test_internal_blocking_prunes(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True, cost=2.0)
+        builder.retrieval("Dx", "x", cost=3.0)
+        graph = builder.build()
+        expected, success = block_statistics(
+            graph, [graph.arc("Rb"), graph.arc("Dx")], {"Rb": 0.5, "Dx": 0.8}
+        )
+        assert expected == pytest.approx(2.0 + 0.5 * 3.0)
+        assert success == pytest.approx(0.5 * 0.8)
+
+    def test_block_ratio(self):
+        graph = g_a()
+        block = Block(graph, [graph.arc("Rp"), graph.arc("Dp")],
+                      {"Dp": 0.3, "Dg": 0.5})
+        assert block.ratio == pytest.approx(0.15)
+
+    def test_merge_requires_attachment(self):
+        graph = g_a()
+        probs = {"Dp": 0.3, "Dg": 0.5}
+        rp = Block(graph, [graph.arc("Rp")], probs)
+        dg = Block(graph, [graph.arc("Dg")], probs)
+        with pytest.raises(ValueError):
+            rp.merged_with(dg, probs)
+
+
+class TestUpsilonOnPaperExamples:
+    def test_ga_intended_probs_gives_theta2(self):
+        graph = g_a()
+        result = upsilon_aot(graph, intended_probabilities())
+        assert result.arc_names() == theta_2(graph).arc_names()
+
+    def test_ga_section4_estimates_give_theta1(self):
+        graph = g_a()
+        result = upsilon_aot(graph, section4_estimates())
+        assert result.arc_names() == theta_1(graph).arc_names()
+
+    def test_upsilon_ot_requires_simple_disjunctive(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True)
+        builder.retrieval("Dx", "x")
+        graph = builder.build()
+        with pytest.raises(DistributionError):
+            upsilon_ot(graph, {"Rb": 0.5, "Dx": 0.5})
+        # But Υ_AOT handles it.
+        upsilon_aot(graph, {"Rb": 0.5, "Dx": 0.5})
+
+    def test_missing_probability_rejected(self):
+        with pytest.raises(DistributionError):
+            upsilon_aot(g_a(), {"Dp": 0.5})
+
+    def test_result_is_legal_and_complete(self):
+        graph = g_b()
+        strategy = upsilon_aot(
+            graph, {"Da": 0.2, "Db": 0.4, "Dc": 0.6, "Dd": 0.8}
+        )
+        assert sorted(strategy.arc_names()) == sorted(
+            a.name for a in graph.arcs()
+        )
+
+
+class TestUpsilonOptimality:
+    def test_matches_brute_force_on_gb(self):
+        graph = g_b()
+        for seed in range(10):
+            rng = random.Random(seed)
+            probs = {name: rng.uniform(0.05, 0.95)
+                     for name in ("Da", "Db", "Dc", "Dd")}
+            upsilon_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+            _, brute_cost = optimal_strategy_brute_force(graph, probs)
+            assert upsilon_cost == pytest.approx(brute_cost)
+
+    def test_matches_brute_force_on_random_disjunctive(self):
+        rng = random.Random(7)
+        for _ in range(20):
+            graph, probs = random_instance(rng, n_internal=3, n_retrievals=5)
+            upsilon_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+            _, brute_cost = optimal_strategy_brute_force(graph, probs)
+            assert upsilon_cost == pytest.approx(brute_cost)
+
+    def test_matches_brute_force_with_internal_experiments(self):
+        rng = random.Random(11)
+        for _ in range(20):
+            graph, probs = random_instance(
+                rng, n_internal=3, n_retrievals=5,
+                blockable_reduction_rate=0.5,
+            )
+            upsilon_cost = expected_cost_exact(upsilon_aot(graph, probs), probs)
+            _, brute_cost = optimal_strategy_brute_force(graph, probs)
+            assert upsilon_cost == pytest.approx(brute_cost)
+
+    def test_deterministic_output(self):
+        graph = g_b()
+        probs = {"Da": 0.3, "Db": 0.3, "Dc": 0.3, "Dd": 0.3}
+        first = upsilon_aot(graph, probs).arc_names()
+        second = upsilon_aot(graph, probs).arc_names()
+        assert first == second
+
+    def test_extreme_probabilities(self):
+        graph = g_a()
+        sure = upsilon_aot(graph, {"Dp": 1.0, "Dg": 0.0})
+        assert sure.arc_names()[0] == "Rp"
+        hopeless = upsilon_aot(graph, {"Dp": 0.0, "Dg": 0.0})
+        assert sorted(hopeless.arc_names()) == ["Dg", "Dp", "Rg", "Rp"]

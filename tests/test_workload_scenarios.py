@@ -1,0 +1,201 @@
+"""Unit tests for the paper's concrete workloads: university, Figure 2,
+segmented distributed scan, and negation-as-failure."""
+
+import random
+
+import pytest
+
+from repro.datalog.engine import TopDownEngine
+from repro.datalog.parser import parse_query
+from repro.errors import DistributionError
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.workloads import (
+    OWNERSHIP_CATEGORIES,
+    OwnershipDistribution,
+    SegmentAccessDistribution,
+    SegmentedTable,
+    db1,
+    db2,
+    first_k_cost,
+    g_a,
+    g_b,
+    intended_probabilities,
+    minors_only_mix,
+    ownership_database,
+    pauper_rule_base,
+    printed_query_mix,
+    refutation_graph,
+    segment_scan_graph,
+    theta_1,
+    theta_2,
+    theta_abcd,
+    theta_abdc,
+    theta_acdb,
+    university_rule_base,
+)
+
+
+class TestUniversityWorkload:
+    def test_db1_contents(self):
+        database = db1()
+        assert database.succeeds(parse_query("prof(russ)"))
+        assert database.succeeds(parse_query("grad(manolis)"))
+        assert len(database) == 2
+
+    def test_db2_counts(self):
+        database = db2()
+        assert database.count("prof", 1) == 2000
+        assert database.count("grad", 1) == 500
+
+    def test_printed_mix_is_transposed_intended(self):
+        from repro.workloads import intended_query_mix
+
+        printed = printed_query_mix()
+        intended = intended_query_mix()
+        assert printed["russ"] == intended["manolis"]
+        assert printed["manolis"] == intended["russ"]
+        assert printed["fred"] == intended["fred"]
+
+    def test_minors_only_mix_uniform_over_grads(self):
+        database = db2(n_prof=10, n_grad=4)
+        mix = minors_only_mix(database)
+        assert len(mix) == 4
+        assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_minors_only_requires_grads(self):
+        from repro.datalog.database import Database
+
+        with pytest.raises(ValueError):
+            minors_only_mix(Database())
+
+    def test_engine_answers_match_graph_costs(self):
+        engine = TopDownEngine(university_rule_base())
+        database = db1()
+        answer = engine.prove(parse_query("instructor(manolis)"), database)
+        assert answer.proved and answer.trace.cost == 4.0
+
+
+class TestFigure2Workload:
+    def test_strategies_are_permutations_of_gb(self):
+        graph = g_b()
+        for strategy in (theta_abcd(graph), theta_abdc(graph), theta_acdb(graph)):
+            assert sorted(strategy.arc_names()) == sorted(
+                arc.name for arc in graph.arcs()
+            )
+
+    def test_motivating_context_prefers_alternatives(self):
+        """In the Section 3.2 context (D_a, D_b, D_c fail, D_d succeeds),
+        both named alternatives cost less."""
+        from repro.graphs.contexts import Context
+        from repro.strategies.execution import cost_of
+
+        graph = g_b()
+        context = Context(graph, {
+            "Da": False, "Db": False, "Dc": False, "Dd": True,
+        })
+        base = cost_of(theta_abcd(graph), context)
+        assert cost_of(theta_abdc(graph), context) < base
+        assert cost_of(theta_acdb(graph), context) < base
+
+
+class TestSegmentedTable:
+    def make_table(self):
+        return SegmentedTable(
+            segments=["fast", "slow"],
+            scan_costs={"fast": 1.0, "slow": 4.0},
+            hit_rates={"fast": 0.3, "slow": 0.6},
+        )
+
+    def test_optimal_order_by_ratio(self):
+        table = self.make_table()
+        # fast: 0.3/1 = 0.3; slow: 0.6/4 = 0.15 → fast first.
+        assert table.optimal_order() == ["fast", "slow"]
+
+    def test_expected_cost_formula(self):
+        table = self.make_table()
+        # fast first: 0.3·1 + 0.6·5 + 0.1·5 = 3.8.
+        assert table.expected_cost(["fast", "slow"]) == pytest.approx(3.8)
+        # slow first: 0.6·4 + 0.3·5 + 0.1·5 = 4.4.
+        assert table.expected_cost(["slow", "fast"]) == pytest.approx(4.4)
+
+    def test_optimal_order_minimizes(self):
+        table = self.make_table()
+        best = table.expected_cost(table.optimal_order())
+        assert best <= table.expected_cost(["slow", "fast"])
+
+    def test_hit_rates_capped(self):
+        with pytest.raises(DistributionError):
+            SegmentedTable(["a"], {"a": 1.0}, {"a": 1.5})
+
+    def test_distribution_support_matches_graph_costs(self):
+        table = self.make_table()
+        graph = segment_scan_graph(table)
+        distribution = SegmentAccessDistribution(graph, table)
+        for order in (["fast", "slow"], ["slow", "fast"]):
+            strategy = distribution.strategy_for_order(order)
+            assert distribution.expected_cost(strategy) == pytest.approx(
+                table.expected_cost(order)
+            )
+
+    def test_sampled_contexts_have_at_most_one_home(self):
+        table = self.make_table()
+        graph = segment_scan_graph(table)
+        distribution = SegmentAccessDistribution(graph, table)
+        rng = random.Random(0)
+        for _ in range(200):
+            context = distribution.sample(rng)
+            homes = sum(
+                context.traversable(arc) for arc in graph.retrieval_arcs()
+            )
+            assert homes <= 1
+
+
+class TestNAFWorkload:
+    def test_refutation_graph_shape(self):
+        graph = refutation_graph()
+        assert len(graph.retrieval_arcs()) == len(OWNERSHIP_CATEGORIES)
+
+    def test_distribution_probabilities(self):
+        graph = refutation_graph()
+        distribution = OwnershipDistribution(graph)
+        probs = distribution.arc_probabilities()
+        assert probs["D_vehicle"] == OWNERSHIP_CATEGORIES["vehicle"][1]
+
+    def test_pauper_queries_end_to_end(self):
+        rng = random.Random(1)
+        database = ownership_database(rng, n_people=30)
+        engine = TopDownEngine(pauper_rule_base())
+        paupers = 0
+        for index in range(30):
+            if engine.holds(parse_query(f"pauper(person{index})"), database):
+                paupers += 1
+        # With the default rates most people own something.
+        assert 0 < paupers < 30
+
+    def test_first_k_cost_stops_early(self):
+        rng = random.Random(2)
+        database = ownership_database(rng, n_people=40)
+        engine = TopDownEngine(pauper_rule_base())
+        found, cost_two = first_k_cost(
+            engine, parse_query("pauper(X)"), database, k=2
+        )
+        assert found == 2
+        _, cost_five = first_k_cost(
+            engine, parse_query("pauper(X)"), database, k=5
+        )
+        assert cost_five >= cost_two
+
+    def test_first_k_validates_k(self):
+        engine = TopDownEngine(pauper_rule_base())
+        with pytest.raises(ValueError):
+            first_k_cost(engine, parse_query("pauper(X)"),
+                         ownership_database(random.Random(3), 5), k=0)
+
+    def test_first_k_no_answers(self):
+        from repro.datalog.database import Database
+
+        engine = TopDownEngine(pauper_rule_base())
+        found, cost = first_k_cost(
+            engine, parse_query("pauper(X)"), Database(), k=3
+        )
+        assert found == 0 and cost >= 0

@@ -1,0 +1,92 @@
+"""Additional workload edge-case tests: university details, figure-2
+probabilities, mixtures over the paper's graphs."""
+
+import random
+
+import pytest
+
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.workloads import (
+    IndependentDistribution,
+    MixtureDistribution,
+    figure2_probabilities,
+    g_a,
+    g_b,
+    intended_probabilities,
+    printed_query_mix,
+    intended_query_mix,
+    section4_probabilities,
+    theta_1,
+    theta_2,
+    theta_abcd,
+    theta_abdc,
+    theta_acdb,
+    university_rule_base,
+)
+
+
+class TestUniversityMetadata:
+    def test_rule_base_is_simple_disjunctive(self):
+        assert all(rule.is_disjunctive_simple for rule in university_rule_base())
+
+    def test_graph_carries_rules(self):
+        graph = g_a()
+        assert graph.arc("Rp").rule.name == "Rp"
+        assert graph.arc("Rg").rule.name == "Rg"
+
+    def test_mixes_sum_to_one(self):
+        for mix in (printed_query_mix(), intended_query_mix()):
+            assert sum(mix.values()) == pytest.approx(1.0)
+
+    def test_section4_vector_prefers_theta2(self):
+        graph = g_a()
+        probs = section4_probabilities()  # ⟨0.2, 0.6⟩
+        assert expected_cost_exact(theta_2(graph), probs) < \
+            expected_cost_exact(theta_1(graph), probs)
+
+
+class TestFigure2Costs:
+    def test_motivating_distribution_ranks_strategies(self):
+        graph = g_b()
+        probs = figure2_probabilities()
+        c_abcd = expected_cost_exact(theta_abcd(graph), probs)
+        c_abdc = expected_cost_exact(theta_abdc(graph), probs)
+        c_acdb = expected_cost_exact(theta_acdb(graph), probs)
+        # Both named moves improve; promoting the whole S subtree more so.
+        assert c_abdc < c_abcd
+        assert c_acdb < c_abcd
+
+    def test_uniform_probabilities_make_order_cost_depth_driven(self):
+        graph = g_b()
+        uniform = {name: 0.5 for name in ("Da", "Db", "Dc", "Dd")}
+        # D_a sits on the cheapest path; trying it first is optimal.
+        from repro.optimal import upsilon_aot
+
+        best = upsilon_aot(graph, uniform)
+        assert best.retrieval_order()[0].name == "Da"
+
+
+class TestMixturesOnPaperGraphs:
+    def test_mixture_breaks_independence_but_pib_still_learns(self):
+        graph = g_a()
+        grad_heavy = IndependentDistribution(graph, {"Dp": 0.05, "Dg": 0.9})
+        prof_heavy = IndependentDistribution(graph, {"Dp": 0.9, "Dg": 0.05})
+        mixture = MixtureDistribution([(0.8, grad_heavy), (0.2, prof_heavy)])
+
+        from repro.learning import PIB
+
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        pib.run(mixture.sampler(random.Random(0)), 1200)
+        assert pib.strategy.arc_names() == theta_2(graph).arc_names()
+
+    def test_mixture_marginals_are_blends(self):
+        graph = g_a()
+        a = IndependentDistribution(graph, {"Dp": 0.0, "Dg": 1.0})
+        b = IndependentDistribution(graph, {"Dp": 1.0, "Dg": 0.0})
+        mixture = MixtureDistribution([(0.25, a), (0.75, b)])
+        support = mixture.support()
+        dp_marginal = sum(
+            weight for weight, context in support
+            if context.traversable(graph.arc("Dp"))
+        )
+        assert dp_marginal == pytest.approx(0.75)
