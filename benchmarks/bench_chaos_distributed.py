@@ -1,0 +1,27 @@
+"""Experiment A1b: segmented scans under injected faults (§5.2 + chaos).
+
+The same workload as A1, but every segment flakes with its own
+transient failure rate (the archive also times out), execution runs
+through the resilience layer (retries with jittered backoff, per-arc
+breakers), and the learner is killed and restored from a checkpoint at
+the halfway point.  PIB must still converge to the provably optimal
+ratio order — the settled-outcome reporting keeps fault noise out of
+the Δ̃ statistics — and the crash round trip must be byte-identical.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_distributed_faulty
+
+
+def test_distributed_scan_ordering_under_faults(benchmark):
+    result = benchmark.pedantic(
+        experiment_distributed_faulty,
+        kwargs={"contexts": 6000},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["learned_order"] == result.data["optimal_order"]
+    assert result.data["billed_cost"] >= result.data["settled_cost"]

@@ -37,10 +37,28 @@ Quickstart::
     print(learner.strategy)          # climbs to Θ₂ = ⟨Rg Dg Rp Dp⟩
 """
 
-from . import datalog, graphs, strategies, optimal, learning, workloads
+from . import (
+    datalog,
+    graphs,
+    strategies,
+    optimal,
+    learning,
+    resilience,
+    workloads,
+)
 from .system import SelfOptimizingQueryProcessor, SystemAnswer
 from .persistence import load_pib, pib_from_dict, pib_to_dict, save_pib
+from .resilience import (
+    FaultPlan,
+    FaultSpec,
+    FlakyContext,
+    FlakyDatabase,
+    ResiliencePolicy,
+    RetryPolicy,
+)
 from .errors import (
+    CheckpointError,
+    CircuitOpenError,
     DatalogError,
     DistributionError,
     EvaluationError,
@@ -48,8 +66,11 @@ from .errors import (
     IllegalStrategyError,
     LearningError,
     ParseError,
+    QueryDeadlineExceeded,
     RecursionLimitError,
     ReproError,
+    ResilienceError,
+    RetrievalFaultError,
     SampleBudgetExceeded,
     StrategyError,
     StratificationError,
@@ -70,7 +91,16 @@ __all__ = [
     "strategies",
     "optimal",
     "learning",
+    "resilience",
     "workloads",
+    "FaultPlan",
+    "FaultSpec",
+    "FlakyContext",
+    "FlakyDatabase",
+    "ResiliencePolicy",
+    "RetryPolicy",
+    "CheckpointError",
+    "CircuitOpenError",
     "DatalogError",
     "DistributionError",
     "EvaluationError",
@@ -78,8 +108,11 @@ __all__ = [
     "IllegalStrategyError",
     "LearningError",
     "ParseError",
+    "QueryDeadlineExceeded",
     "RecursionLimitError",
     "ReproError",
+    "ResilienceError",
+    "RetrievalFaultError",
     "SampleBudgetExceeded",
     "StrategyError",
     "StratificationError",

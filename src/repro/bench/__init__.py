@@ -12,6 +12,7 @@ from .experiments import (
     experiment_comparison,
     experiment_learning_curve,
     experiment_distributed,
+    experiment_distributed_faulty,
     experiment_figure1,
     experiment_figure2_pib,
     experiment_lemma1,
@@ -37,6 +38,7 @@ __all__ = [
     "experiment_comparison",
     "experiment_learning_curve",
     "experiment_distributed",
+    "experiment_distributed_faulty",
     "experiment_figure1",
     "experiment_figure2_pib",
     "experiment_lemma1",

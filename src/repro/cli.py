@@ -29,6 +29,7 @@ from .datalog.engine import TopDownEngine
 from .datalog.parser import parse_program, parse_query
 from .datalog.rules import QueryForm
 from .graphs.builder import build_inference_graph
+from .errors import ReproError
 from .optimal.upsilon import upsilon_aot
 from .system import SelfOptimizingQueryProcessor
 
@@ -83,14 +84,30 @@ def cmd_query(args: argparse.Namespace, out) -> int:
     return 0 if answer.proved else 1
 
 
+def _resilience_from_args(args: argparse.Namespace):
+    """A :class:`ResiliencePolicy` when any resilience flag is set."""
+    if not (args.retries or args.deadline):
+        return None
+    from .resilience import ResiliencePolicy, RetryPolicy
+
+    retry = RetryPolicy(max_attempts=args.retries or 3)
+    return ResiliencePolicy(retry=retry, deadline=args.deadline)
+
+
 def cmd_learn(args: argparse.Namespace, out) -> int:
     rules = _load_rules(args.rules)
     facts = _load_facts(args.facts)
     processor = SelfOptimizingQueryProcessor(
-        rules, delta=args.delta, max_depth=args.max_depth
+        rules,
+        delta=args.delta,
+        max_depth=args.max_depth,
+        resilience=_resilience_from_args(args),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
     )
     total_cost = 0.0
     count = 0
+    degraded = 0
     with open(args.queries, encoding="utf-8") as handle:
         for line in handle:
             line = line.split("%", 1)[0].strip()
@@ -99,13 +116,22 @@ def cmd_learn(args: argparse.Namespace, out) -> int:
             answer = processor.query(parse_query(line), facts)
             total_cost += answer.cost
             count += 1
+            if answer.degraded:
+                degraded += 1
+                if not args.quiet:
+                    print(f"[degraded query #{count}: {answer.incident}]",
+                          file=out)
             if answer.climbed and not args.quiet:
                 print(f"[climb after query #{count}: {line}]", file=out)
+    if args.checkpoint_dir:
+        processor.checkpoint_now()
     if count == 0:
         print("no queries in the stream", file=out)
         return 1
     print(f"processed {count} queries, mean cost "
           f"{total_cost / count:.3f}", file=out)
+    if degraded:
+        print(f"degraded (fallback) answers: {degraded}", file=out)
     for form, info in sorted(processor.report().items()):
         print(f"form {form}:", file=out)
         for key, value in info.items():
@@ -160,11 +186,22 @@ def build_parser() -> argparse.ArgumentParser:
     learn.add_argument("--rules", required=True)
     learn.add_argument("--facts", required=True)
     learn.add_argument("--queries", required=True,
-                       help="file with one query per line (% comments)")
+                       help="file with one query per line (%% comments)")
     learn.add_argument("--delta", type=float, default=0.05,
                        help="PIB mistake budget (Theorem 1)")
     learn.add_argument("--max-depth", type=int, default=None)
     learn.add_argument("--quiet", action="store_true")
+    learn.add_argument("--retries", type=int, default=0,
+                       help="retry faulted retrievals up to N attempts "
+                            "(enables the resilience layer)")
+    learn.add_argument("--deadline", type=float, default=None,
+                       help="per-query cost budget; over-budget queries "
+                            "degrade to the SLD fallback")
+    learn.add_argument("--checkpoint-dir", default=None,
+                       help="directory for crash-safe per-form PIB "
+                            "checkpoints (resumes automatically)")
+    learn.add_argument("--checkpoint-every", type=int, default=25,
+                       help="checkpoint each form every N queries")
     learn.set_defaults(handler=cmd_learn)
 
     optimal = sub.add_parser(
@@ -187,7 +224,7 @@ def main(argv: Optional[Sequence[str]] = None, out=None) -> int:
     args = build_parser().parse_args(argv)
     try:
         return args.handler(args, out)
-    except (OSError, ValueError) as error:
+    except (OSError, ValueError, ReproError) as error:
         print(f"error: {error}", file=out)
         return 2
 

@@ -21,6 +21,11 @@ __all__ = [
     "DistributionError",
     "LearningError",
     "SampleBudgetExceeded",
+    "ResilienceError",
+    "RetrievalFaultError",
+    "QueryDeadlineExceeded",
+    "CircuitOpenError",
+    "CheckpointError",
 ]
 
 
@@ -88,3 +93,65 @@ class LearningError(ReproError):
 
 class SampleBudgetExceeded(LearningError):
     """Raised when a learner exhausts its sample budget before finishing."""
+
+
+class ResilienceError(ReproError):
+    """Base class for failures in the resilient execution layer."""
+
+
+class RetrievalFaultError(ResilienceError):
+    """A *transient* fault while attempting a database retrieval.
+
+    Unlike a blocked arc — a definitive "these facts are not here" —
+    a fault carries no information about the context: the segment timed
+    out, the connection dropped, the scan must be retried.  ``arc_name``
+    identifies the attempted arc; ``timeout`` distinguishes simulated
+    timeouts from plain faults; ``cost_multiplier`` scales the charge
+    for the wasted attempt (a timeout burns more of the cost budget
+    than a fast connection refusal).
+    """
+
+    def __init__(self, arc_name, timeout=False, cost_multiplier=1.0):
+        kind = "timeout" if timeout else "transient fault"
+        super().__init__(f"{kind} while attempting arc {arc_name!r}")
+        self.arc_name = arc_name
+        self.timeout = timeout
+        self.cost_multiplier = float(cost_multiplier)
+
+
+class QueryDeadlineExceeded(ResilienceError):
+    """A query's cost deadline expired before the search finished.
+
+    ``spent`` is the cost charged up to the stop; ``budget`` the
+    per-query deadline it ran into.
+    """
+
+    def __init__(self, spent, budget):
+        super().__init__(
+            f"query deadline exceeded: spent {spent:g} of budget {budget:g}"
+        )
+        self.spent = float(spent)
+        self.budget = float(budget)
+
+
+class CircuitOpenError(ResilienceError):
+    """An arc's circuit breaker is open: attempts are being shed."""
+
+    def __init__(self, arc_name):
+        super().__init__(f"circuit open for arc {arc_name!r}")
+        self.arc_name = arc_name
+
+
+class CheckpointError(LearningError):
+    """A learner checkpoint is missing, truncated, or corrupt.
+
+    Wraps the raw ``FileNotFoundError`` / ``JSONDecodeError`` /
+    ``KeyError`` family so callers can treat every bad-state-file
+    condition uniformly.  ``path`` names the offending file when known.
+    """
+
+    def __init__(self, message, path=None):
+        if path is not None:
+            message = f"{message} (checkpoint: {path})"
+        super().__init__(message)
+        self.path = path

@@ -75,6 +75,17 @@ class Context:
             return True
         return self._statuses[arc.name]
 
+    def attempt(self, arc: Arc) -> Tuple[bool, float]:
+        """One attempt at ``arc``: ``(traversable, cost multiplier)``.
+
+        The hook :func:`~repro.strategies.execution.execute_resilient`
+        drives: a plain context always answers cleanly at unit charge,
+        while :class:`~repro.resilience.faults.FlakyContext` overrides
+        this to raise :class:`~repro.errors.RetrievalFaultError`
+        transiently or to attach a latency (cost) spike.
+        """
+        return self.traversable(arc), 1.0
+
     def blocked(self, arc: Arc) -> bool:
         """Whether ``arc`` is blocked in this context."""
         return not self.traversable(arc)

@@ -134,6 +134,26 @@ class PIB:
         were attached.
         """
         result = execute(self.strategy, context)
+        self.record(result)
+        return result
+
+    def record(self, result: ExecutionResult) -> None:
+        """Learn from an externally executed run of the current strategy.
+
+        This is :meth:`process` minus the execution — the hook the
+        resilient execution layer uses: it runs the strategy itself
+        (through retries, breakers, and deadlines) and hands PIB the
+        *settled* :class:`ExecutionResult`, so the Δ̃ accumulators only
+        ever see the stationary context distribution.  The result must
+        come from a run of ``self.strategy``; feeding a stale result
+        recorded before a climb would corrupt the accumulators.
+        """
+        if result.strategy is not self.strategy and tuple(
+            result.strategy.arc_names()
+        ) != tuple(self.strategy.arc_names()):
+            raise LearningError(
+                "recorded result was not produced by the current strategy"
+            )
         self.contexts_processed += 1
         self.retrieval_statistics.record(result)
         for accumulator in self._accumulators:
@@ -143,7 +163,6 @@ class PIB:
         if self._accumulators and self._since_last_test >= self.test_every:
             self._since_last_test = 0
             self._maybe_climb()
-        return result
 
     def run(
         self,

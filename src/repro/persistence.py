@@ -15,11 +15,13 @@ reference is validated against it.
 
 from __future__ import annotations
 
+import hashlib
 import json
+import os
 import re
 from typing import Dict, List, Optional, Union
 
-from .errors import LearningError
+from .errors import CheckpointError, LearningError
 from .graphs.inference_graph import InferenceGraph
 from .learning.pib import ClimbRecord, PIB
 from .learning.statistics import DeltaAccumulator
@@ -38,12 +40,30 @@ __all__ = [
     "pib_from_dict",
     "save_pib",
     "load_pib",
+    "backup_path",
+    "payload_checksum",
 ]
 
 _SWAP_RE = re.compile(r"^swap\(([^,()]+),([^,()]+)\)$")
 _PROMOTE_RE = re.compile(r"^promote\(([^()]+)\)$")
 
 _FORMAT_VERSION = 1
+
+#: Payload keys :func:`pib_from_dict` indexes; validated up front so a
+#: truncated or hand-edited file fails with one clear error instead of
+#: a raw ``KeyError`` deep in the restore.
+_REQUIRED_KEYS = (
+    "version",
+    "delta",
+    "test_every",
+    "total_tests",
+    "contexts_processed",
+    "strategy",
+    "transformations",
+    "retrieval_statistics",
+    "accumulators",
+    "history",
+)
 
 
 def strategy_to_dict(strategy: Strategy) -> Dict[str, object]:
@@ -124,12 +144,35 @@ def pib_from_dict(
     same strategy, same ``Δ̃`` sums, same sequential-test counter — so
     Theorem 1's budget keeps holding across the save/load boundary.
     """
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"PIB state payload must be an object, got {type(payload).__name__}"
+        )
+    missing = [key for key in _REQUIRED_KEYS if key not in payload]
+    if missing:
+        raise CheckpointError(
+            "PIB state payload is missing required keys: "
+            + ", ".join(missing)
+        )
     version = payload.get("version")
     if version != _FORMAT_VERSION:
         raise LearningError(
             f"unsupported PIB state version {version!r} "
             f"(this build writes {_FORMAT_VERSION})"
         )
+    try:
+        return _pib_from_validated(graph, payload)
+    except LearningError:
+        raise
+    except (KeyError, TypeError, ValueError, AttributeError) as error:
+        raise CheckpointError(
+            f"malformed PIB state payload: {error!r}"
+        ) from error
+
+
+def _pib_from_validated(
+    graph: InferenceGraph, payload: Dict[str, object]
+) -> PIB:
     transformations = [
         transformation_from_name(str(name))
         for name in payload["transformations"]
@@ -182,14 +225,96 @@ def pib_from_dict(
     return pib
 
 
+def payload_checksum(payload: Dict[str, object]) -> str:
+    """SHA-256 over the canonical JSON of ``payload`` sans checksum.
+
+    Canonical form (sorted keys, tight separators) makes the digest a
+    pure function of the *state*, independent of how the file was
+    pretty-printed — so a byte-level comparison of two checkpoints can
+    use the checksum alone.
+    """
+    body = {key: value for key, value in payload.items() if key != "checksum"}
+    canonical = json.dumps(body, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+def backup_path(path: str) -> str:
+    """Where :func:`save_pib` parks the previous good checkpoint."""
+    return path + ".bak"
+
+
 def save_pib(pib: PIB, path: str) -> None:
-    """Write a learner's state to ``path`` as JSON."""
-    with open(path, "w", encoding="utf-8") as handle:
-        json.dump(pib_to_dict(pib), handle, indent=2, sort_keys=True)
+    """Atomically write a learner's state to ``path`` as JSON.
+
+    Crash-safety contract (exercised in ``tests/test_crash_recovery``):
+    the state is written to a temporary sibling, flushed and fsynced,
+    and only then swapped in with :func:`os.replace`; the previously
+    good checkpoint is first swapped to ``path + ".bak"``.  A crash at
+    *any* step leaves either the old checkpoint, the backup, or both
+    intact — never a world with only a torn file.  Payloads carry a
+    SHA-256 ``checksum`` so :func:`load_pib` detects torn or edited
+    files and falls back to the backup.
+    """
+    payload = pib_to_dict(pib)
+    payload["checksum"] = payload_checksum(payload)
+    tmp_path = path + ".tmp"
+    with open(tmp_path, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.flush()
+        os.fsync(handle.fileno())
+    if os.path.exists(path):
+        os.replace(path, backup_path(path))
+    os.replace(tmp_path, path)
+    directory = os.path.dirname(os.path.abspath(path))
+    try:
+        dir_fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return  # e.g. Windows: directories are not fsyncable
+    try:
+        os.fsync(dir_fd)
+    finally:
+        os.close(dir_fd)
+
+
+def _load_payload(path: str) -> Dict[str, object]:
+    """One file's payload, checksum-verified; :class:`CheckpointError`
+    on any missing/torn/corrupt condition."""
+    try:
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+    except FileNotFoundError as error:
+        raise CheckpointError("checkpoint file not found", path) from error
+    except (json.JSONDecodeError, UnicodeDecodeError, OSError) as error:
+        raise CheckpointError(
+            f"checkpoint is not readable JSON: {error}", path
+        ) from error
+    if not isinstance(payload, dict):
+        raise CheckpointError("checkpoint is not a JSON object", path)
+    recorded = payload.get("checksum")
+    if recorded is not None and recorded != payload_checksum(payload):
+        raise CheckpointError("checkpoint checksum mismatch", path)
+    return payload
 
 
 def load_pib(graph: InferenceGraph, path: str) -> PIB:
-    """Restore a learner saved by :func:`save_pib` against ``graph``."""
-    with open(path, encoding="utf-8") as handle:
-        payload = json.load(handle)
-    return pib_from_dict(graph, payload)
+    """Restore a learner saved by :func:`save_pib` against ``graph``.
+
+    Recovery order: ``path`` itself, then — if ``path`` is missing,
+    torn, or fails its checksum — the ``path + ".bak"`` backup that
+    :func:`save_pib` keeps.  Only when both are unusable does the
+    :class:`~repro.errors.CheckpointError` propagate, describing both
+    failures.
+    """
+    try:
+        return pib_from_dict(graph, _load_payload(path))
+    except CheckpointError as primary:
+        fallback = backup_path(path)
+        if not os.path.exists(fallback):
+            raise
+        try:
+            return pib_from_dict(graph, _load_payload(fallback))
+        except CheckpointError as secondary:
+            raise CheckpointError(
+                f"checkpoint and backup both unusable: {primary}; {secondary}",
+                path,
+            ) from secondary

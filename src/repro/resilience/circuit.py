@@ -1,0 +1,128 @@
+"""Per-arc circuit breakers: closed → open → half-open → closed.
+
+A segment that faults once is flaky; a segment that faults on every
+attempt is *down*.  Retrying a down segment on every query burns the
+cost budget for nothing, so each arc gets a breaker:
+
+* **closed** — attempts flow through; ``failure_threshold``
+  consecutive settled *faults* (not blocked arcs — a blocked arc is a
+  successful attempt that learned the answer "no facts here") trip it;
+* **open** — attempts are shed without touching the arc; after
+  ``cooldown`` shed attempts the breaker moves to half-open;
+* **half-open** — one probe attempt is let through; success closes
+  the breaker, a fault re-opens it (and restarts the cooldown).
+
+Time is measured in *attempt events*, not wall clock: the executor is
+a simulation whose only clock is the sequence of attempts, and
+counting shed attempts keeps the breaker fully deterministic.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Dict
+
+from ..errors import ResilienceError
+
+__all__ = ["CircuitState", "CircuitBreaker", "CircuitBreakerBoard"]
+
+
+class CircuitState(enum.Enum):
+    CLOSED = "closed"
+    OPEN = "open"
+    HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """The three-state breaker guarding one arc."""
+
+    def __init__(self, failure_threshold: int = 5, cooldown: int = 10):
+        if failure_threshold < 1:
+            raise ResilienceError("failure_threshold must be at least 1")
+        if cooldown < 1:
+            raise ResilienceError("cooldown must be at least 1")
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self.state = CircuitState.CLOSED
+        self.consecutive_faults = 0
+        self.shed_attempts = 0
+        self.times_opened = 0
+
+    def allow(self) -> bool:
+        """May the executor attempt the arc right now?
+
+        While open, every refusal counts toward the cooldown; once the
+        cooldown elapses the breaker half-opens and the *next* call is
+        the probe.
+        """
+        if self.state is CircuitState.CLOSED:
+            return True
+        if self.state is CircuitState.HALF_OPEN:
+            return True
+        self.shed_attempts += 1
+        if self.shed_attempts >= self.cooldown:
+            self.state = CircuitState.HALF_OPEN
+        return False
+
+    def record_success(self) -> None:
+        """A settled attempt (traversable *or* blocked — both are news)."""
+        self.consecutive_faults = 0
+        if self.state is CircuitState.HALF_OPEN:
+            self.state = CircuitState.CLOSED
+
+    def record_fault(self) -> None:
+        """A transient fault that survived the retry budget, or a
+        half-open probe that faulted."""
+        self.consecutive_faults += 1
+        if self.state is CircuitState.HALF_OPEN or (
+            self.state is CircuitState.CLOSED
+            and self.consecutive_faults >= self.failure_threshold
+        ):
+            self.state = CircuitState.OPEN
+            self.shed_attempts = 0
+            self.times_opened += 1
+
+    def snapshot(self) -> Dict[str, object]:
+        return {
+            "state": self.state.value,
+            "consecutive_faults": self.consecutive_faults,
+            "times_opened": self.times_opened,
+        }
+
+
+class CircuitBreakerBoard:
+    """The breakers for a whole graph, created lazily per arc name.
+
+    Breakers persist *across* queries (that is the point: a down
+    segment stays shed between queries), so the board lives on the
+    :class:`~repro.resilience.policy.ResiliencePolicy`, not on any one
+    execution.
+    """
+
+    def __init__(self, failure_threshold: int = 5, cooldown: int = 10):
+        self.failure_threshold = failure_threshold
+        self.cooldown = cooldown
+        self._breakers: Dict[str, CircuitBreaker] = {}
+
+    def breaker(self, arc_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(arc_name)
+        if breaker is None:
+            breaker = CircuitBreaker(self.failure_threshold, self.cooldown)
+            self._breakers[arc_name] = breaker
+        return breaker
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """Non-closed breakers first; closed-and-clean ones elided."""
+        report: Dict[str, Dict[str, object]] = {}
+        for name in sorted(self._breakers):
+            breaker = self._breakers[name]
+            if (
+                breaker.state is not CircuitState.CLOSED
+                or breaker.times_opened
+                or breaker.consecutive_faults
+            ):
+                report[name] = breaker.snapshot()
+        return report
+
+    def reset(self) -> None:
+        self._breakers.clear()

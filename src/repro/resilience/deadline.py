@@ -1,0 +1,49 @@
+"""Per-query cost deadlines.
+
+The satisficing search of Section 2.1 already stops at the first
+success; a deadline adds the complementary bound for the *unlucky*
+contexts: once a query has been charged ``budget`` cost units —
+including retries, backoff, and latency spikes — the search stops and
+the processor degrades gracefully instead of grinding through the rest
+of the strategy.  Like backoff, the deadline is denominated in cost
+units so the whole resilience layer shares one deterministic clock.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import QueryDeadlineExceeded, ResilienceError
+
+__all__ = ["CostDeadline"]
+
+
+@dataclass(frozen=True)
+class CostDeadline:
+    """A hard per-query charge ceiling."""
+
+    budget: float
+
+    def __post_init__(self):
+        if self.budget <= 0:
+            raise ResilienceError("deadline budget must be positive")
+
+    def exceeded(self, spent: float) -> bool:
+        return spent >= self.budget
+
+    def would_exceed(self, spent: float, next_charge: float) -> bool:
+        """Whether charging ``next_charge`` more would cross the budget.
+
+        The executor checks *before* attempting, mirroring an admission
+        check against the remaining time budget — an attempt whose
+        worst case cannot fit is not started.
+        """
+        return spent + next_charge > self.budget
+
+    def check(self, spent: float) -> None:
+        """Raise :class:`QueryDeadlineExceeded` if already over."""
+        if self.exceeded(spent):
+            raise QueryDeadlineExceeded(spent, self.budget)
+
+    def remaining(self, spent: float) -> float:
+        return max(0.0, self.budget - spent)

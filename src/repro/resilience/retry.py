@@ -1,0 +1,71 @@
+"""Retry with exponential backoff and full jitter.
+
+Backoff here is charged in *cost units*, the same currency as arc
+traversal charges — the paper's ``c(Θ, I)`` measures the work a query
+consumed, and waiting out a flaky segment is work the query consumed.
+Charging backoff into the same account is what keeps Theorem 1's cost
+bookkeeping sound under retries (no hidden wall-clock the learner
+never sees billed).
+
+The jitter scheme is AWS-style *full jitter*: each wait is drawn
+uniformly from ``[0, min(cap, base · mult^(attempt−1))]``.  Full
+jitter decorrelates retry storms across concurrent queries while
+keeping the expected wait at half the deterministic schedule.  The RNG
+is supplied by the caller (the :class:`ResiliencePolicy` seeds one),
+so every backoff sequence is reproducible.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from ..errors import ResilienceError
+
+__all__ = ["RetryPolicy"]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How many times to re-attempt a faulted arc, and at what charge.
+
+    ``max_attempts`` counts the first try: ``max_attempts=3`` means one
+    attempt plus at most two retries.  ``base_backoff`` of 0 disables
+    backoff charges while keeping the retry count (useful when faults
+    model instantaneous connection refusals).
+    """
+
+    max_attempts: int = 3
+    base_backoff: float = 0.5
+    multiplier: float = 2.0
+    max_backoff: float = 8.0
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ResilienceError("max_attempts must be at least 1")
+        if self.base_backoff < 0:
+            raise ResilienceError("base_backoff cannot be negative")
+        if self.multiplier < 1.0:
+            raise ResilienceError("multiplier must be at least 1")
+        if self.max_backoff < self.base_backoff:
+            raise ResilienceError("max_backoff must be >= base_backoff")
+
+    def backoff_cap(self, attempt: int) -> float:
+        """The deterministic ceiling before jitter, for ``attempt`` ≥ 1."""
+        if attempt < 1:
+            raise ResilienceError("attempt numbering starts at 1")
+        return min(
+            self.max_backoff,
+            self.base_backoff * self.multiplier ** (attempt - 1),
+        )
+
+    def backoff_cost(self, attempt: int, rng: random.Random) -> float:
+        """The charged wait after failed ``attempt`` (full jitter)."""
+        cap = self.backoff_cap(attempt)
+        if cap <= 0.0:
+            return 0.0
+        return rng.uniform(0.0, cap)
+
+    def exhausted(self, attempt: int) -> bool:
+        """Whether a fault on ``attempt`` leaves no retries."""
+        return attempt >= self.max_attempts

@@ -23,13 +23,24 @@ arcs the run did not attempt).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set
+from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
+from ..errors import RetrievalFaultError
 from ..graphs.contexts import Context, PartialContext
 from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
 from .strategy import Strategy
 
-__all__ = ["ExecutionResult", "execute", "cost_of", "pessimistic_cost"]
+if TYPE_CHECKING:
+    from ..resilience.policy import ResiliencePolicy
+
+__all__ = [
+    "ExecutionResult",
+    "ResilientExecutionResult",
+    "execute",
+    "execute_resilient",
+    "cost_of",
+    "pessimistic_cost",
+]
 
 
 @dataclass
@@ -95,6 +106,202 @@ def execute(
     return ExecutionResult(
         strategy, context, cost, False, None, attempted, observations
     )
+
+
+@dataclass
+class ResilientExecutionResult:
+    """One strategy run through the resilience layer.
+
+    Two views of the same run:
+
+    * ``cost`` is the caller-facing bill — every attempt, every retry,
+      every jittered backoff, every latency spike.  This is the
+      ``c(Θ, I)`` the paper's cost accounting charges the query.
+    * :meth:`settled_result` is the learner-facing view — the settled
+      outcome of each arc at its fault-free charge, exactly what an
+      unmonitored fault-free run would have produced.  PIB must learn
+      from *this* one: feeding retry noise into the Δ̃ accumulators
+      would poison the under-estimates with non-stationary
+      infrastructure noise (the fault process is not part of the
+      context distribution Theorem 1 quantifies over).
+
+    Arcs whose status never settled (retry budget exhausted, circuit
+    open) appear in ``unsettled`` / ``skipped_open`` and are *absent*
+    from ``observations`` — PIB then treats them exactly like arcs the
+    run never attempted, which is sound (pessimistic completion).
+    """
+
+    strategy: Strategy
+    context: Context
+    cost: float
+    succeeded: bool
+    success_arc: Optional[Arc]
+    attempted: List[Arc] = field(default_factory=list)
+    observations: Dict[str, bool] = field(default_factory=dict)
+    settled_cost: float = 0.0
+    retries: Dict[str, int] = field(default_factory=dict)
+    backoff_cost: float = 0.0
+    deadline_expired: bool = False
+    skipped_open: List[str] = field(default_factory=list)
+    unsettled: List[str] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """Whether the run deviated from a clean fault-free execution."""
+        return bool(
+            self.deadline_expired or self.skipped_open or self.unsettled
+        )
+
+    @property
+    def total_retries(self) -> int:
+        return sum(self.retries.values())
+
+    def settled_result(self) -> ExecutionResult:
+        """The fault-free-equivalent :class:`ExecutionResult` for PIB."""
+        return ExecutionResult(
+            self.strategy,
+            self.context,
+            self.settled_cost,
+            self.succeeded,
+            self.success_arc,
+            list(self.attempted),
+            dict(self.observations),
+        )
+
+    def partial_context(self) -> PartialContext:
+        return PartialContext(self.strategy.graph, self.observations)
+
+
+def execute_resilient(
+    strategy: Strategy,
+    context: Context,
+    policy: "ResiliencePolicy",
+    required_successes: int = 1,
+) -> ResilientExecutionResult:
+    """Run ``strategy`` against a possibly-faulty ``context``.
+
+    Semantics relative to :func:`execute`:
+
+    * Each attempt goes through ``context.attempt(arc)``; a raised
+      :class:`~repro.errors.RetrievalFaultError` charges the wasted
+      attempt at the arc's *worst-case* rate (``max(f, f_blocked)``
+      times the fault's multiplier — the caller paid for the attempt
+      without learning the outcome), then backs off per the retry
+      policy (the jittered wait is charged too) and tries again.
+    * An arc whose retry budget is exhausted stays **unsettled**: it is
+      reported blocked to the search (its subtree is unreachable this
+      run) but *no observation is recorded*, so the learner never
+      mistakes a fault for a blocked arc.
+    * Per-arc circuit breakers persist on ``policy``: enough
+      consecutive exhausted arcs trip the breaker and later queries
+      shed the arc outright (``skipped_open``) until the cooldown's
+      half-open probe succeeds.
+    * A :class:`~repro.resilience.deadline.CostDeadline` on the policy
+      bounds the total charge; when the next attempt cannot fit, the
+      run stops early with ``deadline_expired=True`` and whatever
+      answer it has (a degraded "no" if none) — it never raises.
+
+    On a fault-free context this degenerates to :func:`execute`
+    exactly: same cost, same observations, same outcome.
+    """
+    if required_successes < 1:
+        raise ValueError("required_successes must be at least 1")
+    graph = strategy.graph
+    reached: Set[str] = {graph.root.name}
+    retry = policy.retry
+    deadline = policy.deadline
+
+    cost = 0.0
+    settled_cost = 0.0
+    backoff_total = 0.0
+    successes = 0
+    succeeded = False
+    success_arc: Optional[Arc] = None
+    deadline_expired = False
+    attempted: List[Arc] = []
+    observations: Dict[str, bool] = {}
+    retries: Dict[str, int] = {}
+    skipped_open: List[str] = []
+    unsettled: List[str] = []
+
+    def finish() -> ResilientExecutionResult:
+        return ResilientExecutionResult(
+            strategy,
+            context,
+            cost,
+            succeeded,
+            success_arc,
+            attempted,
+            observations,
+            settled_cost=settled_cost,
+            retries=retries,
+            backoff_cost=backoff_total,
+            deadline_expired=deadline_expired,
+            skipped_open=skipped_open,
+            unsettled=unsettled,
+        )
+
+    for arc in strategy:
+        if arc.source.name not in reached:
+            continue
+        breaker = policy.breaker_for(arc.name) if arc.blockable else None
+        if breaker is not None and not breaker.allow():
+            skipped_open.append(arc.name)
+            continue
+
+        worst_attempt = max(arc.cost, arc.blocked_cost)
+        settled: Optional[bool] = None
+        for attempt in range(1, retry.max_attempts + 1):
+            if deadline is not None and deadline.would_exceed(
+                cost, worst_attempt
+            ):
+                deadline_expired = True
+                policy.deadline_expiries += 1
+                return finish()
+            try:
+                traversable, multiplier = context.attempt(arc)
+            except RetrievalFaultError as fault:
+                policy.total_faults += 1
+                cost += worst_attempt * fault.cost_multiplier
+                if breaker is None or retry.exhausted(attempt):
+                    break
+                retries[arc.name] = retries.get(arc.name, 0) + 1
+                policy.total_retries += 1
+                wait = retry.backoff_cost(attempt, policy.rng)
+                cost += wait
+                backoff_total += wait
+            else:
+                settled = traversable
+                base = arc.cost if traversable else arc.blocked_cost
+                cost += base * multiplier
+                settled_cost += base
+                break
+
+        if settled is None:
+            # Retry budget exhausted without a settled outcome: the arc
+            # contributes nothing the learner may see, and its subtree
+            # is unreachable this run.
+            unsettled.append(arc.name)
+            policy.unsettled_arcs += 1
+            if breaker is not None:
+                breaker.record_fault()
+            continue
+
+        if breaker is not None:
+            breaker.record_success()
+        attempted.append(arc)
+        if arc.blockable:
+            observations[arc.name] = settled
+        if not settled:
+            continue
+        reached.add(arc.target.name)
+        if arc.target.is_success:
+            successes += 1
+            if successes >= required_successes:
+                succeeded = True
+                success_arc = arc
+                return finish()
+    return finish()
 
 
 def cost_of(strategy: Strategy, context: Context) -> float:

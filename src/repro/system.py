@@ -23,6 +23,7 @@ does not apply to them, matching the paper's scope.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
@@ -30,11 +31,19 @@ from .datalog.database import Database
 from .datalog.engine import TopDownEngine
 from .datalog.rules import QueryForm, RuleBase
 from .datalog.terms import Atom, Substitution
-from .errors import GraphError, RecursionLimitError
+from .errors import (
+    CheckpointError,
+    GraphError,
+    RecursionLimitError,
+    ResilienceError,
+)
 from .graphs.builder import build_inference_graph
 from .graphs.contexts import LazyDatalogContext, _instantiate
 from .graphs.inference_graph import InferenceGraph
 from .learning.pib import ClimbRecord, PIB
+from .persistence import load_pib, save_pib
+from .resilience.policy import ResiliencePolicy
+from .strategies.execution import execute_resilient
 from .strategies.strategy import Strategy
 from .strategies.transformations import Transformation, all_sibling_swaps
 
@@ -57,6 +66,11 @@ class SystemAnswer:
     cost: float
     learned: bool
     climbed: bool = False
+    #: True when the resilience layer had to deviate from the learned
+    #: path (deadline expiry, fault escape): the answer came from the
+    #: SLD fallback, and ``incident`` says why.
+    degraded: bool = False
+    incident: Optional[str] = None
 
 
 @dataclass
@@ -67,6 +81,12 @@ class FormState:
     graph: InferenceGraph
     learner: PIB
     queries: int = 0
+    #: Path of this form's checkpoint file (``None``: checkpointing off).
+    checkpoint_path: Optional[str] = None
+    #: Whether the learner was restored from a checkpoint at creation.
+    restored: bool = False
+    checkpoints_written: int = 0
+    incidents: List[str] = field(default_factory=list)
 
 
 class SelfOptimizingQueryProcessor:
@@ -76,6 +96,23 @@ class SelfOptimizingQueryProcessor:
     *per-form* mistake budget (each form's learner runs its own
     Theorem 1 guarantee).  ``max_depth`` bounds graph unfolding for
     recursive rule bases and the SLD fallback's recursion depth.
+
+    ``resilience`` (a :class:`~repro.resilience.policy.ResiliencePolicy`)
+    routes learned-path executions through
+    :func:`~repro.strategies.execution.execute_resilient`: transient
+    retrieval faults are retried (and billed), persistently down arcs
+    are shed by circuit breakers, and a query that raises or blows its
+    deadline degrades gracefully to the SLD fallback — returning a
+    *degraded* :class:`SystemAnswer` instead of raising, with the
+    incident recorded in :meth:`report`.
+
+    ``checkpoint_dir`` turns on crash-safe learner checkpoints: every
+    ``checkpoint_every`` queries (and after every climb) each form's
+    PIB state is atomically written to
+    ``<checkpoint_dir>/<predicate>_<pattern>.json``; a new processor
+    pointed at the same directory resumes each learner exactly where
+    it stopped — same Δ̃ sums, same sequential-test counter, same
+    strategy — so Theorem 1's δ-budget accounting survives restarts.
     """
 
     def __init__(
@@ -87,11 +124,19 @@ class SelfOptimizingQueryProcessor:
         ] = None,
         test_every: int = 1,
         max_depth: Optional[int] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 25,
     ):
+        if checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
         self.rule_base = rule_base
         self.delta = delta
         self.test_every = test_every
         self.max_depth = max_depth
+        self.resilience = resilience
+        self.checkpoint_dir = checkpoint_dir
+        self.checkpoint_every = checkpoint_every
         self._transformations_factory = (
             transformations_factory or all_sibling_swaps
         )
@@ -105,6 +150,13 @@ class SelfOptimizingQueryProcessor:
     # Per-form state
     # ------------------------------------------------------------------
 
+    def _checkpoint_path(self, form: QueryForm) -> Optional[str]:
+        if self.checkpoint_dir is None:
+            return None
+        return os.path.join(
+            self.checkpoint_dir, f"{form.predicate}_{form.pattern or 'p'}.json"
+        )
+
     def _state_for(self, form: QueryForm) -> Optional[FormState]:
         if form in self._uncompilable:
             return None
@@ -117,15 +169,62 @@ class SelfOptimizingQueryProcessor:
             except (GraphError, RecursionLimitError) as reason:
                 self._uncompilable[form] = str(reason)
                 return None
-            learner = PIB(
-                graph,
-                delta=self.delta,
-                transformations=list(self._transformations_factory(graph)),
-                test_every=self.test_every,
+            state = FormState(
+                form=form,
+                graph=graph,
+                learner=None,  # filled in below
+                checkpoint_path=self._checkpoint_path(form),
             )
-            state = FormState(form=form, graph=graph, learner=learner)
+            self._recover_or_init(state)
             self._states[form] = state
         return state
+
+    def _recover_or_init(self, state: FormState) -> None:
+        """Restore the form's learner from its checkpoint, else start
+        fresh (recording why recovery failed, if it was attempted)."""
+        path = state.checkpoint_path
+        if path is not None and (
+            os.path.exists(path) or os.path.exists(path + ".bak")
+        ):
+            try:
+                state.learner = load_pib(state.graph, path)
+                state.restored = True
+                return
+            except CheckpointError as reason:
+                state.incidents.append(f"checkpoint recovery failed: {reason}")
+        state.learner = PIB(
+            state.graph,
+            delta=self.delta,
+            transformations=list(
+                self._transformations_factory(state.graph)
+            ),
+            test_every=self.test_every,
+        )
+
+    def _maybe_checkpoint(self, state: FormState, climbed: bool) -> None:
+        """Periodic + on-climb crash-safe checkpointing of PIB state."""
+        if state.checkpoint_path is None:
+            return
+        if not climbed and state.queries % self.checkpoint_every != 0:
+            return
+        os.makedirs(os.path.dirname(state.checkpoint_path) or ".",
+                    exist_ok=True)
+        save_pib(state.learner, state.checkpoint_path)
+        state.checkpoints_written += 1
+
+    def checkpoint_now(self) -> int:
+        """Force a checkpoint of every compiled form; returns how many."""
+        written = 0
+        for state in self._states.values():
+            if state.checkpoint_path is not None:
+                os.makedirs(
+                    os.path.dirname(state.checkpoint_path) or ".",
+                    exist_ok=True,
+                )
+                save_pib(state.learner, state.checkpoint_path)
+                state.checkpoints_written += 1
+                written += 1
+        return written
 
     def strategy_for(self, form: QueryForm) -> Optional[Strategy]:
         """The current strategy for a form (``None`` if never compiled)."""
@@ -146,29 +245,161 @@ class SelfOptimizingQueryProcessor:
         form = QueryForm.of(query)
         state = self._state_for(form)
         if state is None:
-            answer = self._fallback.prove(query, database)
+            answer, incident = self._prove_fallback(query, database)
+            if answer is None:
+                return SystemAnswer(
+                    proved=False,
+                    substitution=Substitution(),
+                    cost=0.0,
+                    learned=False,
+                    degraded=True,
+                    incident=incident,
+                )
             return SystemAnswer(
                 proved=answer.proved,
                 substitution=answer.substitution,
                 cost=answer.trace.cost,
                 learned=False,
+                degraded=incident is not None,
+                incident=incident,
             )
 
         state.queries += 1
+        if self.resilience is not None:
+            return self._query_resilient(state, query, database)
         climbs_before = state.learner.climbs
         context = LazyDatalogContext(state.graph, query, database)
         result = state.learner.process(context)
+        climbed = state.learner.climbs > climbs_before
         substitution = Substitution()
         if result.succeeded and result.success_arc is not None:
             substitution = self._binding_for(
                 state.graph, result.success_arc, query, database
             )
+        self._maybe_checkpoint(state, climbed)
         return SystemAnswer(
             proved=result.succeeded,
             substitution=substitution,
             cost=result.cost,
             learned=True,
-            climbed=state.learner.climbs > climbs_before,
+            climbed=climbed,
+        )
+
+    def _query_resilient(
+        self, state: FormState, query: Atom, database: Database
+    ) -> SystemAnswer:
+        """The learned path under a :class:`ResiliencePolicy`.
+
+        The strategy runs through :func:`execute_resilient`; every
+        retry and backoff is billed to this query's ``cost``.  The
+        learner is shown only the *settled* execution view.  When the
+        learned path cannot deliver — the deadline expired, a fault
+        escaped the retry layer, or faults masked a would-be answer —
+        the processor degrades to the SLD fallback and reports the
+        incident instead of raising.
+        """
+        climbs_before = state.learner.climbs
+        context = LazyDatalogContext(state.graph, query, database)
+        try:
+            result = execute_resilient(
+                state.learner.strategy, context, self.resilience
+            )
+        except ResilienceError as fault:
+            state.incidents.append(f"learned path raised: {fault}")
+            return self._degraded_answer(state, query, database, 0.0)
+
+        if result.deadline_expired:
+            # Censored run: do not feed it to PIB (a truncated cost is
+            # not a sample of c(Θ, I)); answer via the fallback.
+            state.incidents.append(
+                f"deadline expired after cost {result.cost:g}"
+            )
+            return self._degraded_answer(state, query, database, result.cost)
+
+        state.learner.record(result.settled_result())
+        climbed = state.learner.climbs > climbs_before
+        self._maybe_checkpoint(state, climbed)
+
+        if not result.succeeded and result.degraded:
+            # Faults (unsettled or shed arcs) may have hidden the
+            # answer; a "no" is only trustworthy from a clean run.
+            state.incidents.append(
+                "degraded no-answer: unsettled="
+                f"{result.unsettled} shed={result.skipped_open}"
+            )
+            return self._degraded_answer(
+                state, query, database, result.cost, climbed=climbed
+            )
+
+        substitution = Substitution()
+        if result.succeeded and result.success_arc is not None:
+            try:
+                substitution = self._binding_for(
+                    state.graph, result.success_arc, query, database
+                )
+            except ResilienceError:
+                # Binding recovery re-probes the database, which may
+                # itself fault; the proof already settled, so answer
+                # "yes" without bindings rather than fail the query.
+                state.incidents.append("binding recovery faulted")
+        return SystemAnswer(
+            proved=result.succeeded,
+            substitution=substitution,
+            cost=result.cost,
+            learned=True,
+            climbed=climbed,
+        )
+
+    def _prove_fallback(self, query: Atom, database: Database):
+        """SLD-prove ``query``, retrying through transient faults.
+
+        Returns ``(answer, incident)`` where ``answer`` is ``None``
+        only when every attempt faulted (possible only against a
+        faulty database under a resilience policy — without one,
+        exceptions propagate unchanged).
+        """
+        if self.resilience is None:
+            return self._fallback.prove(query, database), None
+        attempts = self.resilience.retry.max_attempts
+        last_fault = None
+        for _ in range(attempts):
+            try:
+                return self._fallback.prove(query, database), None
+            except ResilienceError as fault:
+                last_fault = fault
+                self.resilience.total_faults += 1
+        return None, f"fallback faulted {attempts}x: {last_fault}"
+
+    def _degraded_answer(
+        self,
+        state: FormState,
+        query: Atom,
+        database: Database,
+        spent: float,
+        climbed: bool = False,
+    ) -> SystemAnswer:
+        """Fall back to SLD, absorbing further faults; never raises."""
+        incident = state.incidents[-1] if state.incidents else None
+        answer, fallback_incident = self._prove_fallback(query, database)
+        if answer is None:
+            state.incidents.append(fallback_incident)
+            return SystemAnswer(
+                proved=False,
+                substitution=Substitution(),
+                cost=spent,
+                learned=False,
+                climbed=climbed,
+                degraded=True,
+                incident=f"{incident}; {fallback_incident}",
+            )
+        return SystemAnswer(
+            proved=answer.proved,
+            substitution=answer.substitution,
+            cost=spent + answer.trace.cost,
+            learned=False,
+            climbed=climbed,
+            degraded=True,
+            incident=incident,
         )
 
     @staticmethod
@@ -188,16 +419,33 @@ class SelfOptimizingQueryProcessor:
     # ------------------------------------------------------------------
 
     def report(self) -> Dict[str, Dict[str, object]]:
-        """Per-form learning status, keyed by the printed form."""
+        """Per-form learning status, keyed by the printed form.
+
+        Under a resilience policy each form also reports its incident
+        log (degradations, checkpoint-recovery failures) and its
+        checkpoint activity; the policy-wide health counters live under
+        the ``"resilience"`` key.
+        """
         summary: Dict[str, Dict[str, object]] = {}
         for form, state in self._states.items():
-            summary[str(form)] = {
+            entry: Dict[str, object] = {
                 "queries": state.queries,
                 "climbs": state.learner.climbs,
                 "strategy": " ".join(state.learner.strategy.arc_names()),
                 "retrieval_frequencies":
                     state.learner.retrieval_statistics.frequencies(),
             }
+            if state.incidents:
+                entry["incidents"] = list(state.incidents)
+            if state.checkpoint_path is not None:
+                entry["checkpoint"] = {
+                    "path": state.checkpoint_path,
+                    "restored": state.restored,
+                    "written": state.checkpoints_written,
+                }
+            summary[str(form)] = entry
         for form, reason in self._uncompilable.items():
             summary[str(form)] = {"fallback": reason}
+        if self.resilience is not None:
+            summary["resilience"] = self.resilience.snapshot()
         return summary

@@ -23,10 +23,17 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 from ..errors import DistributionError
 from ..graphs.contexts import Context
 from ..graphs.inference_graph import GraphBuilder, InferenceGraph
+from ..resilience.faults import FaultPlan, FaultSpec, FlakyContext
 from ..strategies.strategy import Strategy
 from .distributions import ContextDistribution
 
-__all__ = ["SegmentedTable", "segment_scan_graph", "SegmentAccessDistribution"]
+__all__ = [
+    "SegmentedTable",
+    "segment_scan_graph",
+    "SegmentAccessDistribution",
+    "FlakySegmentedTable",
+    "FlakySegmentAccessDistribution",
+]
 
 
 class SegmentedTable:
@@ -142,3 +149,77 @@ class SegmentAccessDistribution(ContextDistribution):
         return Strategy.from_retrieval_order(
             self.graph, [f"scan_{name}" for name in order]
         )
+
+
+class FlakySegmentedTable(SegmentedTable):
+    """A segmented table whose segments fail like real remote files.
+
+    On top of :class:`SegmentedTable`'s costs and hit rates, each
+    segment carries a *transient* per-attempt ``failure_rate`` (the
+    scan RPC errors out and must be retried) and optionally a
+    ``timeout_rate`` (the scan hangs until the deadline-style timeout
+    fires, charged at the timeout multiplier).  Failures say nothing
+    about where the individual's facts live — the underlying hit/miss
+    truth is untouched — which is exactly why the resilient executor
+    must keep them out of PIB's Δ̃ statistics.
+    """
+
+    def __init__(
+        self,
+        segments: Sequence[str],
+        scan_costs: Mapping[str, float],
+        hit_rates: Mapping[str, float],
+        failure_rates: Mapping[str, float],
+        timeout_rates: Optional[Mapping[str, float]] = None,
+    ):
+        super().__init__(segments, scan_costs, hit_rates)
+        timeout_rates = timeout_rates or {}
+        self.failure_rates = {
+            name: float(failure_rates.get(name, 0.0)) for name in segments
+        }
+        self.timeout_rates = {
+            name: float(timeout_rates.get(name, 0.0)) for name in segments
+        }
+        for name in segments:
+            rate = self.failure_rates[name] + self.timeout_rates[name]
+            if not 0.0 <= rate <= 1.0:
+                raise DistributionError(
+                    f"segment {name!r} failure+timeout rate {rate} not in [0, 1]"
+                )
+
+    def fault_plan(self, seed: int = 0) -> FaultPlan:
+        """A seeded :class:`FaultPlan` over the scan arcs."""
+        return FaultPlan(
+            seed=seed,
+            per_arc={
+                f"scan_{name}": FaultSpec(
+                    fault_rate=self.failure_rates[name],
+                    timeout_rate=self.timeout_rates[name],
+                )
+                for name in self.segments
+            },
+        )
+
+
+class FlakySegmentAccessDistribution(SegmentAccessDistribution):
+    """Segment-access contexts wrapped in seeded fault injection.
+
+    Sampling is *two* independent deterministic processes: the context
+    draw (which segment holds the answer) uses the caller's RNG exactly
+    as in :class:`SegmentAccessDistribution`, while the fault injection
+    uses the plan's own per-arc streams.  Equal context seeds therefore
+    yield the same context sequence with and without faults — the
+    property the convergence-under-chaos tests rely on.
+    """
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        table: FlakySegmentedTable,
+        fault_seed: int = 0,
+    ):
+        super().__init__(graph, table)
+        self.plan = table.fault_plan(fault_seed)
+
+    def sample(self, rng: random.Random) -> Context:
+        return FlakyContext(super().sample(rng), self.plan)

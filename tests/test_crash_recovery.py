@@ -1,0 +1,201 @@
+"""Crash-safety tests for learner checkpoints.
+
+Simulates a process dying at every step of :func:`save_pib`'s
+write-protocol (torn tmp file, torn target, both) and asserts the
+learner always restores from the last good checkpoint with
+``total_tests``, the Δ̃ accumulator sums, and the current strategy
+byte-identical to the pre-crash state.
+"""
+
+import json
+import os
+import random
+
+import pytest
+
+from repro.errors import CheckpointError, LearningError
+from repro.learning.pib import PIB
+from repro.persistence import (
+    backup_path,
+    load_pib,
+    payload_checksum,
+    pib_from_dict,
+    pib_to_dict,
+    save_pib,
+)
+from repro.workloads import (
+    IndependentDistribution,
+    g_a,
+    intended_probabilities,
+    theta_1,
+)
+
+
+def trained_pib(graph, contexts=300, seed=0):
+    pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+    dist = IndependentDistribution(graph, intended_probabilities())
+    pib.run(dist.sampler(random.Random(seed)), contexts)
+    return pib
+
+
+def state_fingerprint(pib):
+    """The canonical bytes of everything that must survive a crash."""
+    return json.dumps(pib_to_dict(pib), sort_keys=True).encode()
+
+
+class TestAtomicSave:
+    def test_no_tmp_residue(self, tmp_path):
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        save_pib(trained_pib(graph), path)
+        assert os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+
+    def test_second_save_keeps_backup(self, tmp_path):
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        first = trained_pib(graph, contexts=100)
+        save_pib(first, path)
+        second = trained_pib(graph, contexts=300)
+        save_pib(second, path)
+        assert os.path.exists(backup_path(path))
+        restored_backup = load_pib(graph, backup_path(path))
+        assert state_fingerprint(restored_backup) == state_fingerprint(first)
+
+    def test_checksum_written_and_canonical(self, tmp_path):
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        save_pib(trained_pib(graph), path)
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        assert payload["checksum"] == payload_checksum(payload)
+
+
+class TestCrashSimulation:
+    """Kill the process at each write step; the previous checkpoint
+    must survive."""
+
+    def crash_states(self, tmp_path):
+        """(good_pib, newer_pib, path) with the good state on disk."""
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        good = trained_pib(graph, contexts=150, seed=1)
+        save_pib(good, path)
+        newer = trained_pib(graph, contexts=400, seed=1)
+        return graph, good, newer, path
+
+    def test_crash_mid_tmp_write(self, tmp_path):
+        """Died while writing the tmp file: target untouched."""
+        graph, good, newer, path = self.crash_states(tmp_path)
+        torn = json.dumps(pib_to_dict(newer))[: 120]  # truncated JSON
+        with open(path + ".tmp", "w", encoding="utf-8") as handle:
+            handle.write(torn)
+        restored = load_pib(graph, path)
+        assert state_fingerprint(restored) == state_fingerprint(good)
+
+    def test_crash_after_target_swapped_to_backup(self, tmp_path):
+        """Died between the two os.replace calls: only the backup
+        exists — recovery must use it."""
+        graph, good, newer, path = self.crash_states(tmp_path)
+        os.replace(path, backup_path(path))  # the first replace ran
+        restored = load_pib(graph, path)  # primary missing
+        assert state_fingerprint(restored) == state_fingerprint(good)
+
+    def test_crash_leaves_torn_target_with_good_backup(self, tmp_path):
+        """Target torn (e.g. disk full during a non-atomic writer),
+        backup good: recovery falls back."""
+        graph, good, newer, path = self.crash_states(tmp_path)
+        os.replace(path, backup_path(path))
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(json.dumps(pib_to_dict(newer))[:200])
+        restored = load_pib(graph, path)
+        assert state_fingerprint(restored) == state_fingerprint(good)
+
+    def test_corrupt_payload_with_valid_json_detected(self, tmp_path):
+        """Bit-flip that keeps the JSON well-formed: checksum catches it."""
+        graph, good, newer, path = self.crash_states(tmp_path)
+        os.replace(path, backup_path(path))
+        with open(backup_path(path), encoding="utf-8") as handle:
+            payload = json.load(handle)
+        payload["total_tests"] = payload["total_tests"] + 999  # corruption
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle)  # stale checksum now lies
+        restored = load_pib(graph, path)
+        assert state_fingerprint(restored) == state_fingerprint(good)
+
+    def test_both_files_unusable_raises_checkpoint_error(self, tmp_path):
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write("{ torn")
+        with open(backup_path(path), "w", encoding="utf-8") as handle:
+            handle.write("also torn")
+        with pytest.raises(CheckpointError) as info:
+            load_pib(graph, path)
+        assert "both unusable" in str(info.value)
+        assert info.value.path == path
+
+    def test_full_kill_restart_cycle_is_byte_identical(self, tmp_path):
+        """Acceptance: checkpoint → kill → reload leaves total_tests,
+        Δ̃ sums, and the strategy byte-identical, and learning resumes
+        deterministically."""
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        dist = IndependentDistribution(graph, intended_probabilities())
+
+        pib = PIB(graph, delta=0.05, initial_strategy=theta_1(graph))
+        rng = random.Random(3)
+        pib.run(dist.sampler(rng), 200)
+        save_pib(pib, path)
+        pre_kill = state_fingerprint(pib)
+        pre_tests = pib.total_tests
+        pre_sums = [a.total for a in pib._accumulators]
+        pre_strategy = pib.strategy.arc_names()
+
+        restored = load_pib(graph, path)  # the "restarted" process
+        assert state_fingerprint(restored) == pre_kill
+        assert restored.total_tests == pre_tests
+        assert [a.total for a in restored._accumulators] == pre_sums
+        assert restored.strategy.arc_names() == pre_strategy
+
+        # and the restored learner keeps learning identically to one
+        # that never died (same context stream from here on)
+        tail = [dist.sample(random.Random(99)) for _ in range(50)]
+        for context in tail:
+            pib.process(context)
+            restored.process(context)
+        assert state_fingerprint(restored) == state_fingerprint(pib)
+
+
+class TestMalformedPayloads:
+    def test_missing_file_wrapped(self, tmp_path):
+        with pytest.raises(CheckpointError) as info:
+            load_pib(g_a(), str(tmp_path / "absent.json"))
+        assert isinstance(info.value, LearningError)  # family intact
+        assert "absent.json" in str(info.value)
+
+    def test_non_object_payload(self, tmp_path):
+        path = str(tmp_path / "pib.json")
+        with open(path, "w", encoding="utf-8") as handle:
+            json.dump([1, 2, 3], handle)
+        with pytest.raises(CheckpointError):
+            load_pib(g_a(), path)
+
+    def test_missing_required_keys_named(self):
+        with pytest.raises(CheckpointError) as info:
+            pib_from_dict(g_a(), {"version": 1, "delta": 0.05})
+        message = str(info.value)
+        assert "total_tests" in message and "accumulators" in message
+
+    def test_malformed_inner_item_wrapped(self):
+        graph = g_a()
+        payload = pib_to_dict(trained_pib(graph, contexts=50))
+        payload["accumulators"][0] = {"transformation": "swap(Rg,Rp)"}
+        with pytest.raises(CheckpointError):
+            pib_from_dict(graph, payload)
+
+    def test_bad_version_still_learning_error(self):
+        payload = pib_to_dict(trained_pib(g_a(), contexts=10))
+        payload["version"] = 99
+        with pytest.raises(LearningError):
+            pib_from_dict(g_a(), payload)
