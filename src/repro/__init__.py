@@ -40,11 +40,18 @@ Quickstart::
 from . import (
     datalog,
     graphs,
+    observability,
     strategies,
     optimal,
     learning,
     resilience,
     workloads,
+)
+from .observability import (
+    MetricsRegistry,
+    NULL_RECORDER,
+    Recorder,
+    Tracer,
 )
 from .system import SelfOptimizingQueryProcessor, SystemAnswer
 from .persistence import load_pib, pib_from_dict, pib_to_dict, save_pib
@@ -77,11 +84,36 @@ from .errors import (
     UnificationError,
 )
 
-__version__ = "1.0.0"
+#: Source of truth for the released version is ``pyproject.toml``;
+#: installed builds read it back through package metadata so the two
+#: can never drift.  The literal below is only the fallback for
+#: source-tree runs (``PYTHONPATH=src``) where no distribution
+#: metadata exists — ``tests/test_version.py`` asserts it matches
+#: ``pyproject.toml``.
+_FALLBACK_VERSION = "1.0.0"
+
+
+def _resolve_version() -> str:
+    try:
+        from importlib import metadata
+    except ImportError:  # pragma: no cover - Python < 3.8 only
+        return _FALLBACK_VERSION
+    try:
+        return metadata.version("repro")
+    except metadata.PackageNotFoundError:
+        return _FALLBACK_VERSION
+
+
+__version__ = _resolve_version()
 
 __all__ = [
     "SelfOptimizingQueryProcessor",
     "SystemAnswer",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "Recorder",
+    "Tracer",
+    "observability",
     "load_pib",
     "pib_from_dict",
     "pib_to_dict",

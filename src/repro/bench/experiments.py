@@ -29,6 +29,7 @@ from ..learning.sensitivity import excess_cost, lemma1_bound
 from ..optimal.brute_force import optimal_strategy_brute_force
 from ..optimal.smith import smith_estimates, smith_strategy
 from ..optimal.upsilon import upsilon_aot
+from ..observability import NULL_RECORDER, Tracer, summarize_trace
 from ..optimal.approximate import upsilon_greedy
 from ..strategies.execution import execute
 from ..strategies.expected_cost import expected_cost_exact
@@ -724,6 +725,7 @@ def experiment_distributed_faulty(
     contexts: int = 6000,
     delta: float = 0.05,
     fault_seed: int = 3,
+    trace_path: Optional[str] = None,
 ) -> ExperimentResult:
     """A1 under chaos: transient segment faults, timeouts, retries with
     backoff, and a simulated crash/restart at the halfway point.
@@ -735,6 +737,10 @@ def experiment_distributed_faulty(
     byte-identical (same ``total_tests``, Δ̃ sums, strategy); (3) the
     billed cost is never below the settled (fault-free-equivalent)
     cost — retries and backoff only ever add to ``c(Θ, I)``.
+
+    With ``trace_path`` set, the whole run is traced and exported as
+    JSONL; a fourth check then asserts the trace's per-query billed and
+    settled totals reconcile exactly with the harness accumulators.
     """
     result = ExperimentResult(
         "A1b: segmented scans under injected faults (resilient execution)"
@@ -754,12 +760,15 @@ def experiment_distributed_faulty(
     declared = list(table.segments)
     optimal_order = table.optimal_order()
 
+    recorder = Tracer(margin_events=False) if trace_path else NULL_RECORDER
     policy = ResiliencePolicy(
         retry=RetryPolicy(max_attempts=6, base_backoff=0.25),
         seed=fault_seed,
+        recorder=recorder,
     )
     pib = PIB(graph, delta=delta,
-              initial_strategy=flaky.strategy_for_order(declared))
+              initial_strategy=flaky.strategy_for_order(declared),
+              recorder=recorder)
     rng = random.Random(seed)
     billed = 0.0
     settled = 0.0
@@ -769,7 +778,7 @@ def experiment_distributed_faulty(
         nonlocal billed, settled
         for _ in range(budget):
             run = execute_resilient(learner.strategy, flaky.sample(rng),
-                                    policy)
+                                    policy, recorder=recorder)
             billed += run.cost
             settled += run.settled_cost
             learner.record(run.settled_result())
@@ -777,10 +786,13 @@ def experiment_distributed_faulty(
     drive(pib, crash_at)
 
     # Simulated kill/restart: serialize, reload against a fresh graph
-    # walk, and verify the state survived byte-for-byte.
+    # walk, and verify the state survived byte-for-byte.  Recorders are
+    # deliberately not part of the checkpoint, so the restored learner
+    # gets the live one reattached.
     snapshot = pib_to_dict(pib)
     restored = pib_from_dict(graph, snapshot)
     roundtrip_identical = pib_to_dict(restored) == snapshot
+    restored.recorder = recorder
     drive(restored, contexts - crash_at)
 
     learned_order = [
@@ -826,6 +838,16 @@ def experiment_distributed_faulty(
         "PIB reaches the optimal scan order despite injected faults",
         learned_order == optimal_order,
     )
+    if trace_path:
+        recorder.export_jsonl(trace_path)
+        summary = summarize_trace(recorder.events)
+        result.data["trace_summary"] = summary
+        result.check(
+            "trace billed/settled totals reconcile with the harness "
+            "accumulators",
+            abs(summary["billed_cost"] - billed) < 1e-9
+            and abs(summary["settled_cost"] - settled) < 1e-9,
+        )
     return result
 
 

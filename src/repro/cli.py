@@ -1,9 +1,12 @@
-"""Command-line interface: query, learn, and optimize from the shell.
+"""Command-line interface: query, learn, trace, and optimize from the shell.
 
-Three subcommands::
+Five subcommands::
 
     python -m repro query  --rules kb.dl --facts db.dl "instructor(manolis)?"
     python -m repro learn  --rules kb.dl --facts db.dl --queries stream.txt
+    python -m repro trace  --rules kb.dl --facts db.dl --queries stream.txt \
+                           --out trace.jsonl
+    python -m repro stats  trace.jsonl
     python -m repro optimal --rules kb.dl --form instructor/b \
                             --probs D_prof=0.15,D_grad=0.6
 
@@ -11,11 +14,17 @@ Three subcommands::
   bindings, the charged cost, and the attempted retrievals;
 * ``learn`` replays a query stream (one query per line) through the
   self-optimizing processor and prints the per-form learning report;
+* ``trace`` is ``learn`` with the observability layer enabled: it
+  exports the full JSONL event trace (spans, attempts, retries,
+  breaker transitions, Equation 6 margins, climbs) and prints the
+  metrics snapshot;
+* ``stats`` summarizes a previously exported JSONL trace — event
+  volumes, billed vs settled cost, retries, climbs, breaker opens;
 * ``optimal`` compiles a query form's inference graph and prints
   ``Υ_AOT``'s optimal strategy for a given probability vector.
 
 All file formats are plain Datalog (the ``--facts`` file holds ground
-facts only).
+facts only); traces are JSON Lines.
 """
 
 from __future__ import annotations
@@ -30,6 +39,7 @@ from .datalog.parser import parse_program, parse_query
 from .datalog.rules import QueryForm
 from .graphs.builder import build_inference_graph
 from .errors import ReproError
+from .observability import Tracer, read_trace, summarize_trace
 from .optimal.upsilon import upsilon_aot
 from .system import SelfOptimizingQueryProcessor
 
@@ -94,17 +104,9 @@ def _resilience_from_args(args: argparse.Namespace):
     return ResiliencePolicy(retry=retry, deadline=args.deadline)
 
 
-def cmd_learn(args: argparse.Namespace, out) -> int:
-    rules = _load_rules(args.rules)
-    facts = _load_facts(args.facts)
-    processor = SelfOptimizingQueryProcessor(
-        rules,
-        delta=args.delta,
-        max_depth=args.max_depth,
-        resilience=_resilience_from_args(args),
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every,
-    )
+def _replay_stream(processor, args, facts, out):
+    """Feed the query stream to the processor; returns (count, cost,
+    degraded) totals.  Shared by ``learn`` and ``trace``."""
     total_cost = 0.0
     count = 0
     degraded = 0
@@ -125,6 +127,21 @@ def cmd_learn(args: argparse.Namespace, out) -> int:
                 print(f"[climb after query #{count}: {line}]", file=out)
     if args.checkpoint_dir:
         processor.checkpoint_now()
+    return count, total_cost, degraded
+
+
+def cmd_learn(args: argparse.Namespace, out) -> int:
+    rules = _load_rules(args.rules)
+    facts = _load_facts(args.facts)
+    processor = SelfOptimizingQueryProcessor(
+        rules,
+        delta=args.delta,
+        max_depth=args.max_depth,
+        resilience=_resilience_from_args(args),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+    )
+    count, total_cost, degraded = _replay_stream(processor, args, facts, out)
     if count == 0:
         print("no queries in the stream", file=out)
         return 1
@@ -136,6 +153,62 @@ def cmd_learn(args: argparse.Namespace, out) -> int:
         print(f"form {form}:", file=out)
         for key, value in info.items():
             print(f"  {key}: {value}", file=out)
+    return 0
+
+
+def cmd_trace(args: argparse.Namespace, out) -> int:
+    rules = _load_rules(args.rules)
+    facts = _load_facts(args.facts)
+    tracer = Tracer(margin_events=not args.no_margins)
+    processor = SelfOptimizingQueryProcessor(
+        rules,
+        delta=args.delta,
+        max_depth=args.max_depth,
+        resilience=_resilience_from_args(args),
+        checkpoint_dir=args.checkpoint_dir,
+        checkpoint_every=args.checkpoint_every,
+        recorder=tracer,
+    )
+    count, total_cost, degraded = _replay_stream(processor, args, facts, out)
+    if count == 0:
+        print("no queries in the stream", file=out)
+        return 1
+    written = tracer.export_jsonl(args.out)
+    print(f"processed {count} queries, mean cost "
+          f"{total_cost / count:.3f}", file=out)
+    if degraded:
+        print(f"degraded (fallback) answers: {degraded}", file=out)
+    print(f"wrote {written} events to {args.out}", file=out)
+    metrics = tracer.metrics.snapshot()
+    print("counters:", file=out)
+    for name, value in metrics["counters"].items():
+        print(f"  {name}: {value}", file=out)
+    print("histograms:", file=out)
+    for name, stats in metrics["histograms"].items():
+        print(f"  {name}: count={stats['count']} total={stats['total']:g} "
+              f"mean={stats['mean']:g}", file=out)
+    return 0
+
+
+def cmd_stats(args: argparse.Namespace, out) -> int:
+    summary = summarize_trace(read_trace(args.trace))
+    print(f"trace: {args.trace}", file=out)
+    print(f"events: {summary['events']}", file=out)
+    for type_, count in summary["event_counts"].items():
+        print(f"  {type_}: {count}", file=out)
+    print(f"queries: {summary['queries']} "
+          f"(succeeded {summary['succeeded']}, "
+          f"degraded {summary['degraded']})", file=out)
+    print(f"billed cost: {summary['billed_cost']:g}", file=out)
+    print(f"settled cost: {summary['settled_cost']:g}", file=out)
+    print(f"backoff cost: {summary['backoff_cost']:g}", file=out)
+    print(f"retries: {summary['retries']}", file=out)
+    print(f"breaker opens: {summary['breaker_opens']}", file=out)
+    print(f"climbs: {summary['climbs']}", file=out)
+    for climb in summary["climb_steps"]:
+        print(f"  step {climb['step']} after context "
+              f"{climb['context_number']}: {climb['transformation']} "
+              f"(|S|={climb['samples']})", file=out)
     return 0
 
 
@@ -180,29 +253,52 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("query", help='e.g. "instructor(manolis)?"')
     query.set_defaults(handler=cmd_query)
 
+    def add_learning_flags(command: argparse.ArgumentParser) -> None:
+        command.add_argument("--rules", required=True)
+        command.add_argument("--facts", required=True)
+        command.add_argument("--queries", required=True,
+                             help="file with one query per line "
+                                  "(%% comments)")
+        command.add_argument("--delta", type=float, default=0.05,
+                             help="PIB mistake budget (Theorem 1)")
+        command.add_argument("--max-depth", type=int, default=None)
+        command.add_argument("--quiet", action="store_true")
+        command.add_argument("--retries", type=int, default=0,
+                             help="retry faulted retrievals up to N attempts "
+                                  "(enables the resilience layer)")
+        command.add_argument("--deadline", type=float, default=None,
+                             help="per-query cost budget; over-budget "
+                                  "queries degrade to the SLD fallback")
+        command.add_argument("--checkpoint-dir", default=None,
+                             help="directory for crash-safe per-form PIB "
+                                  "checkpoints (resumes automatically)")
+        command.add_argument("--checkpoint-every", type=int, default=25,
+                             help="checkpoint each form every N queries")
+
     learn = sub.add_parser(
         "learn", help="replay a query stream through the learning processor"
     )
-    learn.add_argument("--rules", required=True)
-    learn.add_argument("--facts", required=True)
-    learn.add_argument("--queries", required=True,
-                       help="file with one query per line (%% comments)")
-    learn.add_argument("--delta", type=float, default=0.05,
-                       help="PIB mistake budget (Theorem 1)")
-    learn.add_argument("--max-depth", type=int, default=None)
-    learn.add_argument("--quiet", action="store_true")
-    learn.add_argument("--retries", type=int, default=0,
-                       help="retry faulted retrievals up to N attempts "
-                            "(enables the resilience layer)")
-    learn.add_argument("--deadline", type=float, default=None,
-                       help="per-query cost budget; over-budget queries "
-                            "degrade to the SLD fallback")
-    learn.add_argument("--checkpoint-dir", default=None,
-                       help="directory for crash-safe per-form PIB "
-                            "checkpoints (resumes automatically)")
-    learn.add_argument("--checkpoint-every", type=int, default=25,
-                       help="checkpoint each form every N queries")
+    add_learning_flags(learn)
     learn.set_defaults(handler=cmd_learn)
+
+    trace = sub.add_parser(
+        "trace",
+        help="replay a query stream with tracing on and export the "
+             "JSONL event trace",
+    )
+    add_learning_flags(trace)
+    trace.add_argument("--out", required=True,
+                       help="path for the JSONL trace export")
+    trace.add_argument("--no-margins", action="store_true",
+                       help="drop per-test Equation 6 margin events "
+                            "(keeps spans, attempts, and climbs)")
+    trace.set_defaults(handler=cmd_trace)
+
+    stats = sub.add_parser(
+        "stats", help="summarize a JSONL trace exported by 'trace'"
+    )
+    stats.add_argument("trace", help="path of the JSONL trace file")
+    stats.set_defaults(handler=cmd_stats)
 
     optimal = sub.add_parser(
         "optimal", help="print Υ_AOT's optimal strategy for a query form"

@@ -33,6 +33,7 @@ from typing import Callable, Dict, Optional
 from ..errors import LearningError, SampleBudgetExceeded
 from ..graphs.contexts import Context
 from ..graphs.inference_graph import InferenceGraph
+from ..observability.recorder import NULL_RECORDER, Recorder
 from ..strategies.adaptive import AdaptiveQueryProcessor
 from ..strategies.strategy import Strategy
 from .chernoff import aiming_sample_size, pao_sample_size
@@ -92,6 +93,7 @@ def pao(
     upsilon: Optional[Callable[[InferenceGraph, Dict[str, float]], Strategy]] = None,
     max_contexts: Optional[int] = None,
     sample_scale: float = 1.0,
+    recorder: Recorder = NULL_RECORDER,
 ) -> PAOResult:
     """Run the full PAO pipeline and return ``Θ_pao`` with its evidence.
 
@@ -118,6 +120,8 @@ def pao(
     requirements = sample_requirements(
         graph, epsilon, delta, aiming=aiming, sample_scale=sample_scale
     )
+    if recorder.enabled:
+        recorder.pao_budget(requirements)
     processor = AdaptiveQueryProcessor(
         graph, requirements, count="attempts" if aiming else "reached"
     )
@@ -135,6 +139,8 @@ def pao(
         processor.process(oracle())
 
     estimates = processor.frequency_estimates(fallback=0.5)
+    if recorder.enabled:
+        recorder.pao_complete(processor.contexts_processed, estimates)
     strategy = upsilon(graph, estimates)
     return PAOResult(
         strategy=strategy,

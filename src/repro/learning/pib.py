@@ -29,6 +29,7 @@ from typing import Callable, Iterable, List, Optional, Sequence
 from ..errors import LearningError
 from ..graphs.contexts import Context
 from ..graphs.inference_graph import InferenceGraph
+from ..observability.recorder import NULL_RECORDER, Recorder
 from ..strategies.execution import ExecutionResult, execute
 from ..strategies.strategy import Strategy
 from ..strategies.transformations import (
@@ -74,6 +75,12 @@ class PIB:
         Run Equation 6 after every ``k``-th context only; Theorem 1 is
         insensitive to the test frequency (Section 3.2's first closing
         comment).
+    recorder:
+        Observability hook (null by default): receives one
+        ``learner_sample`` event per monitored run (with the Δ̃ each
+        neighbour accumulated), one ``margin`` event per Equation 6
+        evaluation, and one ``climb`` event per strategy switch.
+        Recording never feeds back into decisions.
     """
 
     def __init__(
@@ -83,6 +90,7 @@ class PIB:
         initial_strategy: Optional[Strategy] = None,
         transformations: Optional[Sequence[Transformation]] = None,
         test_every: int = 1,
+        recorder: Recorder = NULL_RECORDER,
     ):
         if not 0.0 < delta < 1.0:
             raise LearningError(f"delta must be in (0, 1), got {delta}")
@@ -91,6 +99,7 @@ class PIB:
         self.graph = graph
         self.delta = delta
         self.test_every = test_every
+        self.recorder = recorder
         self.strategy = initial_strategy or Strategy.depth_first(graph)
         self.transformations: List[Transformation] = list(
             transformations if transformations is not None
@@ -133,7 +142,7 @@ class PIB:
         execution result (its answer and cost) exactly as if no learner
         were attached.
         """
-        result = execute(self.strategy, context)
+        result = execute(self.strategy, context, recorder=self.recorder)
         self.record(result)
         return result
 
@@ -156,8 +165,17 @@ class PIB:
             )
         self.contexts_processed += 1
         self.retrieval_statistics.record(result)
-        for accumulator in self._accumulators:
-            accumulator.update(result)
+        if self.recorder.enabled:
+            deltas = {
+                accumulator.transformation.name: accumulator.update(result)
+                for accumulator in self._accumulators
+            }
+            self.recorder.learner_sample(
+                self.contexts_processed, result.cost, deltas
+            )
+        else:
+            for accumulator in self._accumulators:
+                accumulator.update(result)
         self.total_tests += len(self._accumulators)
         self._since_last_test += 1
         if self._accumulators and self._since_last_test >= self.test_every:
@@ -190,6 +208,13 @@ class PIB:
                 accumulator.value_range,
             )
             margin = accumulator.total - threshold
+            if self.recorder.enabled:
+                self.recorder.chernoff_margin(
+                    accumulator.transformation.name,
+                    accumulator.samples,
+                    accumulator.total,
+                    threshold,
+                )
             if margin >= 0.0 and (best is None or margin > best_margin):
                 best = accumulator
                 best_margin = margin
@@ -208,6 +233,8 @@ class PIB:
                 to_arcs=best.candidate.arc_names(),
             )
         )
+        if self.recorder.enabled:
+            self.recorder.climb(self.history[-1])
         self.strategy = best.candidate
         self._rebuild_neighbourhood()
 

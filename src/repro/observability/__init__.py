@@ -1,0 +1,40 @@
+"""Observability: zero-overhead-when-disabled tracing and metrics.
+
+The subsystem has four small parts:
+
+* :mod:`~repro.observability.recorder` — the injectable seam: a
+  :class:`Recorder` null object every instrumented call site defaults
+  to (one ``enabled`` attribute check when tracing is off);
+* :mod:`~repro.observability.tracer` — :class:`Tracer`, the recorder
+  that keeps ordered per-query spans and events;
+* :mod:`~repro.observability.metrics` — :class:`MetricsRegistry` with
+  lazily created counters and histograms;
+* :mod:`~repro.observability.sink` — JSONL trace export/import and the
+  aggregation behind ``repro stats``.
+
+Quickstart::
+
+    from repro.observability import Tracer
+
+    tracer = Tracer()
+    result = execute(strategy, context, recorder=tracer)
+    tracer.export_jsonl("trace.jsonl")
+    print(tracer.metrics.snapshot())
+"""
+
+from .metrics import Counter, Histogram, MetricsRegistry
+from .recorder import NULL_RECORDER, Recorder
+from .sink import read_trace, summarize_trace, write_trace
+from .tracer import Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_RECORDER",
+    "Recorder",
+    "Tracer",
+    "read_trace",
+    "summarize_trace",
+    "write_trace",
+]

@@ -1,0 +1,113 @@
+"""Counters and histograms: the aggregate half of observability.
+
+Where the tracer records *what happened, in order*, the registry
+records *how much, in total* — the numbers a dashboard or the
+``repro stats`` subcommand wants without replaying a trace.  Metrics
+are deliberately simulation-native: histograms observe abstract cost
+units and sample counts, never wall-clock, so equal-seeded runs
+produce byte-identical snapshots.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+
+
+class Counter:
+    """A monotonically increasing integer counter."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name!r} cannot decrease")
+        self.value += amount
+
+
+class Histogram:
+    """Streaming summary of observed values: count/sum/min/max/mean.
+
+    Full quantile sketches are overkill for the simulation's needs;
+    the four moments kept here are exactly what the acceptance checks
+    reconcile against (totals must match the executor's own sums).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "mean": self.mean,
+            "min": self.min if self.min is not None else 0.0,
+            "max": self.max if self.max is not None else 0.0,
+        }
+
+
+class MetricsRegistry:
+    """Named counters and histograms, created lazily on first use.
+
+    Metric names follow the convention documented in README's
+    Observability section: counters end in ``_total``; histograms name
+    the quantity they observe (``billed_cost``, ``climb_samples``, …).
+    """
+
+    def __init__(self) -> None:
+        self._counters: Dict[str, Counter] = {}
+        self._histograms: Dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        counter = self._counters.get(name)
+        if counter is None:
+            counter = self._counters[name] = Counter(name)
+        return counter
+
+    def histogram(self, name: str) -> Histogram:
+        histogram = self._histograms.get(name)
+        if histogram is None:
+            histogram = self._histograms[name] = Histogram(name)
+        return histogram
+
+    def count(self, name: str) -> int:
+        """Current value of a counter (0 if never incremented)."""
+        counter = self._counters.get(name)
+        return counter.value if counter else 0
+
+    def snapshot(self) -> Dict[str, Dict[str, object]]:
+        """A JSON-ready dump of every metric, sorted by name."""
+        return {
+            "counters": {
+                name: self._counters[name].value
+                for name in sorted(self._counters)
+            },
+            "histograms": {
+                name: self._histograms[name].snapshot()
+                for name in sorted(self._histograms)
+            },
+        }

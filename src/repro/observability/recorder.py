@@ -1,0 +1,158 @@
+"""The recorder seam: how the processor's hot paths report events.
+
+The paper *defines* PIB as a monitor bolted unobtrusively onto a
+running query processor (Section 3, Theorem 1): the processor keeps
+answering queries exactly as before, and the learner merely watches.
+The observability layer applies the same discipline to the
+reproduction's own internals — every instrumented call site takes an
+injectable recorder that defaults to the no-op :class:`Recorder`
+below, so with tracing off the processor pays roughly one attribute
+check (``recorder.enabled``) per instrumented block and records
+*nothing*.
+
+:class:`Recorder` is simultaneously the null object and the interface
+contract: :class:`~repro.observability.tracer.Tracer` subclasses it
+and overrides every hook.  Instrument sites must guard event-building
+work behind ``recorder.enabled`` so the disabled path never allocates:
+
+    if recorder.enabled:
+        recorder.arc_attempt(span, arc.name, "ok", charge, attempt)
+
+Query-level hooks (``begin_query`` / ``end_query``) run once per query
+and may be called unguarded; per-arc and per-neighbour hooks must be
+guarded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional
+
+__all__ = ["Recorder", "NULL_RECORDER"]
+
+
+class Recorder:
+    """The null recorder: every hook is a no-op.
+
+    ``enabled`` is a *class* attribute — the single flag hot paths
+    check.  ``metrics`` is ``None`` on the null object; surfaces that
+    publish metric snapshots (``System.report()``) test it before
+    reading.
+    """
+
+    enabled: bool = False
+    metrics = None
+
+    # ------------------------------------------------------------------
+    # Query spans
+    # ------------------------------------------------------------------
+
+    def begin_query(self, strategy: Any, resilient: bool = False) -> int:
+        """Open a per-query span; returns the span id events attach to."""
+        return 0
+
+    def end_query(
+        self,
+        span: int,
+        *,
+        cost: float,
+        succeeded: bool,
+        settled_cost: Optional[float] = None,
+        retries: int = 0,
+        backoff_cost: float = 0.0,
+        degraded: bool = False,
+    ) -> None:
+        """Close a span with the run's billed/settled accounting."""
+
+    # ------------------------------------------------------------------
+    # Executor events
+    # ------------------------------------------------------------------
+
+    def arc_attempt(
+        self,
+        span: int,
+        arc_name: str,
+        outcome: str,
+        cost: float,
+        attempt: int = 1,
+    ) -> None:
+        """One charged attempt: ``outcome`` is ``ok``/``blocked``/``fault``."""
+
+    def arc_retry(
+        self, span: int, arc_name: str, attempt: int, backoff: float
+    ) -> None:
+        """A retry was scheduled after a fault, charging ``backoff`` units."""
+
+    def arc_unsettled(self, span: int, arc_name: str, attempts: int) -> None:
+        """The retry budget ran out without a settled outcome."""
+
+    def breaker_shed(self, span: int, arc_name: str) -> None:
+        """An open (or probing) breaker refused the attempt outright."""
+
+    def breaker_transition(
+        self, arc_name: str, old_state: str, new_state: str
+    ) -> None:
+        """A circuit breaker changed state (closed/open/half-open)."""
+
+    def deadline_expired(self, span: int, spent: float) -> None:
+        """The per-query cost deadline stopped the run early."""
+
+    # ------------------------------------------------------------------
+    # Learner events
+    # ------------------------------------------------------------------
+
+    def learner_sample(
+        self,
+        contexts_processed: int,
+        cost: float,
+        deltas: Mapping[str, float],
+    ) -> None:
+        """One monitored run folded into the Δ̃ accumulators;
+        ``deltas`` maps each neighbour's transformation to the Δ̃ this
+        sample contributed."""
+
+    def chernoff_margin(
+        self,
+        transformation: str,
+        samples: int,
+        delta_sum: float,
+        threshold: float,
+    ) -> None:
+        """One Equation 6 test: the neighbour's running Δ̃ sum against
+        the sequential threshold (margin = delta_sum − threshold)."""
+
+    def climb(self, record: Any) -> None:
+        """PIB switched strategies (``record`` is a ``ClimbRecord``)."""
+
+    def checkpoint_saved(self, path: str) -> None:
+        """A crash-safe learner checkpoint was written."""
+
+    def checkpoint_restored(self, path: str) -> None:
+        """A learner resumed from a checkpoint at startup."""
+
+    # ------------------------------------------------------------------
+    # PAO events
+    # ------------------------------------------------------------------
+
+    def pao_budget(self, requirements: Mapping[str, int]) -> None:
+        """The Equation 7/8 per-experiment sample budgets were fixed."""
+
+    def pao_complete(
+        self, contexts_used: int, estimates: Mapping[str, float]
+    ) -> None:
+        """PAO's sampling phase satisfied every counter."""
+
+    # ------------------------------------------------------------------
+    # System events
+    # ------------------------------------------------------------------
+
+    def incident(self, description: str) -> None:
+        """A degradation the processor absorbed (fallback, fault escape)."""
+
+    def snapshot(self) -> Dict[str, object]:
+        """A JSON-ready summary; empty for the null recorder."""
+        return {}
+
+
+#: The shared process-wide null recorder every instrumented call site
+#: defaults to.  It is stateless, so sharing one instance is safe.
+NULL_RECORDER = Recorder()

@@ -1,0 +1,108 @@
+"""Trace persistence: JSONL export, import, and aggregation.
+
+Traces are JSON Lines — one event object per line, in ``seq`` order —
+because the format is append-friendly, greppable, and streams: the
+``repro stats`` subcommand summarizes multi-megabyte traces without
+holding more than a line at a time in principle (and a list in
+practice, trace sizes here being simulation-scale).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, Iterable, List
+
+from ..errors import ReproError
+
+__all__ = ["write_trace", "read_trace", "summarize_trace"]
+
+
+def write_trace(events: Iterable[Dict[str, Any]], path: str) -> int:
+    """Write events as JSONL; returns the number of lines written."""
+    count = 0
+    with open(path, "w", encoding="utf-8") as handle:
+        for event in events:
+            handle.write(json.dumps(event, sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def read_trace(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL trace back into a list of event dicts."""
+    events: List[Dict[str, Any]] = []
+    with open(path, encoding="utf-8") as handle:
+        for lineno, line in enumerate(handle, 1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                event = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ReproError(
+                    f"{path}:{lineno}: not a JSON event: {error}"
+                ) from error
+            if not isinstance(event, dict) or "type" not in event:
+                raise ReproError(
+                    f"{path}:{lineno}: trace events are objects with a 'type'"
+                )
+            events.append(event)
+    return events
+
+
+def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
+    """Aggregate a trace into the numbers ``repro stats`` prints.
+
+    The billed/settled totals are summed from ``query_end`` events, so
+    the summary reconciles exactly with the executor's own accounting
+    (the acceptance check of the chaos-trace tests).
+    """
+    event_counts: Dict[str, int] = {}
+    queries = 0
+    succeeded = 0
+    degraded = 0
+    billed = 0.0
+    settled = 0.0
+    backoff = 0.0
+    retries = 0
+    climbs: List[Dict[str, Any]] = []
+    breaker_opens = 0
+    for event in events:
+        type_ = event["type"]
+        event_counts[type_] = event_counts.get(type_, 0) + 1
+        if type_ == "query_end":
+            queries += 1
+            billed += event.get("cost", 0.0)
+            settled += event.get("settled_cost", event.get("cost", 0.0))
+            backoff += event.get("backoff_cost", 0.0)
+            retries += event.get("retries", 0)
+            if event.get("succeeded"):
+                succeeded += 1
+            if event.get("degraded"):
+                degraded += 1
+        elif type_ == "climb":
+            climbs.append(event)
+        elif type_ == "breaker" and event.get("to") == "open":
+            breaker_opens += 1
+    return {
+        "events": sum(event_counts.values()),
+        "event_counts": dict(sorted(event_counts.items())),
+        "queries": queries,
+        "succeeded": succeeded,
+        "degraded": degraded,
+        "billed_cost": billed,
+        "settled_cost": settled,
+        "backoff_cost": backoff,
+        "retries": retries,
+        "climbs": len(climbs),
+        "climb_steps": [
+            {
+                "step": climb.get("step"),
+                "context_number": climb.get("context_number"),
+                "transformation": climb.get("transformation"),
+                "samples": climb.get("samples"),
+            }
+            for climb in climbs
+        ],
+        "breaker_opens": breaker_opens,
+    }

@@ -1,0 +1,266 @@
+"""The tracer: per-query spans and ordered events, exportable as JSONL.
+
+A :class:`Tracer` is a :class:`~repro.observability.recorder.Recorder`
+that actually records.  Every hook appends one event dict to
+``tracer.events`` (in call order, each stamped with a ``seq`` number)
+and folds the event into the attached
+:class:`~repro.observability.metrics.MetricsRegistry`.
+
+Span schema
+-----------
+
+A *span* is one strategy execution: ``query_begin`` opens it (carrying
+the strategy's arc order and whether the resilient executor ran it),
+``query_end`` closes it with the billed cost — and, for resilient
+runs, the settled cost, retry count, and backoff charge.  Events that
+happen inside a run (``attempt``, ``retry``, ``unsettled``,
+``breaker_shed``, ``deadline_expired``) carry the ``span`` id of their
+enclosing query.  Events that outlive a single query — breaker
+transitions (the boards persist across queries), learner events,
+checkpoints — carry no span.
+
+Event types (the ``type`` field of each JSONL line):
+
+=================== ====================================================
+``query_begin``      span, strategy (arc names), resilient
+``query_end``        span, cost, succeeded, settled_cost?, retries?,
+                     backoff_cost?, degraded?
+``attempt``          span, arc, outcome (``ok``/``blocked``/``fault``),
+                     cost, attempt (1-based try number)
+``retry``            span, arc, attempt, backoff
+``unsettled``        span, arc, attempts
+``breaker_shed``     span, arc
+``breaker``          arc, from, to  (state transition)
+``deadline``         span, spent
+``learner_sample``   contexts, cost, deltas {transformation: Δ̃}
+``margin``           transformation, samples, delta_sum, threshold,
+                     margin  (one Equation 6 evaluation)
+``climb``            step, context_number, transformation, samples,
+                     estimated_gain, threshold, from, to
+``checkpoint``       action (``saved``/``restored``), path
+``pao_budget``       requirements {experiment: m(d_i)}
+``pao_complete``     contexts_used, estimates
+``incident``         description
+=================== ====================================================
+
+Tracing is for *observing*, never for steering: no instrumented code
+path reads anything back from the tracer, which is what makes the
+disabled/enabled behaviour byte-identical (asserted by the overhead
+tests).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Optional
+
+from .metrics import MetricsRegistry
+from .recorder import Recorder
+from .sink import write_trace
+
+__all__ = ["Tracer"]
+
+
+class Tracer(Recorder):
+    """An in-memory recorder with JSONL export.
+
+    Parameters
+    ----------
+    metrics:
+        The registry to aggregate into (a fresh one by default).
+    margin_events:
+        Equation 6 runs once per neighbour per test, so ``margin``
+        events dominate long traces; set ``False`` to keep spans and
+        climbs but drop the per-test margins (the climb event still
+        records the winning margin).
+    """
+
+    enabled = True
+
+    def __init__(
+        self,
+        metrics: Optional[MetricsRegistry] = None,
+        margin_events: bool = True,
+    ):
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        self.margin_events = margin_events
+        self.events: List[Dict[str, Any]] = []
+        self._next_span = 0
+
+    # ------------------------------------------------------------------
+    # Plumbing
+    # ------------------------------------------------------------------
+
+    def _emit(self, type_: str, **fields: Any) -> Dict[str, Any]:
+        event: Dict[str, Any] = {"seq": len(self.events), "type": type_}
+        event.update(fields)
+        self.events.append(event)
+        return event
+
+    def export_jsonl(self, path: str) -> int:
+        """Write every event as one JSON object per line; returns the
+        number of lines written."""
+        return write_trace(self.events, path)
+
+    def events_of(self, type_: str) -> List[Dict[str, Any]]:
+        """All recorded events of one type, in order."""
+        return [event for event in self.events if event["type"] == type_]
+
+    def clear(self) -> None:
+        """Drop recorded events (metrics keep accumulating)."""
+        self.events.clear()
+
+    # ------------------------------------------------------------------
+    # Query spans
+    # ------------------------------------------------------------------
+
+    def begin_query(self, strategy: Any, resilient: bool = False) -> int:
+        self._next_span += 1
+        span = self._next_span
+        arcs = list(strategy.arc_names()) if strategy is not None else []
+        self._emit("query_begin", span=span, strategy=arcs,
+                   resilient=resilient)
+        self.metrics.counter("queries_total").inc()
+        return span
+
+    def end_query(
+        self,
+        span: int,
+        *,
+        cost: float,
+        succeeded: bool,
+        settled_cost: Optional[float] = None,
+        retries: int = 0,
+        backoff_cost: float = 0.0,
+        degraded: bool = False,
+    ) -> None:
+        fields: Dict[str, Any] = {
+            "span": span, "cost": cost, "succeeded": succeeded,
+        }
+        self.metrics.histogram("billed_cost").observe(cost)
+        if settled_cost is not None:
+            fields["settled_cost"] = settled_cost
+            fields["retries"] = retries
+            fields["backoff_cost"] = backoff_cost
+            fields["degraded"] = degraded
+            self.metrics.histogram("settled_cost").observe(settled_cost)
+            if backoff_cost:
+                self.metrics.histogram("backoff_cost").observe(backoff_cost)
+            if degraded:
+                self.metrics.counter("degraded_total").inc()
+        self._emit("query_end", **fields)
+
+    # ------------------------------------------------------------------
+    # Executor events
+    # ------------------------------------------------------------------
+
+    def arc_attempt(
+        self,
+        span: int,
+        arc_name: str,
+        outcome: str,
+        cost: float,
+        attempt: int = 1,
+    ) -> None:
+        self._emit("attempt", span=span, arc=arc_name, outcome=outcome,
+                   cost=cost, attempt=attempt)
+        self.metrics.counter("attempts_total").inc()
+        if outcome == "fault":
+            self.metrics.counter("faults_total").inc()
+
+    def arc_retry(
+        self, span: int, arc_name: str, attempt: int, backoff: float
+    ) -> None:
+        self._emit("retry", span=span, arc=arc_name, attempt=attempt,
+                   backoff=backoff)
+        self.metrics.counter("retries_total").inc()
+
+    def arc_unsettled(self, span: int, arc_name: str, attempts: int) -> None:
+        self._emit("unsettled", span=span, arc=arc_name, attempts=attempts)
+        self.metrics.counter("unsettled_total").inc()
+
+    def breaker_shed(self, span: int, arc_name: str) -> None:
+        self._emit("breaker_shed", span=span, arc=arc_name)
+        self.metrics.counter("breaker_shed_total").inc()
+
+    def breaker_transition(
+        self, arc_name: str, old_state: str, new_state: str
+    ) -> None:
+        self._emit("breaker", arc=arc_name, **{"from": old_state,
+                                               "to": new_state})
+        if new_state == "open":
+            self.metrics.counter("breaker_open_total").inc()
+
+    def deadline_expired(self, span: int, spent: float) -> None:
+        self._emit("deadline", span=span, spent=spent)
+        self.metrics.counter("deadline_expiries_total").inc()
+
+    # ------------------------------------------------------------------
+    # Learner events
+    # ------------------------------------------------------------------
+
+    def learner_sample(
+        self,
+        contexts_processed: int,
+        cost: float,
+        deltas: Mapping[str, float],
+    ) -> None:
+        self._emit("learner_sample", contexts=contexts_processed, cost=cost,
+                   deltas=dict(deltas))
+        self.metrics.counter("learner_samples_total").inc()
+
+    def chernoff_margin(
+        self,
+        transformation: str,
+        samples: int,
+        delta_sum: float,
+        threshold: float,
+    ) -> None:
+        self.metrics.counter("chernoff_tests_total").inc()
+        if not self.margin_events:
+            return
+        self._emit("margin", transformation=transformation, samples=samples,
+                   delta_sum=delta_sum, threshold=threshold,
+                   margin=delta_sum - threshold)
+
+    def climb(self, record: Any) -> None:
+        self._emit(
+            "climb",
+            step=record.step,
+            context_number=record.context_number,
+            transformation=record.transformation,
+            samples=record.samples,
+            estimated_gain=record.estimated_gain,
+            threshold=record.threshold,
+            **{"from": list(record.from_arcs), "to": list(record.to_arcs)},
+        )
+        self.metrics.counter("climbs_total").inc()
+        self.metrics.histogram("climb_samples").observe(record.samples)
+
+    def checkpoint_saved(self, path: str) -> None:
+        self._emit("checkpoint", action="saved", path=path)
+        self.metrics.counter("checkpoints_total").inc()
+
+    def checkpoint_restored(self, path: str) -> None:
+        self._emit("checkpoint", action="restored", path=path)
+        self.metrics.counter("checkpoint_restores_total").inc()
+
+    # ------------------------------------------------------------------
+    # PAO + system events
+    # ------------------------------------------------------------------
+
+    def pao_budget(self, requirements: Mapping[str, int]) -> None:
+        self._emit("pao_budget", requirements=dict(requirements))
+
+    def pao_complete(
+        self, contexts_used: int, estimates: Mapping[str, float]
+    ) -> None:
+        self._emit("pao_complete", contexts_used=contexts_used,
+                   estimates=dict(estimates))
+
+    def incident(self, description: str) -> None:
+        self._emit("incident", description=description)
+        self.metrics.counter("incidents_total").inc()
+
+    def snapshot(self) -> Dict[str, object]:
+        """Event volume plus the metrics snapshot, JSON-ready."""
+        return {"events": len(self.events), "metrics": self.metrics.snapshot()}

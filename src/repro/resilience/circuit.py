@@ -9,12 +9,20 @@ cost budget for nothing, so each arc gets a breaker:
   successful attempt that learned the answer "no facts here") trip it;
 * **open** — attempts are shed without touching the arc; after
   ``cooldown`` shed attempts the breaker moves to half-open;
-* **half-open** — one probe attempt is let through; success closes
-  the breaker, a fault re-opens it (and restarts the cooldown).
+* **half-open** — exactly one probe attempt is let through at a time;
+  while that probe is in flight every further :meth:`allow` is refused.
+  A settled probe closes the breaker (and clears the cooldown
+  counter), a faulted probe re-opens it (and restarts the cooldown).
+  A probe abandoned un-settled (deadline expiry mid-attempt) must be
+  released via :meth:`release_probe` so the breaker can probe again.
 
 Time is measured in *attempt events*, not wall clock: the executor is
 a simulation whose only clock is the sequence of attempts, and
 counting shed attempts keeps the breaker fully deterministic.
+
+Breakers report their state transitions to an attached
+:class:`~repro.observability.recorder.Recorder` (the null recorder by
+default), which is how ``breaker`` events reach traces.
 """
 
 from __future__ import annotations
@@ -23,6 +31,7 @@ import enum
 from typing import Dict
 
 from ..errors import ResilienceError
+from ..observability.recorder import NULL_RECORDER, Recorder
 
 __all__ = ["CircuitState", "CircuitBreaker", "CircuitBreakerBoard"]
 
@@ -36,39 +45,63 @@ class CircuitState(enum.Enum):
 class CircuitBreaker:
     """The three-state breaker guarding one arc."""
 
-    def __init__(self, failure_threshold: int = 5, cooldown: int = 10):
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: int = 10,
+        name: str = "",
+        recorder: Recorder = NULL_RECORDER,
+    ):
         if failure_threshold < 1:
             raise ResilienceError("failure_threshold must be at least 1")
         if cooldown < 1:
             raise ResilienceError("cooldown must be at least 1")
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        self.name = name
+        self.recorder = recorder
         self.state = CircuitState.CLOSED
         self.consecutive_faults = 0
         self.shed_attempts = 0
         self.times_opened = 0
+        self._probe_in_flight = False
+
+    def _transition(self, new_state: CircuitState) -> None:
+        old_state, self.state = self.state, new_state
+        if self.recorder.enabled and old_state is not new_state:
+            self.recorder.breaker_transition(
+                self.name, old_state.value, new_state.value
+            )
 
     def allow(self) -> bool:
         """May the executor attempt the arc right now?
 
         While open, every refusal counts toward the cooldown; once the
         cooldown elapses the breaker half-opens and the *next* call is
-        the probe.
+        the probe.  While half-open, only one probe may be in flight:
+        the first call takes it, every further call is refused until
+        the probe settles (:meth:`record_success` /
+        :meth:`record_fault`) or is released (:meth:`release_probe`).
         """
         if self.state is CircuitState.CLOSED:
             return True
         if self.state is CircuitState.HALF_OPEN:
+            if self._probe_in_flight:
+                return False
+            self._probe_in_flight = True
             return True
         self.shed_attempts += 1
         if self.shed_attempts >= self.cooldown:
-            self.state = CircuitState.HALF_OPEN
+            self._transition(CircuitState.HALF_OPEN)
         return False
 
     def record_success(self) -> None:
         """A settled attempt (traversable *or* blocked — both are news)."""
         self.consecutive_faults = 0
         if self.state is CircuitState.HALF_OPEN:
-            self.state = CircuitState.CLOSED
+            self._probe_in_flight = False
+            self.shed_attempts = 0  # the cooldown it counted is over
+            self._transition(CircuitState.CLOSED)
 
     def record_fault(self) -> None:
         """A transient fault that survived the retry budget, or a
@@ -78,14 +111,31 @@ class CircuitBreaker:
             self.state is CircuitState.CLOSED
             and self.consecutive_faults >= self.failure_threshold
         ):
-            self.state = CircuitState.OPEN
+            self._probe_in_flight = False
+            self._transition(CircuitState.OPEN)
             self.shed_attempts = 0
             self.times_opened += 1
+
+    def release_probe(self) -> None:
+        """Abandon an in-flight half-open probe without settling it.
+
+        The executor calls this when a deadline expires mid-probe: the
+        arc's status stays unknown, the breaker stays half-open, and
+        the *next* :meth:`allow` may probe again — without this the
+        single-probe gate would refuse forever.
+        """
+        self._probe_in_flight = False
+
+    @property
+    def probing(self) -> bool:
+        """Whether a half-open probe is currently in flight."""
+        return self._probe_in_flight
 
     def snapshot(self) -> Dict[str, object]:
         return {
             "state": self.state.value,
             "consecutive_faults": self.consecutive_faults,
+            "shed_attempts": self.shed_attempts,
             "times_opened": self.times_opened,
         }
 
@@ -99,17 +149,34 @@ class CircuitBreakerBoard:
     execution.
     """
 
-    def __init__(self, failure_threshold: int = 5, cooldown: int = 10):
+    def __init__(
+        self,
+        failure_threshold: int = 5,
+        cooldown: int = 10,
+        recorder: Recorder = NULL_RECORDER,
+    ):
         self.failure_threshold = failure_threshold
         self.cooldown = cooldown
+        self.recorder = recorder
         self._breakers: Dict[str, CircuitBreaker] = {}
 
     def breaker(self, arc_name: str) -> CircuitBreaker:
         breaker = self._breakers.get(arc_name)
         if breaker is None:
-            breaker = CircuitBreaker(self.failure_threshold, self.cooldown)
+            breaker = CircuitBreaker(
+                self.failure_threshold,
+                self.cooldown,
+                name=arc_name,
+                recorder=self.recorder,
+            )
             self._breakers[arc_name] = breaker
         return breaker
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        """Attach a recorder to the board and every existing breaker."""
+        self.recorder = recorder
+        for breaker in self._breakers.values():
+            breaker.recorder = recorder
 
     def snapshot(self) -> Dict[str, Dict[str, object]]:
         """Non-closed breakers first; closed-and-clean ones elided."""

@@ -19,6 +19,7 @@ from __future__ import annotations
 import random
 from typing import Dict, List, Optional
 
+from ..observability.recorder import NULL_RECORDER, Recorder
 from .circuit import CircuitBreaker, CircuitBreakerBoard
 from .deadline import CostDeadline
 from .retry import RetryPolicy
@@ -43,6 +44,10 @@ class ResiliencePolicy:
     seed:
         Seeds the jitter RNG — two runs under equal-seeded policies
         charge identical backoff.
+    recorder:
+        Observability hook handed to every breaker the board creates,
+        so state transitions show up in traces; the null recorder by
+        default.  :meth:`bind_recorder` attaches one after the fact.
     """
 
     def __init__(
@@ -52,12 +57,16 @@ class ResiliencePolicy:
         failure_threshold: int = 5,
         cooldown: int = 10,
         seed: int = 0,
+        recorder: Recorder = NULL_RECORDER,
     ):
         self.retry = retry or RetryPolicy()
         if deadline is not None and not isinstance(deadline, CostDeadline):
             deadline = CostDeadline(float(deadline))
         self.deadline = deadline
-        self.breakers = CircuitBreakerBoard(failure_threshold, cooldown)
+        self.recorder = recorder
+        self.breakers = CircuitBreakerBoard(
+            failure_threshold, cooldown, recorder=recorder
+        )
         self.seed = int(seed)
         self.rng = random.Random(seed)
         #: Lifetime counters, aggregated over every execution run under
@@ -69,6 +78,15 @@ class ResiliencePolicy:
 
     def breaker_for(self, arc_name: str) -> CircuitBreaker:
         return self.breakers.breaker(arc_name)
+
+    def bind_recorder(self, recorder: Recorder) -> None:
+        """Attach a recorder to the policy and its breaker board.
+
+        The self-optimizing processor calls this so a policy built
+        before the tracer existed still reports breaker transitions.
+        """
+        self.recorder = recorder
+        self.breakers.bind_recorder(recorder)
 
     def snapshot(self) -> Dict[str, object]:
         """A JSON-ready health summary for ``report()`` surfaces."""

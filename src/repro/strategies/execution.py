@@ -28,6 +28,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 from ..errors import RetrievalFaultError
 from ..graphs.contexts import Context, PartialContext
 from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
+from ..observability.recorder import NULL_RECORDER, Recorder
 from .strategy import Strategy
 
 if TYPE_CHECKING:
@@ -67,7 +68,10 @@ class ExecutionResult:
 
 
 def execute(
-    strategy: Strategy, context: Context, required_successes: int = 1
+    strategy: Strategy,
+    context: Context,
+    required_successes: int = 1,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ExecutionResult:
     """Run ``strategy`` against ``context`` and account its cost.
 
@@ -76,6 +80,10 @@ def execute(
     search stops at the ``k``-th success node instead of the first.
     ``success_arc`` reports the stopping retrieval; with ``k > 1`` the
     run counts as succeeded only if all ``k`` successes were found.
+
+    ``recorder`` observes the run (span + per-attempt events) without
+    influencing it; the default null recorder costs one attribute
+    check per attempted arc.
     """
     if required_successes < 1:
         raise ValueError("required_successes must be at least 1")
@@ -85,13 +93,19 @@ def execute(
     successes = 0
     attempted: List[Arc] = []
     observations: Dict[str, bool] = {}
+    span = recorder.begin_query(strategy) if recorder.enabled else 0
 
     for arc in strategy:
         if arc.source.name not in reached:
             continue  # tail never reached: the arc is silently skipped
         attempted.append(arc)
         traversable = context.traversable(arc)
-        cost += arc.cost if traversable else arc.blocked_cost
+        charge = arc.cost if traversable else arc.blocked_cost
+        cost += charge
+        if recorder.enabled:
+            recorder.arc_attempt(
+                span, arc.name, "ok" if traversable else "blocked", charge
+            )
         if arc.blockable:
             observations[arc.name] = traversable
         if not traversable:
@@ -100,9 +114,13 @@ def execute(
         if arc.target.is_success:
             successes += 1
             if successes >= required_successes:
+                if recorder.enabled:
+                    recorder.end_query(span, cost=cost, succeeded=True)
                 return ExecutionResult(
                     strategy, context, cost, True, arc, attempted, observations
                 )
+    if recorder.enabled:
+        recorder.end_query(span, cost=cost, succeeded=False)
     return ExecutionResult(
         strategy, context, cost, False, None, attempted, observations
     )
@@ -177,6 +195,7 @@ def execute_resilient(
     context: Context,
     policy: "ResiliencePolicy",
     required_successes: int = 1,
+    recorder: Recorder = NULL_RECORDER,
 ) -> ResilientExecutionResult:
     """Run ``strategy`` against a possibly-faulty ``context``.
 
@@ -223,8 +242,20 @@ def execute_resilient(
     retries: Dict[str, int] = {}
     skipped_open: List[str] = []
     unsettled: List[str] = []
+    span = recorder.begin_query(strategy, resilient=True) \
+        if recorder.enabled else 0
 
     def finish() -> ResilientExecutionResult:
+        if recorder.enabled:
+            recorder.end_query(
+                span,
+                cost=cost,
+                succeeded=succeeded,
+                settled_cost=settled_cost,
+                retries=sum(retries.values()),
+                backoff_cost=backoff_total,
+                degraded=bool(deadline_expired or skipped_open or unsettled),
+            )
         return ResilientExecutionResult(
             strategy,
             context,
@@ -247,6 +278,8 @@ def execute_resilient(
         breaker = policy.breaker_for(arc.name) if arc.blockable else None
         if breaker is not None and not breaker.allow():
             skipped_open.append(arc.name)
+            if recorder.enabled:
+                recorder.breaker_shed(span, arc.name)
             continue
 
         worst_attempt = max(arc.cost, arc.blocked_cost)
@@ -257,12 +290,23 @@ def execute_resilient(
             ):
                 deadline_expired = True
                 policy.deadline_expiries += 1
+                if breaker is not None:
+                    # A half-open probe this run may still be pending;
+                    # abandoning it un-settled must not wedge the
+                    # breaker in its single-probe gate.
+                    breaker.release_probe()
+                if recorder.enabled:
+                    recorder.deadline_expired(span, cost)
                 return finish()
             try:
                 traversable, multiplier = context.attempt(arc)
             except RetrievalFaultError as fault:
                 policy.total_faults += 1
-                cost += worst_attempt * fault.cost_multiplier
+                charge = worst_attempt * fault.cost_multiplier
+                cost += charge
+                if recorder.enabled:
+                    recorder.arc_attempt(span, arc.name, "fault", charge,
+                                         attempt)
                 if breaker is None or retry.exhausted(attempt):
                     break
                 retries[arc.name] = retries.get(arc.name, 0) + 1
@@ -270,11 +314,19 @@ def execute_resilient(
                 wait = retry.backoff_cost(attempt, policy.rng)
                 cost += wait
                 backoff_total += wait
+                if recorder.enabled:
+                    recorder.arc_retry(span, arc.name, attempt, wait)
             else:
                 settled = traversable
                 base = arc.cost if traversable else arc.blocked_cost
                 cost += base * multiplier
                 settled_cost += base
+                if recorder.enabled:
+                    recorder.arc_attempt(
+                        span, arc.name,
+                        "ok" if traversable else "blocked",
+                        base * multiplier, attempt,
+                    )
                 break
 
         if settled is None:
@@ -283,6 +335,8 @@ def execute_resilient(
             # is unreachable this run.
             unsettled.append(arc.name)
             policy.unsettled_arcs += 1
+            if recorder.enabled:
+                recorder.arc_unsettled(span, arc.name, attempt)
             if breaker is not None:
                 breaker.record_fault()
             continue

@@ -16,8 +16,9 @@ Three evaluation routes are provided, fastest applicable first:
 * :func:`expected_cost_monte_carlo` — sampling estimate for anything
   that can be sampled.
 
-The three agree on their common domain; the property tests check this
-on randomized graphs.
+The three agree on their common domain — including Section 5.2's
+first-``k`` variant (every route takes ``required_successes``); the
+property tests check the three-way agreement on randomized graphs.
 """
 
 from __future__ import annotations
@@ -78,19 +79,77 @@ def _no_success_factor(
     return factor
 
 
+def _convolve_capped(
+    left: List[float], right: List[float], cap: int
+) -> List[float]:
+    """Convolution of two success-count distributions, lumping every
+    count ≥ ``cap`` into the last cell (the search has stopped by then,
+    so finer resolution is never needed)."""
+    out = [0.0] * (cap + 1)
+    for i, pa in enumerate(left):
+        if pa == 0.0:
+            continue
+        for j, pb in enumerate(right):
+            if pb:
+                out[min(i + j, cap)] += pa * pb
+    return out
+
+
+def _success_count_dist(
+    graph: InferenceGraph,
+    node: Node,
+    before: frozenset,
+    probs: Mapping[str, float],
+    forced: frozenset,
+    cap: int,
+) -> List[float]:
+    """Distribution of the number of retrievals in ``before`` within
+    ``node``'s subtree that have fully unblocked paths from ``node``,
+    truncated at ``cap`` (index ``cap`` holds Pr[count ≥ cap]).
+
+    Distinct children's subtrees share no arcs, so their counts are
+    independent and combine by (capped) convolution; ``forced`` arcs
+    are conditioned unblocked exactly as in :func:`_no_success_factor`
+    — this is that function generalized from "none" to "how many",
+    which Section 5.2's first-``k`` stopping rule needs.
+    """
+    dist = [1.0] + [0.0] * cap
+    for arc in graph.children(node):
+        p = 1.0 if arc.name in forced else _success_prob(arc, probs)
+        if arc.kind is ArcKind.RETRIEVAL:
+            if arc.name not in before:
+                continue
+            child = [1.0 - p, p] + [0.0] * (cap - 1)
+        else:
+            inner = _success_count_dist(
+                graph, arc.target, before, probs, forced, cap
+            )
+            if inner[0] == 1.0:
+                continue  # subtree holds no prior retrievals
+            child = [(1.0 - p) + p * inner[0]]
+            child.extend(p * mass for mass in inner[1:])
+        dist = _convolve_capped(dist, child, cap)
+    return dist
+
+
 def attempt_probabilities(
-    strategy: Strategy, probs: Mapping[str, float]
+    strategy: Strategy,
+    probs: Mapping[str, float],
+    required_successes: int = 1,
 ) -> Dict[str, float]:
     """``Pr[arc is attempted]`` for every arc, under independent blocking.
 
     An arc ``a`` at position ``i`` is attempted iff its ancestors are
-    all unblocked *and* no retrieval placed before ``i`` has a fully
-    unblocked root path (any such retrieval means the satisficing
-    search already stopped, whether or not the processor got to attempt
-    it this run — if it did not, an even earlier success stopped it).
-    The two events are made independent by conditioning the shared
-    ancestor arcs unblocked inside the tree product.
+    all unblocked *and* fewer than ``required_successes`` of the
+    retrievals placed before ``i`` have fully unblocked root paths
+    (the ``k``-th such retrieval is where Section 5.2's first-``k``
+    satisficing search stopped, whether or not the processor got to
+    attempt it this run — if it did not, even earlier successes stopped
+    it).  The two events are made independent by conditioning the
+    shared ancestor arcs unblocked inside the tree product.
     """
+    if required_successes < 1:
+        raise ValueError("required_successes must be at least 1")
     graph = strategy.graph
     result: Dict[str, float] = {}
     retrievals_before: List[str] = []
@@ -100,19 +159,29 @@ def attempt_probabilities(
         reach = 1.0
         for ancestor in ancestors:
             reach *= _success_prob(ancestor, probs)
-        if reach > 0.0:
-            no_success = _no_success_factor(
+        if reach <= 0.0:
+            not_stopped = 0.0
+        elif required_successes == 1:
+            not_stopped = _no_success_factor(
                 graph, graph.root, frozenset(retrievals_before), probs, forced
             )
         else:
-            no_success = 0.0
-        result[arc.name] = reach * no_success
+            counts = _success_count_dist(
+                graph, graph.root, frozenset(retrievals_before), probs,
+                forced, required_successes,
+            )
+            not_stopped = sum(counts[:required_successes])
+        result[arc.name] = reach * not_stopped
         if arc.kind is ArcKind.RETRIEVAL:
             retrievals_before.append(arc.name)
     return result
 
 
-def expected_cost_exact(strategy: Strategy, probs: Mapping[str, float]) -> float:
+def expected_cost_exact(
+    strategy: Strategy,
+    probs: Mapping[str, float],
+    required_successes: int = 1,
+) -> float:
     """``C[Θ]`` under independent arc success probabilities.
 
     Reproduces the paper's worked example: on ``G_A`` with unit costs
@@ -120,8 +189,13 @@ def expected_cost_exact(strategy: Strategy, probs: Mapping[str, float]) -> float
     blocked/unblocked costs (Note 4's extension) are handled by
     charging each attempt its mean ``p·f + (1−p)·f_blocked`` — the
     arc's own outcome is independent of the attempt event.
+
+    ``required_successes`` evaluates the first-``k`` variant: the
+    search charges arcs until the ``k``-th success instead of the
+    first, matching :func:`~repro.strategies.execution.execute`'s
+    parameter of the same name.
     """
-    attempted = attempt_probabilities(strategy, probs)
+    attempted = attempt_probabilities(strategy, probs, required_successes)
     return sum(
         arc.expected_attempt_cost(_success_prob(arc, probs))
         * attempted[arc.name]
@@ -157,13 +231,18 @@ def reach_probability(
 
 
 def expected_cost_explicit(
-    strategy: Strategy, weighted_contexts: Iterable[Tuple[float, Context]]
+    strategy: Strategy,
+    weighted_contexts: Iterable[Tuple[float, Context]],
+    required_successes: int = 1,
 ) -> float:
     """``Σ Pr(I)·c(Θ, I)`` for an explicit finite distribution.
 
     Weights must be non-negative and sum to 1 (within 1e-9); the
     distribution may correlate arcs arbitrarily — this is the
     evaluation route for PIB's no-independence-needed setting.
+    ``required_successes`` is threaded through to every simulated
+    :func:`~repro.strategies.execution.execute` call (the first-``k``
+    variant of Section 5.2).
     """
     total_weight = 0.0
     total = 0.0
@@ -172,7 +251,9 @@ def expected_cost_explicit(
             raise DistributionError(f"negative context weight {weight}")
         total_weight += weight
         if weight:
-            total += weight * execute(strategy, context).cost
+            total += weight * execute(
+                strategy, context, required_successes
+            ).cost
     if abs(total_weight - 1.0) > 1e-9:
         raise DistributionError(
             f"context weights sum to {total_weight}, expected 1"
@@ -184,11 +265,13 @@ def expected_cost_monte_carlo(
     strategy: Strategy,
     sampler: Callable[[], Context],
     samples: int,
+    required_successes: int = 1,
 ) -> float:
-    """Sample-mean estimate of ``C[Θ]`` from ``samples`` draws."""
+    """Sample-mean estimate of ``C[Θ]`` from ``samples`` draws; the
+    first-``k`` variant is simulated when ``required_successes > 1``."""
     if samples <= 0:
         raise ValueError("samples must be positive")
     total = 0.0
     for _ in range(samples):
-        total += execute(strategy, sampler()).cost
+        total += execute(strategy, sampler(), required_successes).cost
     return total / samples

@@ -41,6 +41,7 @@ from .graphs.builder import build_inference_graph
 from .graphs.contexts import LazyDatalogContext, _instantiate
 from .graphs.inference_graph import InferenceGraph
 from .learning.pib import ClimbRecord, PIB
+from .observability.recorder import NULL_RECORDER, Recorder
 from .persistence import load_pib, save_pib
 from .resilience.policy import ResiliencePolicy
 from .strategies.execution import execute_resilient
@@ -113,6 +114,15 @@ class SelfOptimizingQueryProcessor:
     pointed at the same directory resumes each learner exactly where
     it stopped — same Δ̃ sums, same sequential-test counter, same
     strategy — so Theorem 1's δ-budget accounting survives restarts.
+
+    ``recorder`` (any :class:`~repro.observability.recorder.Recorder`,
+    typically a :class:`~repro.observability.tracer.Tracer`) observes
+    the whole stack: it is threaded into every learner and strategy
+    execution, bound to the resilience policy's breaker board, and its
+    metrics snapshot — when it has one — appears under
+    :meth:`report`'s ``"metrics"`` key.  Recording is strictly one-way;
+    the processor's answers, costs, and climbs are identical with and
+    without it.
     """
 
     def __init__(
@@ -127,6 +137,7 @@ class SelfOptimizingQueryProcessor:
         resilience: Optional[ResiliencePolicy] = None,
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 25,
+        recorder: Optional[Recorder] = None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
@@ -137,6 +148,9 @@ class SelfOptimizingQueryProcessor:
         self.resilience = resilience
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if resilience is not None and self.recorder.enabled:
+            resilience.bind_recorder(self.recorder)
         self._transformations_factory = (
             transformations_factory or all_sibling_swaps
         )
@@ -188,10 +202,15 @@ class SelfOptimizingQueryProcessor:
         ):
             try:
                 state.learner = load_pib(state.graph, path)
+                state.learner.recorder = self.recorder
                 state.restored = True
+                if self.recorder.enabled:
+                    self.recorder.checkpoint_restored(path)
                 return
             except CheckpointError as reason:
-                state.incidents.append(f"checkpoint recovery failed: {reason}")
+                self._note_incident(
+                    state, f"checkpoint recovery failed: {reason}"
+                )
         state.learner = PIB(
             state.graph,
             delta=self.delta,
@@ -199,7 +218,13 @@ class SelfOptimizingQueryProcessor:
                 self._transformations_factory(state.graph)
             ),
             test_every=self.test_every,
+            recorder=self.recorder,
         )
+
+    def _note_incident(self, state: FormState, description: str) -> None:
+        state.incidents.append(description)
+        if self.recorder.enabled:
+            self.recorder.incident(description)
 
     def _maybe_checkpoint(self, state: FormState, climbed: bool) -> None:
         """Periodic + on-climb crash-safe checkpointing of PIB state."""
@@ -211,6 +236,8 @@ class SelfOptimizingQueryProcessor:
                     exist_ok=True)
         save_pib(state.learner, state.checkpoint_path)
         state.checkpoints_written += 1
+        if self.recorder.enabled:
+            self.recorder.checkpoint_saved(state.checkpoint_path)
 
     def checkpoint_now(self) -> int:
         """Force a checkpoint of every compiled form; returns how many."""
@@ -224,6 +251,8 @@ class SelfOptimizingQueryProcessor:
                 save_pib(state.learner, state.checkpoint_path)
                 state.checkpoints_written += 1
                 written += 1
+                if self.recorder.enabled:
+                    self.recorder.checkpoint_saved(state.checkpoint_path)
         return written
 
     def strategy_for(self, form: QueryForm) -> Optional[Strategy]:
@@ -302,17 +331,18 @@ class SelfOptimizingQueryProcessor:
         context = LazyDatalogContext(state.graph, query, database)
         try:
             result = execute_resilient(
-                state.learner.strategy, context, self.resilience
+                state.learner.strategy, context, self.resilience,
+                recorder=self.recorder,
             )
         except ResilienceError as fault:
-            state.incidents.append(f"learned path raised: {fault}")
+            self._note_incident(state, f"learned path raised: {fault}")
             return self._degraded_answer(state, query, database, 0.0)
 
         if result.deadline_expired:
             # Censored run: do not feed it to PIB (a truncated cost is
             # not a sample of c(Θ, I)); answer via the fallback.
-            state.incidents.append(
-                f"deadline expired after cost {result.cost:g}"
+            self._note_incident(
+                state, f"deadline expired after cost {result.cost:g}"
             )
             return self._degraded_answer(state, query, database, result.cost)
 
@@ -323,9 +353,10 @@ class SelfOptimizingQueryProcessor:
         if not result.succeeded and result.degraded:
             # Faults (unsettled or shed arcs) may have hidden the
             # answer; a "no" is only trustworthy from a clean run.
-            state.incidents.append(
+            self._note_incident(
+                state,
                 "degraded no-answer: unsettled="
-                f"{result.unsettled} shed={result.skipped_open}"
+                f"{result.unsettled} shed={result.skipped_open}",
             )
             return self._degraded_answer(
                 state, query, database, result.cost, climbed=climbed
@@ -341,7 +372,7 @@ class SelfOptimizingQueryProcessor:
                 # Binding recovery re-probes the database, which may
                 # itself fault; the proof already settled, so answer
                 # "yes" without bindings rather than fail the query.
-                state.incidents.append("binding recovery faulted")
+                self._note_incident(state, "binding recovery faulted")
         return SystemAnswer(
             proved=result.succeeded,
             substitution=substitution,
@@ -382,7 +413,7 @@ class SelfOptimizingQueryProcessor:
         incident = state.incidents[-1] if state.incidents else None
         answer, fallback_incident = self._prove_fallback(query, database)
         if answer is None:
-            state.incidents.append(fallback_incident)
+            self._note_incident(state, fallback_incident)
             return SystemAnswer(
                 proved=False,
                 substitution=Substitution(),
@@ -448,4 +479,6 @@ class SelfOptimizingQueryProcessor:
             summary[str(form)] = {"fallback": reason}
         if self.resilience is not None:
             summary["resilience"] = self.resilience.snapshot()
+        if self.recorder.metrics is not None:
+            summary["metrics"] = self.recorder.metrics.snapshot()
         return summary

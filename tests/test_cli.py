@@ -106,6 +106,73 @@ class TestLearnCommand:
         assert "no queries" in output
 
 
+class TestTraceCommand:
+    @pytest.fixture
+    def stream_file(self, tmp_path):
+        stream = tmp_path / "stream.txt"
+        lines = ["% mostly grads"]
+        lines += ["instructor(manolis)"] * 250
+        lines += ["instructor(russ)"] * 40
+        stream.write_text("\n".join(lines))
+        return str(stream)
+
+    def test_trace_exports_jsonl(self, kb_files, stream_file, tmp_path):
+        import json
+
+        rules, facts = kb_files
+        out = tmp_path / "trace.jsonl"
+        code, output = run_cli([
+            "trace", "--rules", rules, "--facts", facts,
+            "--queries", stream_file, "--quiet", "--out", str(out),
+        ])
+        assert code == 0
+        assert "wrote" in output
+        assert "queries_total: 290" in output
+        assert "climbs_total: 1" in output
+        events = [json.loads(line) for line in
+                  out.read_text().splitlines()]
+        types = {e["type"] for e in events}
+        assert {"query_begin", "query_end", "attempt",
+                "learner_sample", "margin", "climb"} <= types
+
+    def test_no_margins_drops_margin_events(self, kb_files, stream_file,
+                                            tmp_path):
+        import json
+
+        rules, facts = kb_files
+        out = tmp_path / "trace.jsonl"
+        code, _ = run_cli([
+            "trace", "--rules", rules, "--facts", facts,
+            "--queries", stream_file, "--quiet", "--out", str(out),
+            "--no-margins",
+        ])
+        assert code == 0
+        types = {json.loads(line)["type"]
+                 for line in out.read_text().splitlines()}
+        assert "margin" not in types
+        assert "climb" in types
+
+    def test_stats_summarizes_trace(self, kb_files, stream_file, tmp_path):
+        rules, facts = kb_files
+        out = tmp_path / "trace.jsonl"
+        run_cli([
+            "trace", "--rules", rules, "--facts", facts,
+            "--queries", stream_file, "--quiet", "--out", str(out),
+        ])
+        code, output = run_cli(["stats", str(out)])
+        assert code == 0
+        assert "queries: 290" in output
+        assert "climbs: 1" in output
+        assert "billed cost:" in output
+
+    def test_stats_rejects_bad_file(self, tmp_path):
+        bad = tmp_path / "bad.jsonl"
+        bad.write_text("not json\n")
+        code, output = run_cli(["stats", str(bad)])
+        assert code == 2
+        assert "error:" in output
+
+
 class TestOptimalCommand:
     def test_prints_optimal_strategy(self, kb_files):
         rules, _ = kb_files

@@ -142,6 +142,91 @@ class TestMonteCarlo:
             )
 
 
+class TestFirstK:
+    """Section 5.2's first-``k`` variant of every evaluation route."""
+
+    def flat_graph(self):
+        builder = GraphBuilder("q")
+        builder.retrieval("a", "q", cost=2.0)
+        builder.retrieval("b", "q", cost=3.0)
+        builder.retrieval("c", "q", cost=5.0)
+        return builder.build()
+
+    def test_k1_is_the_default(self):
+        graph = g_b()
+        probs = figure2_probabilities()
+        strategy = theta_abcd(graph)
+        assert expected_cost_exact(strategy, probs) == expected_cost_exact(
+            strategy, probs, required_successes=1
+        )
+        assert attempt_probabilities(strategy, probs) == (
+            attempt_probabilities(strategy, probs, required_successes=1)
+        )
+
+    def test_flat_scan_manual_k2(self):
+        graph = self.flat_graph()
+        probs = {"a": 0.6, "b": 0.5, "c": 0.9}
+        strategy = Strategy.depth_first(graph)
+        attempts = attempt_probabilities(strategy, probs,
+                                         required_successes=2)
+        # With k=2 the scan can only stop before c, and only when both
+        # a and b hit.
+        assert attempts["a"] == 1.0
+        assert attempts["b"] == 1.0
+        assert attempts["c"] == pytest.approx(1 - 0.6 * 0.5)
+        expected = 2.0 + 3.0 + (1 - 0.3) * 5.0
+        assert expected_cost_exact(
+            strategy, probs, required_successes=2
+        ) == pytest.approx(expected)
+
+    def test_k_beyond_retrievals_scans_everything(self):
+        graph = self.flat_graph()
+        probs = {"a": 0.9, "b": 0.9, "c": 0.9}
+        strategy = Strategy.depth_first(graph)
+        assert expected_cost_exact(
+            strategy, probs, required_successes=4
+        ) == pytest.approx(2.0 + 3.0 + 5.0)
+
+    def test_exact_matches_explicit_with_reductions(self):
+        builder = GraphBuilder("root")
+        builder.reduction("Rb", "root", "x", blockable=True, cost=2.0)
+        builder.retrieval("Dx", "x", cost=3.0)
+        builder.retrieval("Dy", "x", cost=1.0)
+        builder.reduction("Rn", "root", "y")
+        builder.retrieval("Dz", "y")
+        graph = builder.build()
+        probs = {"Rb": 0.4, "Dx": 0.7, "Dy": 0.3, "Dz": 0.5}
+        distribution = IndependentDistribution(graph, probs)
+        strategy = Strategy.depth_first(graph)
+        for k in (1, 2, 3):
+            assert expected_cost_exact(
+                strategy, probs, required_successes=k
+            ) == pytest.approx(expected_cost_explicit(
+                strategy, distribution.support(), required_successes=k
+            ))
+
+    def test_monte_carlo_agrees_k2(self):
+        graph = self.flat_graph()
+        probs = {"a": 0.6, "b": 0.5, "c": 0.9}
+        strategy = Strategy.depth_first(graph)
+        distribution = IndependentDistribution(graph, probs)
+        estimate = expected_cost_monte_carlo(
+            strategy, distribution.sampler(random.Random(7)),
+            samples=40_000, required_successes=2,
+        )
+        exact = expected_cost_exact(strategy, probs, required_successes=2)
+        assert estimate == pytest.approx(exact, abs=0.1)
+
+    def test_k_must_be_positive(self):
+        graph = self.flat_graph()
+        strategy = Strategy.depth_first(graph)
+        probs = {"a": 0.5, "b": 0.5, "c": 0.5}
+        with pytest.raises(ValueError):
+            attempt_probabilities(strategy, probs, required_successes=0)
+        with pytest.raises(ValueError):
+            expected_cost_exact(strategy, probs, required_successes=0)
+
+
 class TestExplicit:
     def test_weights_must_sum_to_one(self):
         graph = g_a()

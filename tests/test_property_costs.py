@@ -73,6 +73,35 @@ class TestExpectedCostIdentities:
         ) < 1e-9
 
     @settings(max_examples=40, deadline=None)
+    @given(seeds, blockable_rates, st.integers(min_value=1, max_value=3))
+    def test_first_k_exact_equals_enumeration(self, seed, blockable_rate, k):
+        """The three routes agree on Section 5.2's first-``k`` variant
+        too: the closed-form DP, explicit enumeration, and (implicitly)
+        the simulated ``execute`` the enumeration drives."""
+        graph, probs = make_instance(seed, blockable_rate)
+        distribution = IndependentDistribution(graph, probs)
+        strategy = Strategy.depth_first(graph)
+        assert abs(
+            expected_cost_exact(strategy, probs, required_successes=k)
+            - expected_cost_explicit(
+                strategy, distribution.support(), required_successes=k
+            )
+        ) < 1e-9
+
+    @settings(max_examples=30, deadline=None)
+    @given(seeds, blockable_rates)
+    def test_first_k_cost_is_monotone_in_k(self, seed, blockable_rate):
+        """Demanding more answers can only lengthen the search."""
+        graph, probs = make_instance(seed, blockable_rate)
+        strategy = Strategy.depth_first(graph)
+        costs = [
+            expected_cost_exact(strategy, probs, required_successes=k)
+            for k in (1, 2, 3)
+        ]
+        assert costs[0] <= costs[1] + 1e-9
+        assert costs[1] <= costs[2] + 1e-9
+
+    @settings(max_examples=40, deadline=None)
     @given(seeds)
     def test_attempt_probabilities_in_unit_interval(self, seed):
         graph, probs = make_instance(seed, 0.4)

@@ -219,6 +219,75 @@ class TestCircuitBreaker:
         assert breaker.state is CircuitState.OPEN
         assert breaker.times_opened == 2
 
+    def test_half_open_admits_one_probe_at_a_time(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_fault()
+        breaker.allow()  # cooldown → half-open
+        assert breaker.allow()  # the probe
+        assert breaker.probing
+        assert not breaker.allow()  # refused while the probe is in flight
+        assert not breaker.allow()
+        assert breaker.state is CircuitState.HALF_OPEN
+        breaker.record_success()
+        assert breaker.state is CircuitState.CLOSED
+
+    def test_release_probe_permits_another_probe(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1)
+        breaker.record_fault()
+        breaker.allow()  # cooldown → half-open
+        assert breaker.allow()
+        assert not breaker.allow()  # gate held by the in-flight probe
+        breaker.release_probe()  # deadline expired mid-probe
+        assert not breaker.probing
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.allow()  # a fresh probe may go out
+
+    def test_shed_count_resets_when_probe_closes_breaker(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=3)
+        breaker.record_fault()
+        for _ in range(3):
+            assert not breaker.allow()  # cooldown elapses on the third
+        assert breaker.state is CircuitState.HALF_OPEN
+        assert breaker.allow()
+        breaker.record_success()
+        assert breaker.shed_attempts == 0
+        # A later trip must count a full fresh cooldown.
+        breaker.record_fault()
+        assert breaker.state is CircuitState.OPEN
+        assert not breaker.allow()
+        assert not breaker.allow()
+        assert breaker.state is CircuitState.OPEN  # 2 of 3 shed so far
+        assert not breaker.allow()
+        assert breaker.state is CircuitState.HALF_OPEN
+
+    def test_snapshot_reports_shed_attempts(self):
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=5)
+        breaker.record_fault()
+        breaker.allow()
+        breaker.allow()
+        snapshot = breaker.snapshot()
+        assert snapshot["state"] == "open"
+        assert snapshot["shed_attempts"] == 2
+
+    def test_transitions_reach_the_recorder(self):
+        from repro.observability import Tracer
+
+        tracer = Tracer()
+        breaker = CircuitBreaker(failure_threshold=1, cooldown=1,
+                                 name="scan_x", recorder=tracer)
+        breaker.record_fault()  # closed → open
+        breaker.allow()  # cooldown → half-open
+        breaker.allow()
+        breaker.record_success()  # half-open → closed
+        moves = [(e["from"], e["to"]) for e in tracer.events_of("breaker")]
+        assert moves == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+        assert all(e["arc"] == "scan_x" for e in tracer.events_of("breaker"))
+        assert tracer.metrics.count("breaker_open_total") == 1
+
 
 class TestCostDeadline:
     def test_validation(self):

@@ -1,0 +1,34 @@
+"""The version string is single-sourced from ``pyproject.toml``;
+installed builds read it via package metadata and source-tree runs fall
+back to a literal.  This test pins the literal to the pyproject value
+so the two can never drift silently."""
+
+import re
+from pathlib import Path
+
+import repro
+
+
+def pyproject_version():
+    # tomllib only exists on 3.11+; a regex keeps the check portable
+    # across every CI interpreter.
+    text = (Path(__file__).parent.parent / "pyproject.toml").read_text()
+    match = re.search(
+        r'^version\s*=\s*"([^"]+)"', text, flags=re.MULTILINE
+    )
+    assert match, "pyproject.toml has no version field"
+    return match.group(1)
+
+
+def test_version_matches_pyproject():
+    assert repro.__version__ == pyproject_version()
+
+
+def test_fallback_matches_pyproject():
+    # Whichever route _resolve_version() took, the fallback literal
+    # itself must also agree with pyproject.toml.
+    assert repro._FALLBACK_VERSION == pyproject_version()
+
+
+def test_version_is_pep440_ish():
+    assert re.fullmatch(r"\d+\.\d+\.\d+([.\-+].*)?", repro.__version__)
