@@ -1,0 +1,28 @@
+"""Experiment D1: drift recovery on a piecewise-stationary workload.
+
+``G_A``'s success probabilities flip halfway through the stream, so the
+regime-A optimum becomes the regime-B pessimum.  Drift-aware PIB must
+detect the change, open a new epoch, and re-climb to within 10% of the
+regime-B optimum; the strategy frozen at the change point must stay
+outside that band.  Until the change, the drift-aware learner must
+take exactly the same climbs as vanilla PIB (the no-drift no-op
+guarantee).
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_drift
+
+
+def test_drift_recovery(benchmark):
+    result = benchmark.pedantic(
+        experiment_drift,
+        kwargs={"regime_contexts": 2500},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["alarms"] >= 1
+    assert result.data["cost_aware"] <= 1.10 * result.data["c_opt_b"]
+    assert result.data["cost_frozen"] > 1.10 * result.data["c_opt_b"]

@@ -7,7 +7,6 @@ worst-case budgets are (documented deviation knob ``sample_scale`` —
 Theorem 2's guarantee formally applies only at scale 1.0).
 """
 
-import pytest
 
 from conftest import record_report
 

@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Surviving a regime change: drift-aware learning demo.
+
+The paper's guarantees all assume a *stationary* query distribution
+(§2.1).  This demo breaks that assumption on purpose: halfway through
+the stream, ``G_A``'s success probabilities flip from grad-heavy to
+prof-heavy, so the strategy PIB has provably converged to becomes the
+worst choice available.  Three learners watch the same flip:
+
+1. **Vanilla PIB** — its Δ̃ evidence and δ_i schedule straddle the
+   change, so it stays pinned to the stale strategy.
+2. **Drift-aware PIB** — per-arc frequency and cost detectors notice
+   the change, a new epoch resets the evidence and restarts the
+   Theorem 1 budget, and the learner re-climbs to the new optimum
+   within a few hundred contexts.
+3. The same drift-aware learner on a **stationary** stream — where it
+   behaves *identically* to vanilla PIB (the no-drift no-op
+   guarantee: drift handling costs nothing until drift happens).
+
+Run:  python examples/drift_recovery.py
+"""
+
+import random
+
+from repro.learning import PIB, DriftAwarePIB, DriftConfig
+from repro.strategies.expected_cost import expected_cost_exact
+from repro.workloads import (
+    IndependentDistribution,
+    PiecewiseStationaryDistribution,
+    g_a,
+    intended_probabilities,
+    theta_1,
+)
+
+REGIME = 2000
+
+
+def build_stream(graph):
+    probs_a = intended_probabilities()                    # Θ₂ optimal
+    probs_b = {"Dp": probs_a["Dg"], "Dg": probs_a["Dp"]}  # Θ₁ optimal
+    stream = PiecewiseStationaryDistribution(graph, [
+        (REGIME, IndependentDistribution(graph, probs_a)),
+        (None, IndependentDistribution(graph, probs_b)),
+    ])
+    return stream, probs_a, probs_b
+
+
+def drive(learner, stream, contexts):
+    rng = random.Random(42)
+    for _ in range(contexts):
+        learner.process(stream.sample(rng))
+    return learner
+
+
+def main() -> None:
+    graph = g_a()
+    stream, probs_a, probs_b = build_stream(graph)
+    print(f"=== the flip: p {probs_a} -> {probs_b} "
+          f"after {REGIME} contexts ===\n")
+
+    print("=== 1. vanilla PIB stays pinned ===")
+    vanilla = drive(
+        PIB(graph, initial_strategy=theta_1(graph)),
+        stream, 2 * REGIME,
+    )
+    print(f"  final strategy: {' '.join(vanilla.strategy.arc_names())}")
+    print(f"  regime-B cost:  "
+          f"{expected_cost_exact(vanilla.strategy, probs_b):.2f} "
+          f"(optimum 2.80)")
+
+    print("\n=== 2. drift-aware PIB recovers ===")
+    stream.reset()
+    aware = drive(
+        DriftAwarePIB(graph, initial_strategy=theta_1(graph),
+                      drift=DriftConfig(delta=0.05)),
+        stream, 2 * REGIME,
+    )
+    for alarm in aware.drift_alarms:
+        print(f"  alarm at context {alarm.context_number} "
+              f"(sources: {', '.join(alarm.sources)}) -> epoch {alarm.epoch}")
+    for record in aware.history:
+        print(f"  climb #{record.step} after context "
+              f"{record.context_number}: {record.transformation}")
+    print(f"  final strategy: {' '.join(aware.strategy.arc_names())}")
+    print(f"  regime-B cost:  "
+          f"{expected_cost_exact(aware.strategy, probs_b):.2f} "
+          f"(optimum 2.80)")
+
+    print("\n=== 3. no drift, no difference ===")
+    stationary = IndependentDistribution(graph, probs_a)
+    twins = []
+    for cls, kwargs in ((PIB, {}), (DriftAwarePIB, {"drift": DriftConfig()})):
+        learner = cls(graph, initial_strategy=theta_1(graph), **kwargs)
+        rng = random.Random(7)
+        for _ in range(1500):
+            learner.process(stationary.sample(rng))
+        twins.append(learner)
+    plain, guarded = twins
+    same = (plain.history == guarded.history
+            and plain.strategy.arc_names() == guarded.strategy.arc_names())
+    print(f"  stationary stream: identical climbs and strategy "
+          f"({same}), alarms raised: {len(guarded.drift_alarms)}")
+    assert same
+
+
+if __name__ == "__main__":
+    main()

@@ -13,6 +13,7 @@ from .experiments import (
     experiment_learning_curve,
     experiment_distributed,
     experiment_distributed_faulty,
+    experiment_drift,
     experiment_figure1,
     experiment_figure2_pib,
     experiment_lemma1,
@@ -39,6 +40,7 @@ __all__ = [
     "experiment_learning_curve",
     "experiment_distributed",
     "experiment_distributed_faulty",
+    "experiment_drift",
     "experiment_figure1",
     "experiment_figure2_pib",
     "experiment_lemma1",

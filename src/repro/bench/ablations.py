@@ -24,7 +24,6 @@ depend on and measuring what breaks:
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Tuple
 
 from ..graphs.random_graphs import random_instance
 from ..learning.chernoff import pib_sequential_threshold, pib_sum_threshold

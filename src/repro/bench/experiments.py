@@ -15,12 +15,11 @@ from __future__ import annotations
 
 import random
 import time
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..graphs.contexts import Context
 from ..graphs.inference_graph import GraphBuilder, InferenceGraph
 from ..graphs.random_graphs import random_instance
-from ..learning.chernoff import pao_sample_size
 from ..learning.pao import pao
 from ..learning.pib import PIB
 from ..learning.pib1 import PIB1
@@ -46,9 +45,10 @@ from ..workloads.distributed import (
     SegmentedTable,
     segment_scan_graph,
 )
+from ..learning.drift import DriftAwarePIB, DriftConfig
 from ..workloads.distributions import (
-    ContextDistribution,
     IndependentDistribution,
+    PiecewiseStationaryDistribution,
 )
 from ..workloads.naf import OWNERSHIP_CATEGORIES, OwnershipDistribution, refutation_graph
 from .harness import ExperimentResult
@@ -67,6 +67,7 @@ __all__ = [
     "experiment_lemma1",
     "experiment_distributed",
     "experiment_distributed_faulty",
+    "experiment_drift",
     "experiment_naf",
     "experiment_upsilon_scaling",
     "experiment_comparison",
@@ -848,6 +849,146 @@ def experiment_distributed_faulty(
             abs(summary["billed_cost"] - billed) < 1e-9
             and abs(summary["settled_cost"] - settled) < 1e-9,
         )
+    return result
+
+
+# ----------------------------------------------------------------------
+# D1: drift recovery — piecewise-stationary workloads
+# ----------------------------------------------------------------------
+
+def experiment_drift(
+    seed: int = 11,
+    regime_contexts: int = 2500,
+    delta: float = 0.05,
+    drift_delta: float = 0.05,
+    window: int = 250,
+) -> ExperimentResult:
+    """Recovery from a regime change that §2.1's stationarity forbids.
+
+    ``G_A``'s success probabilities flip halfway through the stream
+    (grad-heavy → prof-heavy), so the regime-A optimum ``Θ₂`` becomes
+    the regime-B pessimum.  Three learners see identical context
+    streams:
+
+    * **frozen** — the strategy PIB had learned when the regime
+      changed, never updated again (the deployment that stopped
+      learning);
+    * **vanilla PIB** — keeps learning, but its Δ̃ evidence and δ_i
+      schedule straddle the change, so adaptation is slow at best;
+    * **drift-aware PIB** — detects the change, opens a new epoch, and
+      re-climbs under a fresh Theorem 1 budget.
+
+    The headline check is the issue's acceptance criterion: after the
+    change, drift-aware PIB gets within 10% of the *regime-B* optimum
+    while the frozen strategy stays worse than that band.  The
+    no-drift no-op property is asserted on the way: until the regime
+    changes, vanilla and drift-aware PIB take byte-identical climb
+    sequences.
+    """
+    result = ExperimentResult(
+        "D1: drift recovery on G_A (piecewise-stationary workload)"
+    )
+    graph = university.g_a()
+    probs_a = university.intended_probabilities()          # Θ₂ optimal
+    probs_b = {"Dp": probs_a["Dg"], "Dg": probs_a["Dp"]}   # Θ₁ optimal
+    contexts = 2 * regime_contexts
+
+    def stream():
+        return PiecewiseStationaryDistribution(graph, [
+            (regime_contexts, IndependentDistribution(graph, probs_a)),
+            (None, IndependentDistribution(graph, probs_b)),
+        ])
+
+    initial = university.theta_1(graph)
+    vanilla = PIB(graph, delta=delta,
+                  initial_strategy=Strategy(graph, initial.arc_names()))
+    aware = DriftAwarePIB(
+        graph, delta=delta,
+        initial_strategy=Strategy(graph, initial.arc_names()),
+        drift=DriftConfig(delta=drift_delta),
+    )
+
+    frozen_arcs: Dict[str, Sequence[str]] = {}
+    histories_at_change: Dict[str, List[Tuple[str, Tuple[str, ...]]]] = {}
+    curves: Dict[str, List[float]] = {}
+    for label, learner in (("vanilla", vanilla), ("drift-aware", aware)):
+        distribution = stream()
+        rng = random.Random(seed)
+        accumulator = 0.0
+        windows: List[float] = []
+        for index in range(1, contexts + 1):
+            accumulator += learner.process(distribution.sample(rng)).cost
+            if index % window == 0:
+                windows.append(accumulator / window)
+                accumulator = 0.0
+            if index == regime_contexts:
+                frozen_arcs[label] = learner.strategy.arc_names()
+                histories_at_change[label] = [
+                    (rec.transformation, tuple(rec.to_arcs))
+                    for rec in learner.history
+                ]
+        curves[label] = windows
+
+    frozen = Strategy(graph, frozen_arcs["vanilla"])
+    _, c_opt_a = optimal_strategy_brute_force(graph, probs_a)
+    _, c_opt_b = optimal_strategy_brute_force(graph, probs_b)
+
+    def cost_b(strategy: Strategy) -> float:
+        return expected_cost_exact(strategy, probs_b)
+
+    result.tables.append(format_table(
+        f"Regime B expected costs (change after {regime_contexts} "
+        f"contexts; p flips {probs_a} → {probs_b})",
+        ["strategy", "C_B[Θ]"],
+        [
+            ["frozen at the change  " + " ".join(frozen.arc_names()),
+             cost_b(frozen)],
+            ["vanilla PIB, final    " + " ".join(vanilla.strategy.arc_names()),
+             cost_b(vanilla.strategy)],
+            ["drift-aware, final    " + " ".join(aware.strategy.arc_names()),
+             cost_b(aware.strategy)],
+            ["regime-B optimum", c_opt_b],
+        ],
+        footer=f"regime-A optimum C_A = {c_opt_a:.3f}; drift report: "
+               f"{aware.drift_report()}",
+    ))
+    result.tables.append(format_table(
+        f"Mean observed cost per {window}-context window",
+        ["window end", "vanilla", "drift-aware"],
+        [
+            [(i + 1) * window, v, a]
+            for i, (v, a) in enumerate(
+                zip(curves["vanilla"], curves["drift-aware"])
+            )
+        ],
+    ))
+    result.data.update({
+        "c_opt_a": c_opt_a,
+        "c_opt_b": c_opt_b,
+        "cost_frozen": cost_b(frozen),
+        "cost_vanilla": cost_b(vanilla.strategy),
+        "cost_aware": cost_b(aware.strategy),
+        "alarms": len(aware.drift_alarms),
+        "epoch": aware.epoch,
+        "rollbacks": aware.rollbacks,
+        "curves": curves,
+    })
+    result.check(
+        "no-drift no-op: identical climb sequences until the change",
+        histories_at_change["vanilla"] == histories_at_change["drift-aware"],
+    )
+    result.check(
+        "the change was detected (≥ 1 alarm, ≥ 1 epoch)",
+        len(aware.drift_alarms) >= 1 and aware.epoch >= 1,
+    )
+    result.check(
+        "drift-aware PIB recovers to within 10% of the regime-B optimum",
+        cost_b(aware.strategy) <= 1.10 * c_opt_b,
+    )
+    result.check(
+        "the frozen strategy stays worse than that band",
+        cost_b(frozen) > 1.10 * c_opt_b,
+    )
     return result
 
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, Optional, Sequence
 
 from .datalog.database import Database
 from .datalog.engine import TopDownEngine
@@ -104,6 +104,18 @@ def _resilience_from_args(args: argparse.Namespace):
     return ResiliencePolicy(retry=retry, deadline=args.deadline)
 
 
+def _drift_from_args(args: argparse.Namespace):
+    """A :class:`DriftConfig` when ``--drift`` is set (else ``None``)."""
+    if not args.drift:
+        return None
+    from .learning.drift import DriftConfig
+
+    return DriftConfig(
+        delta=args.drift_delta,
+        detector=args.drift_detector,
+    )
+
+
 def _replay_stream(processor, args, facts, out):
     """Feed the query stream to the processor; returns (count, cost,
     degraded) totals.  Shared by ``learn`` and ``trace``."""
@@ -140,6 +152,7 @@ def cmd_learn(args: argparse.Namespace, out) -> int:
         resilience=_resilience_from_args(args),
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
+        drift=_drift_from_args(args),
     )
     count, total_cost, degraded = _replay_stream(processor, args, facts, out)
     if count == 0:
@@ -168,6 +181,7 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
         recorder=tracer,
+        drift=_drift_from_args(args),
     )
     count, total_cost, degraded = _replay_stream(processor, args, facts, out)
     if count == 0:
@@ -209,6 +223,13 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         print(f"  step {climb['step']} after context "
               f"{climb['context_number']}: {climb['transformation']} "
               f"(|S|={climb['samples']})", file=out)
+    print(f"drift alarms: {summary['drift_alarms']}", file=out)
+    print(f"epoch resets: {summary['epoch_resets']}", file=out)
+    print(f"rollbacks: {summary['rollbacks']}", file=out)
+    for rollback in summary["rollback_steps"]:
+        print(f"  epoch {rollback['epoch']} after context "
+              f"{rollback['context_number']}: rolled back to "
+              f"{' '.join(rollback['to'] or [])}", file=out)
     return 0
 
 
@@ -274,6 +295,15 @@ def build_parser() -> argparse.ArgumentParser:
                                   "checkpoints (resumes automatically)")
         command.add_argument("--checkpoint-every", type=int, default=25,
                              help="checkpoint each form every N queries")
+        command.add_argument("--drift", action="store_true",
+                             help="drift-aware learning: detect distribution "
+                                  "shifts and restart the guarantee per epoch")
+        command.add_argument("--drift-delta", type=float, default=0.05,
+                             help="detector false-alarm budget")
+        command.add_argument("--drift-detector", default="window",
+                             choices=("window", "page-hinkley"),
+                             help="change detector (adaptive window or "
+                                  "Page-Hinkley)")
 
     learn = sub.add_parser(
         "learn", help="replay a query stream through the learning processor"

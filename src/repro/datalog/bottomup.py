@@ -16,14 +16,12 @@ bench.
 
 from __future__ import annotations
 
-from itertools import product
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..errors import EvaluationError
 from .database import Database
-from .rules import Literal, Rule, RuleBase
+from .rules import Rule, RuleBase
 from .terms import Atom, Substitution
-from .unify import match, unify
 
 __all__ = ["naive_evaluate", "seminaive_evaluate", "BottomUpEngine"]
 

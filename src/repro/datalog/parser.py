@@ -22,7 +22,7 @@ Entry points: :func:`parse_program`, :func:`parse_rule`,
 from __future__ import annotations
 
 import re
-from typing import Iterator, List, NamedTuple, Optional, Tuple
+from typing import Iterator, List, NamedTuple, Optional
 
 from ..errors import ParseError
 from .rules import Literal, Rule, RuleBase

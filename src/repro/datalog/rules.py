@@ -19,7 +19,7 @@ Query forms (``q^(b,f,...)``, Section 2 of the paper) are modelled by
 from __future__ import annotations
 
 from collections import defaultdict
-from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from ..errors import EvaluationError, StratificationError
 from .terms import Atom, Substitution, Variable, variables_of

@@ -20,7 +20,7 @@ from __future__ import annotations
 import itertools
 from typing import Dict, Optional, Tuple
 
-from .terms import Atom, Constant, Substitution, Term, Variable
+from .terms import Atom, Substitution, Term, Variable
 
 __all__ = ["unify", "unify_terms", "match", "rename_apart", "fresh_variable_factory"]
 

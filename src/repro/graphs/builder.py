@@ -22,13 +22,13 @@ under the goal ``grad(B0)`` only applies when the runtime constant is
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Optional
 
 from ..errors import GraphError, RecursionLimitError
 from ..datalog.rules import QueryForm, Rule, RuleBase
 from ..datalog.terms import Atom, Variable
 from ..datalog.unify import fresh_variable_factory, rename_apart, unify
-from .inference_graph import Arc, ArcKind, GraphBuilder, InferenceGraph
+from .inference_graph import ArcKind, GraphBuilder, InferenceGraph
 
 __all__ = ["build_inference_graph"]
 

@@ -19,11 +19,11 @@ the subset of unblocked arcs).  This module provides:
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import GraphError
 from ..datalog.database import Database
-from ..datalog.terms import Atom, Substitution, Variable
+from ..datalog.terms import Atom
 from ..datalog.unify import unify
 from .inference_graph import Arc, ArcKind, InferenceGraph
 

@@ -23,7 +23,7 @@ applies to one query constant.
 from __future__ import annotations
 
 import enum
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set
 
 from ..errors import GraphError
 from ..datalog.rules import Rule

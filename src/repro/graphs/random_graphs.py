@@ -9,9 +9,9 @@ reproducibly.  All randomness flows through an explicit
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
-from .inference_graph import Arc, GraphBuilder, InferenceGraph
+from .inference_graph import GraphBuilder, InferenceGraph
 
 __all__ = ["random_tree_graph", "random_probabilities", "random_instance"]
 

@@ -15,9 +15,25 @@ from .chernoff import (
     samples_for_radius,
     sequential_confidence,
 )
-from .statistics import DeltaAccumulator, RetrievalStatistics, delta_tilde
+from .statistics import (
+    DecayedDeltaAccumulator,
+    DeltaAccumulator,
+    RetrievalStatistics,
+    WindowedRetrievalStatistics,
+    delta_tilde,
+)
 from .pib1 import PIB1
 from .pib import PIB, ClimbRecord
+from .drift import (
+    AdaptiveWindowDetector,
+    DriftAlarm,
+    DriftAwarePIB,
+    DriftConfig,
+    PageHinkleyDetector,
+    PAORevalidationMonitor,
+    RollbackTransformation,
+    make_detector,
+)
 from .palo import PALO
 from .pao import PAOResult, pao, sample_requirements
 from .policy import PolicyPIB, PolicySwap, all_policy_swaps
@@ -32,12 +48,22 @@ __all__ = [
     "pib_sum_threshold",
     "samples_for_radius",
     "sequential_confidence",
+    "DecayedDeltaAccumulator",
     "DeltaAccumulator",
     "RetrievalStatistics",
+    "WindowedRetrievalStatistics",
     "delta_tilde",
     "PIB1",
     "PIB",
     "ClimbRecord",
+    "AdaptiveWindowDetector",
+    "DriftAlarm",
+    "DriftAwarePIB",
+    "DriftConfig",
+    "PageHinkleyDetector",
+    "PAORevalidationMonitor",
+    "RollbackTransformation",
+    "make_detector",
     "PALO",
     "PAOResult",
     "pao",

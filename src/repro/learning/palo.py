@@ -21,7 +21,7 @@ improvement *and* the returned strategy is a true ε-local optimum.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Sequence
 
 from ..errors import LearningError, SampleBudgetExceeded

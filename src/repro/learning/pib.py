@@ -24,7 +24,7 @@ needs to stop, and the longer it runs the better (with probability
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Iterable, List, Optional, Sequence
+from typing import Callable, List, Optional, Sequence
 
 from ..errors import LearningError
 from ..graphs.contexts import Context

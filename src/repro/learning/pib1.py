@@ -25,7 +25,7 @@ from __future__ import annotations
 from typing import Optional
 
 from ..errors import LearningError
-from ..graphs.inference_graph import Arc, InferenceGraph
+from ..graphs.inference_graph import InferenceGraph
 from ..strategies.execution import ExecutionResult
 from ..strategies.strategy import Strategy
 from .chernoff import pib_sum_threshold

@@ -13,7 +13,7 @@ tests) can confirm the bound empirically on randomized instances.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Tuple
+from typing import Callable, Dict, Mapping, Optional
 
 from ..graphs.inference_graph import InferenceGraph
 from ..strategies.expected_cost import expected_cost_exact, reach_probability

@@ -11,15 +11,22 @@ Equation 6 threshold.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict
 
 from ..graphs.inference_graph import InferenceGraph
-from ..strategies.execution import ExecutionResult, execute, pessimistic_cost
+from ..strategies.execution import ExecutionResult, pessimistic_cost
 from ..strategies.strategy import Strategy
 from ..strategies.transformations import Transformation
 
-__all__ = ["RetrievalStatistics", "DeltaAccumulator", "delta_tilde"]
+__all__ = [
+    "RetrievalStatistics",
+    "WindowedRetrievalStatistics",
+    "DeltaAccumulator",
+    "DecayedDeltaAccumulator",
+    "delta_tilde",
+]
 
 
 class RetrievalStatistics:
@@ -98,3 +105,85 @@ class DeltaAccumulator:
     @property
     def mean(self) -> float:
         return self.total / self.samples if self.samples else 0.0
+
+
+class WindowedRetrievalStatistics(RetrievalStatistics):
+    """Per-arc counters whose *frequencies* track a sliding window.
+
+    The stationarity assumption behind Theorems 1–3 makes lifetime
+    counters sufficient; under a drifting workload they average over
+    regimes and go stale.  This variant keeps the lifetime ``attempts``
+    / ``successes`` dicts (persistence and Section 5.1's bookkeeping
+    story are unchanged) but answers :meth:`frequency` from only the
+    most recent ``window`` observations per arc — the current-regime
+    ``p̂`` the drift layer and a PAO revalidation want.
+    """
+
+    def __init__(self, graph: InferenceGraph, window: int = 200):
+        super().__init__(graph)
+        if window < 1:
+            raise ValueError(f"window must be at least 1, got {window}")
+        self.window = window
+        self._recent: Dict[str, Deque[bool]] = {
+            name: deque(maxlen=window) for name in self.attempts
+        }
+
+    def record(self, result: ExecutionResult) -> None:
+        super().record(result)
+        for name, unblocked in result.observations.items():
+            self._recent[name].append(unblocked)
+
+    def frequency(self, arc_name: str, fallback: float = 0.5) -> float:
+        recent = self._recent[arc_name]
+        if not recent:
+            return fallback
+        return sum(recent) / len(recent)
+
+    def window_size(self, arc_name: str) -> int:
+        """How many observations currently back ``frequency(arc_name)``."""
+        return len(self._recent[arc_name])
+
+    def reset_window(self) -> None:
+        """Forget the windows (epoch boundary); lifetime counters stay."""
+        for recent in self._recent.values():
+            recent.clear()
+
+
+@dataclass
+class DecayedDeltaAccumulator(DeltaAccumulator):
+    """A ``Δ̃`` accumulator with exponential forgetting.
+
+    Each new sample first multiplies the running ``total`` (and the
+    *effective* sample count) by ``decay``, so evidence from ``k``
+    samples ago carries weight ``decay**k`` — estimates track the
+    current regime instead of averaging over every regime ever seen.
+
+    The decayed sum is **not** admissible in Equation 6: the Chernoff
+    bound's ``n`` must count i.i.d. samples at full weight, so
+    :class:`~repro.learning.drift.DriftAwarePIB` keeps plain
+    per-epoch accumulators for its climb decisions and uses this class
+    only where a regime-local *estimate* (not a guarantee) is wanted.
+    ``samples`` stays the integer count of updates; ``effective_samples``
+    is the decayed mass ``Σ decay**k``.
+    """
+
+    decay: float = 0.98
+    effective_samples: float = field(default=0.0)
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.decay <= 1.0:
+            raise ValueError(f"decay must be in (0, 1], got {self.decay}")
+
+    def update(self, result: ExecutionResult) -> float:
+        estimate = delta_tilde(result, self.candidate)
+        self.total = self.total * self.decay + estimate
+        self.effective_samples = self.effective_samples * self.decay + 1.0
+        self.samples += 1
+        return estimate
+
+    @property
+    def mean(self) -> float:
+        """The exponentially-weighted mean ``Δ̃`` per sample."""
+        if self.effective_samples <= 0.0:
+            return 0.0
+        return self.total / self.effective_samples

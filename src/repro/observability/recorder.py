@@ -130,6 +130,30 @@ class Recorder:
         """A learner resumed from a checkpoint at startup."""
 
     # ------------------------------------------------------------------
+    # Drift events
+    # ------------------------------------------------------------------
+
+    def drift_alarm(
+        self, epoch: int, context_number: int, sources: Any
+    ) -> None:
+        """A change detector confirmed drift; ``sources`` names the
+        alarming streams (``cost``, ``arc:<name>``, ``pao:<name>``)."""
+
+    def epoch_reset(
+        self, epoch: int, context_number: int, strategy: Any
+    ) -> None:
+        """A drift-aware learner opened a new epoch: Δ̃ evidence and
+        the sequential-test index were reset; ``strategy`` (arc names)
+        was snapshotted as last-known-good."""
+
+    def rollback(
+        self, epoch: int, context_number: int, from_arcs: Any, to_arcs: Any
+    ) -> None:
+        """The learner rolled back to its last-known-good strategy
+        after the post-drift regime made the current one statistically
+        worse."""
+
+    # ------------------------------------------------------------------
     # PAO events
     # ------------------------------------------------------------------
 

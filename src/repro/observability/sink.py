@@ -67,6 +67,9 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     retries = 0
     climbs: List[Dict[str, Any]] = []
     breaker_opens = 0
+    drift_alarms = 0
+    epoch_resets = 0
+    rollbacks: List[Dict[str, Any]] = []
     for event in events:
         type_ = event["type"]
         event_counts[type_] = event_counts.get(type_, 0) + 1
@@ -84,6 +87,12 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             climbs.append(event)
         elif type_ == "breaker" and event.get("to") == "open":
             breaker_opens += 1
+        elif type_ == "drift_alarm":
+            drift_alarms += 1
+        elif type_ == "epoch_reset":
+            epoch_resets += 1
+        elif type_ == "rollback":
+            rollbacks.append(event)
     return {
         "events": sum(event_counts.values()),
         "event_counts": dict(sorted(event_counts.items())),
@@ -105,4 +114,15 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             for climb in climbs
         ],
         "breaker_opens": breaker_opens,
+        "drift_alarms": drift_alarms,
+        "epoch_resets": epoch_resets,
+        "rollbacks": len(rollbacks),
+        "rollback_steps": [
+            {
+                "epoch": rollback.get("epoch"),
+                "context_number": rollback.get("context_number"),
+                "to": rollback.get("to"),
+            }
+            for rollback in rollbacks
+        ],
     }

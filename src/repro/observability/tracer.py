@@ -41,6 +41,9 @@ Event types (the ``type`` field of each JSONL line):
 ``pao_budget``       requirements {experiment: m(d_i)}
 ``pao_complete``     contexts_used, estimates
 ``incident``         description
+``drift_alarm``      epoch, context_number, sources
+``epoch_reset``      epoch, context_number, strategy (last-known-good)
+``rollback``         epoch, context_number, from, to
 =================== ====================================================
 
 Tracing is for *observing*, never for steering: no instrumented code
@@ -243,6 +246,31 @@ class Tracer(Recorder):
     def checkpoint_restored(self, path: str) -> None:
         self._emit("checkpoint", action="restored", path=path)
         self.metrics.counter("checkpoint_restores_total").inc()
+
+    # ------------------------------------------------------------------
+    # Drift events
+    # ------------------------------------------------------------------
+
+    def drift_alarm(
+        self, epoch: int, context_number: int, sources: Any
+    ) -> None:
+        self._emit("drift_alarm", epoch=epoch, context_number=context_number,
+                   sources=list(sources))
+        self.metrics.counter("drift_alarms_total").inc()
+
+    def epoch_reset(
+        self, epoch: int, context_number: int, strategy: Any
+    ) -> None:
+        self._emit("epoch_reset", epoch=epoch, context_number=context_number,
+                   strategy=list(strategy))
+        self.metrics.counter("epoch_resets_total").inc()
+
+    def rollback(
+        self, epoch: int, context_number: int, from_arcs: Any, to_arcs: Any
+    ) -> None:
+        self._emit("rollback", epoch=epoch, context_number=context_number,
+                   **{"from": list(from_arcs), "to": list(to_arcs)})
+        self.metrics.counter("rollbacks_total").inc()
 
     # ------------------------------------------------------------------
     # PAO + system events

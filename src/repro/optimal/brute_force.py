@@ -13,7 +13,7 @@ a given graph by also scanning every legal arc sequence).
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, Mapping, Optional, Tuple
+from typing import Iterable, Mapping, Optional, Tuple
 
 from ..graphs.contexts import Context
 from ..strategies.enumeration import (

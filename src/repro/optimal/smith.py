@@ -16,11 +16,11 @@ heuristic still insists on ``Θ₁``).
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+from typing import Dict
 
 from ..errors import GraphError
 from ..datalog.database import Database
-from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
+from ..graphs.inference_graph import ArcKind, InferenceGraph
 from ..strategies.strategy import Strategy
 from .upsilon import upsilon_aot
 

@@ -19,12 +19,12 @@ import hashlib
 import json
 import os
 import re
-from typing import Dict, List, Optional, Union
+from typing import Dict, Optional
 
 from .errors import CheckpointError, LearningError
 from .graphs.inference_graph import InferenceGraph
+from .learning.drift import DriftAlarm, DriftAwarePIB, DriftConfig
 from .learning.pib import ClimbRecord, PIB
-from .learning.statistics import DeltaAccumulator
 from .strategies.strategy import Strategy
 from .strategies.transformations import (
     PathPromotion,
@@ -38,6 +38,7 @@ __all__ = [
     "transformation_from_name",
     "pib_to_dict",
     "pib_from_dict",
+    "migrate_payload",
     "save_pib",
     "load_pib",
     "backup_path",
@@ -47,7 +48,11 @@ __all__ = [
 _SWAP_RE = re.compile(r"^swap\(([^,()]+),([^,()]+)\)$")
 _PROMOTE_RE = re.compile(r"^promote\(([^()]+)\)$")
 
-_FORMAT_VERSION = 1
+#: v1: the PR 1 format (plain PIB state, no drift key).
+#: v2: adds the nullable ``drift`` key carrying the epoch protocol's
+#: state for :class:`~repro.learning.drift.DriftAwarePIB` checkpoints;
+#: v1 files load through :func:`migrate_payload`.
+_FORMAT_VERSION = 2
 
 #: Payload keys :func:`pib_from_dict` indexes; validated up front so a
 #: truncated or hand-edited file fails with one clear error instead of
@@ -63,6 +68,7 @@ _REQUIRED_KEYS = (
     "retrieval_statistics",
     "accumulators",
     "history",
+    "drift",
 )
 
 
@@ -97,10 +103,41 @@ def transformation_from_name(name: str) -> Transformation:
     raise LearningError(f"unknown transformation name {name!r}")
 
 
+def _drift_to_dict(pib: PIB) -> Optional[Dict[str, object]]:
+    """The v2 ``drift`` key: epoch state for drift-aware learners.
+
+    ``None`` for vanilla PIB.  Detector windows are deliberately *not*
+    serialized: they refill within ``max_window`` samples of a restart,
+    whereas the epoch counter, alarm log, and last-known-good strategy
+    are irrecoverable and must survive.
+    """
+    if not isinstance(pib, DriftAwarePIB):
+        return None
+    return {
+        "config": pib.drift_config.to_dict(),
+        "epoch": pib.epoch,
+        "rollbacks": pib.rollbacks,
+        "epoch_started_at": pib._epoch_started_at,
+        "alarms": [
+            {
+                "epoch": alarm.epoch,
+                "context_number": alarm.context_number,
+                "sources": list(alarm.sources),
+            }
+            for alarm in pib.drift_alarms
+        ],
+        "last_known_good": (
+            strategy_to_dict(pib.last_known_good)
+            if pib.last_known_good is not None else None
+        ),
+    }
+
+
 def pib_to_dict(pib: PIB) -> Dict[str, object]:
     """Serialize a PIB learner's full resumable state."""
     return {
         "version": _FORMAT_VERSION,
+        "drift": _drift_to_dict(pib),
         "delta": pib.delta,
         "test_every": pib.test_every,
         "total_tests": pib.total_tests,
@@ -135,33 +172,61 @@ def pib_to_dict(pib: PIB) -> Dict[str, object]:
     }
 
 
+def migrate_payload(payload: Dict[str, object]) -> Dict[str, object]:
+    """Upgrade an older-format payload to the current version.
+
+    v1 → v2: the ``drift`` key did not exist (v1 predates the drift
+    layer), so the migrated learner is a vanilla PIB — exactly what the
+    v1 file described.  Migration never mutates its input; unknown or
+    future versions raise :class:`~repro.errors.CheckpointError` (a
+    newer build's file is not something this one can safely guess at).
+    """
+    if not isinstance(payload, dict):
+        raise CheckpointError(
+            f"PIB state payload must be an object, got {type(payload).__name__}"
+        )
+    version = payload.get("version")
+    if version == _FORMAT_VERSION:
+        return payload
+    if version == 1:
+        upgraded = dict(payload)
+        upgraded["version"] = 2
+        upgraded["drift"] = None
+        return upgraded
+    raise CheckpointError(
+        f"unsupported PIB state version {version!r} "
+        f"(this build reads versions 1..{_FORMAT_VERSION})"
+    )
+
+
 def pib_from_dict(
-    graph: InferenceGraph, payload: Dict[str, object]
+    graph: InferenceGraph,
+    payload: Dict[str, object],
+    drift: Optional[DriftConfig] = None,
 ) -> PIB:
     """Rebuild a PIB learner on ``graph`` from :func:`pib_to_dict` output.
 
     The restored learner continues exactly where the saved one stopped:
     same strategy, same ``Δ̃`` sums, same sequential-test counter — so
     Theorem 1's budget keeps holding across the save/load boundary.
+
+    Older format versions are upgraded via :func:`migrate_payload`
+    first.  ``drift`` requests a
+    :class:`~repro.learning.drift.DriftAwarePIB` with that config even
+    when the checkpoint has no drift state (e.g. a migrated v1 file in
+    a system that has since turned drift awareness on) — the learned
+    strategy and statistics carry over, the epoch protocol starts
+    fresh.  When the checkpoint itself carries drift state, it wins.
     """
-    if not isinstance(payload, dict):
-        raise CheckpointError(
-            f"PIB state payload must be an object, got {type(payload).__name__}"
-        )
+    payload = migrate_payload(payload)
     missing = [key for key in _REQUIRED_KEYS if key not in payload]
     if missing:
         raise CheckpointError(
             "PIB state payload is missing required keys: "
             + ", ".join(missing)
         )
-    version = payload.get("version")
-    if version != _FORMAT_VERSION:
-        raise LearningError(
-            f"unsupported PIB state version {version!r} "
-            f"(this build writes {_FORMAT_VERSION})"
-        )
     try:
-        return _pib_from_validated(graph, payload)
+        return _pib_from_validated(graph, payload, drift)
     except LearningError:
         raise
     except (KeyError, TypeError, ValueError, AttributeError) as error:
@@ -171,19 +236,58 @@ def pib_from_dict(
 
 
 def _pib_from_validated(
-    graph: InferenceGraph, payload: Dict[str, object]
+    graph: InferenceGraph,
+    payload: Dict[str, object],
+    drift: Optional[DriftConfig] = None,
 ) -> PIB:
     transformations = [
         transformation_from_name(str(name))
         for name in payload["transformations"]
     ]
-    pib = PIB(
-        graph,
-        delta=float(payload["delta"]),
-        initial_strategy=strategy_from_dict(graph, payload["strategy"]),
-        transformations=transformations,
-        test_every=int(payload["test_every"]),
-    )
+    drift_state = payload["drift"]
+    if drift_state is not None:
+        config = DriftConfig.from_dict(drift_state.get("config", {}))
+    elif drift is not None:
+        config = drift
+    else:
+        config = None
+
+    if config is None:
+        pib = PIB(
+            graph,
+            delta=float(payload["delta"]),
+            initial_strategy=strategy_from_dict(graph, payload["strategy"]),
+            transformations=transformations,
+            test_every=int(payload["test_every"]),
+        )
+    else:
+        pib = DriftAwarePIB(
+            graph,
+            delta=float(payload["delta"]),
+            initial_strategy=strategy_from_dict(graph, payload["strategy"]),
+            transformations=transformations,
+            test_every=int(payload["test_every"]),
+            drift=config,
+        )
+        if drift_state is not None:
+            pib.epoch = int(drift_state["epoch"])
+            pib.rollbacks = int(drift_state["rollbacks"])
+            pib._epoch_started_at = int(drift_state["epoch_started_at"])
+            pib.drift_alarms = [
+                DriftAlarm(
+                    epoch=int(alarm["epoch"]),
+                    context_number=int(alarm["context_number"]),
+                    sources=tuple(str(s) for s in alarm["sources"]),
+                )
+                for alarm in drift_state["alarms"]
+            ]
+            saved_good = drift_state["last_known_good"]
+            if saved_good is not None:
+                pib.last_known_good = strategy_from_dict(graph, saved_good)
+            # Re-derive the neighbourhood now that last-known-good is
+            # known: a differing snapshot re-adds the standing rollback
+            # candidate, whose saved Δ̃ evidence is mapped back below.
+            pib._rebuild_neighbourhood()
     pib.total_tests = int(payload["total_tests"])
     pib.contexts_processed = int(payload["contexts_processed"])
 
@@ -296,23 +400,30 @@ def _load_payload(path: str) -> Dict[str, object]:
     return payload
 
 
-def load_pib(graph: InferenceGraph, path: str) -> PIB:
+def load_pib(
+    graph: InferenceGraph,
+    path: str,
+    drift: Optional[DriftConfig] = None,
+) -> PIB:
     """Restore a learner saved by :func:`save_pib` against ``graph``.
 
     Recovery order: ``path`` itself, then — if ``path`` is missing,
     torn, or fails its checksum — the ``path + ".bak"`` backup that
     :func:`save_pib` keeps.  Only when both are unusable does the
     :class:`~repro.errors.CheckpointError` propagate, describing both
-    failures.
+    failures.  Older format versions (v1) upgrade transparently via
+    :func:`migrate_payload`; ``drift`` is forwarded to
+    :func:`pib_from_dict` for callers that want a drift-aware learner
+    regardless of what the checkpoint recorded.
     """
     try:
-        return pib_from_dict(graph, _load_payload(path))
+        return pib_from_dict(graph, _load_payload(path), drift)
     except CheckpointError as primary:
         fallback = backup_path(path)
         if not os.path.exists(fallback):
             raise
         try:
-            return pib_from_dict(graph, _load_payload(fallback))
+            return pib_from_dict(graph, _load_payload(fallback), drift)
         except CheckpointError as secondary:
             raise CheckpointError(
                 f"checkpoint and backup both unusable: {primary}; {secondary}",

@@ -17,7 +17,7 @@ call.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from ..observability.recorder import NULL_RECORDER, Recorder
 from .circuit import CircuitBreaker, CircuitBreakerBoard

@@ -17,11 +17,11 @@ experiment (and whether it reached it) — the statistic Theorem 3's
 from __future__ import annotations
 
 import enum
-from typing import Dict, List, Mapping, Optional, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..errors import LearningError
 from ..graphs.contexts import Context
-from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
+from ..graphs.inference_graph import Arc, InferenceGraph
 from .execution import ExecutionResult, execute
 from .strategy import Strategy
 

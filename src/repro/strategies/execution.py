@@ -27,7 +27,7 @@ from typing import TYPE_CHECKING, Dict, List, Optional, Set
 
 from ..errors import RetrievalFaultError
 from ..graphs.contexts import Context, PartialContext
-from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph
+from ..graphs.inference_graph import Arc, ArcKind
 from ..observability.recorder import NULL_RECORDER, Recorder
 from .strategy import Strategy
 

@@ -23,7 +23,7 @@ property tests check the three-way agreement on randomized graphs.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Mapping, Tuple
 
 from ..errors import DistributionError
 from ..graphs.contexts import Context

@@ -20,7 +20,7 @@ its cost is paid (see ``repro.optimal``).
 
 from __future__ import annotations
 
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple, Union
 
 from ..errors import IllegalStrategyError
 from ..graphs.inference_graph import Arc, ArcKind, InferenceGraph, Node

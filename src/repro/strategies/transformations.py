@@ -15,9 +15,9 @@ deviates from Θ_j", i.e. ``f*(r₁) + f*(r₂)`` for a sibling swap.
 from __future__ import annotations
 
 from itertools import combinations
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
 
-from ..graphs.inference_graph import Arc, InferenceGraph
+from ..graphs.inference_graph import InferenceGraph
 from .strategy import Strategy
 
 __all__ = [

@@ -40,6 +40,7 @@ from .errors import (
 from .graphs.builder import build_inference_graph
 from .graphs.contexts import LazyDatalogContext, _instantiate
 from .graphs.inference_graph import InferenceGraph
+from .learning.drift import DriftAwarePIB, DriftConfig
 from .learning.pib import ClimbRecord, PIB
 from .observability.recorder import NULL_RECORDER, Recorder
 from .persistence import load_pib, save_pib
@@ -115,6 +116,18 @@ class SelfOptimizingQueryProcessor:
     it stopped — same Δ̃ sums, same sequential-test counter, same
     strategy — so Theorem 1's δ-budget accounting survives restarts.
 
+    ``drift`` (a :class:`~repro.learning.drift.DriftConfig`) switches
+    every form's learner to a
+    :class:`~repro.learning.drift.DriftAwarePIB`: per-arc success
+    frequencies and per-query costs are watched by online change
+    detectors, and a confirmed alarm opens a new learning epoch —
+    evidence reset, δ-schedule restarted, last-known-good strategy kept
+    as a statistically-guarded rollback candidate.  On a stationary
+    workload the drift-aware processor behaves identically to the
+    vanilla one (up to false alarms, bounded by the detector's δ).
+    Checkpoints written with or without drift interoperate: ``load_pib``
+    upgrades either kind to the configured mode.
+
     ``recorder`` (any :class:`~repro.observability.recorder.Recorder`,
     typically a :class:`~repro.observability.tracer.Tracer`) observes
     the whole stack: it is threaded into every learner and strategy
@@ -138,6 +151,7 @@ class SelfOptimizingQueryProcessor:
         checkpoint_dir: Optional[str] = None,
         checkpoint_every: int = 25,
         recorder: Optional[Recorder] = None,
+        drift: Optional[DriftConfig] = None,
     ):
         if checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
@@ -148,6 +162,7 @@ class SelfOptimizingQueryProcessor:
         self.resilience = resilience
         self.checkpoint_dir = checkpoint_dir
         self.checkpoint_every = checkpoint_every
+        self.drift = drift
         self.recorder = recorder if recorder is not None else NULL_RECORDER
         if resilience is not None and self.recorder.enabled:
             resilience.bind_recorder(self.recorder)
@@ -201,7 +216,7 @@ class SelfOptimizingQueryProcessor:
             os.path.exists(path) or os.path.exists(path + ".bak")
         ):
             try:
-                state.learner = load_pib(state.graph, path)
+                state.learner = load_pib(state.graph, path, drift=self.drift)
                 state.learner.recorder = self.recorder
                 state.restored = True
                 if self.recorder.enabled:
@@ -211,8 +226,7 @@ class SelfOptimizingQueryProcessor:
                 self._note_incident(
                     state, f"checkpoint recovery failed: {reason}"
                 )
-        state.learner = PIB(
-            state.graph,
+        kwargs = dict(
             delta=self.delta,
             transformations=list(
                 self._transformations_factory(state.graph)
@@ -220,6 +234,12 @@ class SelfOptimizingQueryProcessor:
             test_every=self.test_every,
             recorder=self.recorder,
         )
+        if self.drift is not None:
+            state.learner = DriftAwarePIB(
+                state.graph, drift=self.drift, **kwargs
+            )
+        else:
+            state.learner = PIB(state.graph, **kwargs)
 
     def _note_incident(self, state: FormState, description: str) -> None:
         state.incidents.append(description)
@@ -466,6 +486,8 @@ class SelfOptimizingQueryProcessor:
                 "retrieval_frequencies":
                     state.learner.retrieval_statistics.frequencies(),
             }
+            if isinstance(state.learner, DriftAwarePIB):
+                entry["drift"] = state.learner.drift_report()
             if state.incidents:
                 entry["incidents"] = list(state.incidents)
             if state.checkpoint_path is not None:

@@ -18,7 +18,7 @@ not; the benches show PIB converging to the optimal order anyway.
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 from ..errors import DistributionError
 from ..graphs.contexts import Context

@@ -11,11 +11,10 @@ realistic Datalog, not just arc abstractions.
 from __future__ import annotations
 
 import random
-import string
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Sequence
 
 from ..datalog.database import Database
-from ..datalog.rules import Literal, QueryForm, Rule, RuleBase
+from ..datalog.rules import Literal, Rule, RuleBase
 from ..datalog.terms import Atom, Constant, Variable
 
 __all__ = [

@@ -17,7 +17,7 @@ variant ("one set of variants seek the first k answers to a query").
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Mapping, Optional, Tuple
 
 from ..datalog.database import Database
 from ..datalog.engine import TopDownEngine

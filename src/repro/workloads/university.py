@@ -26,7 +26,7 @@ in the sentence are evidently transposed.  We expose both readings:
 from __future__ import annotations
 
 import random
-from typing import Callable, Dict, Mapping, Tuple
+from typing import Dict, Mapping, Tuple
 
 from ..datalog.database import Database
 from ..datalog.parser import parse_atom, parse_program
@@ -35,7 +35,7 @@ from ..datalog.terms import Atom, Constant
 from ..graphs.builder import build_inference_graph
 from ..graphs.inference_graph import GraphBuilder, InferenceGraph
 from ..strategies.strategy import Strategy
-from .distributions import DatalogDistribution, IndependentDistribution
+from .distributions import DatalogDistribution
 
 __all__ = [
     "university_rule_base",

@@ -1,7 +1,6 @@
 """Scaled-down runs of the ablation experiments (full scale lives in
 ``benchmarks/bench_ablations.py``)."""
 
-import pytest
 
 from repro.bench import (
     experiment_ablation_adaptive,

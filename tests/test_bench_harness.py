@@ -1,6 +1,5 @@
 """Unit tests for the bench harness and reporting helpers."""
 
-import pytest
 
 from repro.bench.harness import ExperimentResult
 from repro.bench.reporting import banner, format_series, format_table

@@ -1,6 +1,5 @@
 """Unit tests for naive and semi-naive bottom-up evaluation."""
 
-import pytest
 
 from repro.datalog.bottomup import (
     BottomUpEngine,
@@ -9,7 +8,7 @@ from repro.datalog.bottomup import (
 )
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_program, parse_query
-from repro.datalog.terms import Atom, Constant, Variable
+from repro.datalog.terms import Atom, Constant
 
 
 def model_facts(model, predicate, arity):

@@ -105,6 +105,29 @@ class TestLearnCommand:
         assert code == 1
         assert "no queries" in output
 
+    def test_drift_flag_reports_drift_status(self, kb_files, tmp_path):
+        rules, facts = kb_files
+        stream = tmp_path / "stream.txt"
+        stream.write_text("\n".join(["instructor(manolis)"] * 60))
+        code, output = run_cli([
+            "learn", "--rules", rules, "--facts", facts,
+            "--queries", str(stream), "--quiet", "--drift",
+        ])
+        assert code == 0
+        assert "drift:" in output
+        assert "'epoch': 0" in output
+
+    def test_drift_detector_choice_validated(self, kb_files, tmp_path):
+        rules, facts = kb_files
+        stream = tmp_path / "stream.txt"
+        stream.write_text("instructor(manolis)\n")
+        with pytest.raises(SystemExit):
+            run_cli([
+                "learn", "--rules", rules, "--facts", facts,
+                "--queries", str(stream), "--drift",
+                "--drift-detector", "mystery",
+            ])
+
 
 class TestTraceCommand:
     @pytest.fixture
@@ -164,6 +187,23 @@ class TestTraceCommand:
         assert "queries: 290" in output
         assert "climbs: 1" in output
         assert "billed cost:" in output
+
+    def test_stats_reports_drift_counters(self, kb_files, stream_file,
+                                          tmp_path):
+        rules, facts = kb_files
+        out = tmp_path / "trace.jsonl"
+        run_cli([
+            "trace", "--rules", rules, "--facts", facts,
+            "--queries", stream_file, "--quiet", "--out", str(out),
+            "--drift",
+        ])
+        code, output = run_cli(["stats", str(out)])
+        assert code == 0
+        # The stream flips from grads to profs after query 250, which
+        # the detector flags as a regime change.
+        assert "drift alarms: 1" in output
+        assert "epoch resets: 1" in output
+        assert "rollbacks: 0" in output
 
     def test_stats_rejects_bad_file(self, tmp_path):
         bad = tmp_path / "bad.jsonl"

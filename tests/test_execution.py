@@ -1,6 +1,5 @@
 """Unit tests for satisficing strategy execution and cost accounting."""
 
-import pytest
 
 from repro.graphs.contexts import Context
 from repro.graphs.inference_graph import GraphBuilder

@@ -13,7 +13,7 @@ import pytest
 from repro.errors import GraphError
 from repro.graphs.contexts import Context
 from repro.graphs.inference_graph import GraphBuilder
-from repro.graphs.random_graphs import random_instance, random_tree_graph
+from repro.graphs.random_graphs import random_instance
 from repro.optimal.brute_force import optimal_strategy_brute_force
 from repro.optimal.upsilon import upsilon_aot
 from repro.strategies.execution import execute

@@ -12,7 +12,6 @@ The two headline criteria from the resilience issue:
 import json
 import random
 
-import pytest
 
 from repro.learning.pib import PIB
 from repro.persistence import load_pib, pib_to_dict, save_pib

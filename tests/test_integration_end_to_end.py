@@ -17,14 +17,11 @@ from repro.datalog.rules import QueryForm
 from repro.graphs.builder import build_inference_graph
 from repro.learning.pao import pao
 from repro.learning.pib import PIB
-from repro.optimal.upsilon import upsilon_aot
-from repro.strategies.expected_cost import expected_cost_exact
 from repro.workloads import (
     db1,
     g_a,
     intended_query_mix,
     query_distribution,
-    theta_1,
     theta_2,
 )
 

@@ -18,7 +18,6 @@ from repro.workloads import (
     db1,
     db2,
     g_a,
-    g_b,
     intended_probabilities,
     theta_1,
 )

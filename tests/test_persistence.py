@@ -1,6 +1,7 @@
 """Tests for JSON persistence of learned state."""
 
 import json
+import os
 import random
 
 import pytest
@@ -8,6 +9,7 @@ import pytest
 from repro.errors import LearningError
 from repro.persistence import (
     load_pib,
+    migrate_payload,
     pib_from_dict,
     pib_to_dict,
     save_pib,
@@ -15,8 +17,8 @@ from repro.persistence import (
     strategy_to_dict,
     transformation_from_name,
 )
+from repro.learning.drift import DriftAwarePIB, DriftConfig
 from repro.learning.pib import PIB
-from repro.strategies.strategy import Strategy
 from repro.strategies.transformations import PathPromotion, SiblingSwap
 from repro.workloads import (
     IndependentDistribution,
@@ -96,7 +98,7 @@ class TestPIBRoundTrip:
         save_pib(pib, str(path))
         # The file is real, inspectable JSON.
         payload = json.loads(path.read_text())
-        assert payload["version"] == 1
+        assert payload["version"] == 2
         restored = load_pib(graph, str(path))
         assert restored.strategy.arc_names() == pib.strategy.arc_names()
 
@@ -122,3 +124,117 @@ class TestPIBRoundTrip:
         )
         with pytest.raises(LearningError):
             pib_from_dict(graph, payload)
+
+
+V1_FIXTURE = os.path.join(
+    os.path.dirname(__file__), "fixtures", "pib_checkpoint_v1.json"
+)
+
+
+class TestFormatMigration:
+    """v1 checkpoints (pre-drift) must keep loading forever."""
+
+    def test_migrate_v1_payload(self):
+        with open(V1_FIXTURE) as handle:
+            payload = json.load(handle)
+        assert payload["version"] == 1
+        migrated = migrate_payload(payload)
+        assert migrated["version"] == 2
+        assert migrated["drift"] is None
+        # The input payload is not mutated.
+        assert payload["version"] == 1
+        assert "drift" not in payload
+
+    def test_v2_payload_passes_through(self):
+        graph = g_a()
+        pib = PIB(graph, initial_strategy=theta_1(graph))
+        payload = pib_to_dict(pib)
+        assert migrate_payload(payload) is payload
+
+    def test_unknown_version_rejected(self):
+        with pytest.raises(LearningError):
+            migrate_payload({"version": 999})
+
+    def test_load_committed_v1_fixture(self):
+        graph = g_a()
+        restored = load_pib(graph, V1_FIXTURE)
+        assert list(restored.strategy.arc_names()) == ["Rg", "Dg", "Rp", "Dp"]
+        assert restored.contexts_processed == 400
+        assert restored.climbs == 1
+        # Saving the migrated learner produces a v2 payload.
+        assert pib_to_dict(restored)["version"] == 2
+
+    def test_load_v1_fixture_as_drift_aware(self):
+        graph = g_a()
+        restored = load_pib(graph, V1_FIXTURE, drift=DriftConfig())
+        assert isinstance(restored, DriftAwarePIB)
+        assert restored.epoch == 0
+        assert restored.drift_alarms == []
+        assert list(restored.strategy.arc_names()) == ["Rg", "Dg", "Rp", "Dp"]
+
+
+class TestDriftRoundTrip:
+    def make_trained_drift_pib(self, contexts=150, seed=3):
+        graph = g_a()
+        distribution = IndependentDistribution(
+            graph, intended_probabilities()
+        )
+        pib = DriftAwarePIB(
+            graph, delta=0.05, initial_strategy=theta_1(graph),
+            drift=DriftConfig(delta=0.05),
+        )
+        pib.run(distribution.sampler(random.Random(seed)), contexts)
+        return graph, distribution, pib
+
+    def test_roundtrip_is_byte_identical(self):
+        graph, _, pib = self.make_trained_drift_pib()
+        payload = pib_to_dict(pib)
+        restored = pib_from_dict(graph, payload)
+        assert isinstance(restored, DriftAwarePIB)
+        assert json.dumps(pib_to_dict(restored), sort_keys=True) == \
+            json.dumps(payload, sort_keys=True)
+
+    def test_epoch_state_survives(self):
+        graph, _, pib = self.make_trained_drift_pib()
+        # Force an epoch so the interesting fields are non-trivial.
+        pib._begin_epoch(["test"])
+        restored = pib_from_dict(graph, pib_to_dict(pib))
+        assert restored.epoch == pib.epoch == 1
+        assert restored.total_tests == 0
+        assert len(restored.drift_alarms) == 1
+        assert restored.drift_alarms[0].sources == ("test",)
+        assert restored.last_known_good.arc_names() == \
+            pib.last_known_good.arc_names()
+        # The standing rollback accumulator is rebuilt too (the
+        # last-known-good equals the current strategy here, so none).
+        rollbacks = [
+            a for a in restored._accumulators
+            if a.transformation.name == "rollback"
+        ]
+        expected = [
+            a for a in pib._accumulators
+            if a.transformation.name == "rollback"
+        ]
+        assert len(rollbacks) == len(expected)
+
+    def test_drift_checkpoint_loads_without_config(self, tmp_path):
+        """A drift checkpoint carries its config: plain load restores a
+        DriftAwarePIB."""
+        graph, _, pib = self.make_trained_drift_pib(contexts=40)
+        path = tmp_path / "drift.json"
+        save_pib(pib, str(path))
+        restored = load_pib(graph, str(path))
+        assert isinstance(restored, DriftAwarePIB)
+        assert restored.drift_config == pib.drift_config
+
+    def test_restored_drift_learner_continues_identically(self):
+        graph, distribution, pib = self.make_trained_drift_pib(contexts=80)
+        restored = pib_from_dict(graph, pib_to_dict(pib))
+        stream_a = distribution.sampler(random.Random(77))
+        stream_b = distribution.sampler(random.Random(77))
+        for _ in range(300):
+            pib.process(stream_a())
+            restored.process(stream_b())
+        assert restored.strategy.arc_names() == pib.strategy.arc_names()
+        assert restored.climbs == pib.climbs
+        assert restored.epoch == pib.epoch

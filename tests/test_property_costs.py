@@ -14,7 +14,6 @@ from hypothesis import given, settings
 from repro.graphs.random_graphs import random_instance
 from repro.optimal.brute_force import optimal_strategy_brute_force
 from repro.optimal.upsilon import upsilon_aot
-from repro.strategies.enumeration import all_path_structured_strategies
 from repro.strategies.execution import execute
 from repro.strategies.expected_cost import (
     attempt_probabilities,

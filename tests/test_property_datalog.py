@@ -5,7 +5,6 @@ top-down satisficing engine agrees with the bottom-up model on ground
 queries (for positive, non-recursive-unbounded programs).
 """
 
-import random
 
 import hypothesis.strategies as st
 from hypothesis import given, settings

@@ -1,7 +1,7 @@
 """Property-based tests for unification and substitutions."""
 
 import hypothesis.strategies as st
-from hypothesis import given, settings
+from hypothesis import given
 
 from repro.datalog.terms import Atom, Constant, Substitution, Variable
 from repro.datalog.unify import fresh_variable_factory, match, rename_apart, unify

@@ -2,11 +2,10 @@
 
 import random
 
-import pytest
 
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_program, parse_query
-from repro.datalog.terms import Atom, Constant, Variable
+from repro.datalog.terms import Constant, Variable
 from repro.graphs.contexts import LazyDatalogContext
 from repro.system import SelfOptimizingQueryProcessor
 from repro.workloads import db1, university_rule_base

@@ -1,6 +1,5 @@
 """Unit tests for unification, matching, and variable renaming."""
 
-import pytest
 
 from repro.datalog.terms import Atom, Constant, Variable
 from repro.datalog.unify import (

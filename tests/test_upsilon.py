@@ -11,7 +11,6 @@ from repro.optimal.brute_force import optimal_strategy_brute_force
 from repro.optimal.ratio import Block, block_statistics
 from repro.optimal.upsilon import upsilon_aot, upsilon_ot
 from repro.strategies.expected_cost import expected_cost_exact
-from repro.strategies.strategy import Strategy
 from repro.workloads import (
     g_a,
     g_b,

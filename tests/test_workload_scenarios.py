@@ -8,7 +8,6 @@ import pytest
 from repro.datalog.engine import TopDownEngine
 from repro.datalog.parser import parse_query
 from repro.errors import DistributionError
-from repro.strategies.expected_cost import expected_cost_exact
 from repro.workloads import (
     OWNERSHIP_CATEGORIES,
     OwnershipDistribution,
@@ -17,17 +16,13 @@ from repro.workloads import (
     db1,
     db2,
     first_k_cost,
-    g_a,
     g_b,
-    intended_probabilities,
     minors_only_mix,
     ownership_database,
     pauper_rule_base,
     printed_query_mix,
     refutation_graph,
     segment_scan_graph,
-    theta_1,
-    theta_2,
     theta_abcd,
     theta_abdc,
     theta_acdb,

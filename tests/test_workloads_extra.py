@@ -12,7 +12,6 @@ from repro.workloads import (
     figure2_probabilities,
     g_a,
     g_b,
-    intended_probabilities,
     printed_query_mix,
     intended_query_mix,
     section4_probabilities,
