@@ -1,0 +1,28 @@
+"""Experiment S1: serving-layer throughput and cache effectiveness.
+
+A six-form workload with 2 ms simulated fact-probe latency is served
+four ways: sequentially, with four workers, and with the two-tier
+cache cold and warm.  Sharding by query form must buy >= 2x batch
+throughput at four workers *without* changing any per-form climb
+decision (the PIB sequential test stays serial within a form), and a
+warm answer cache must answer the repeat pass >= 5x faster with its
+hit counters visible in the server snapshot.
+"""
+
+from conftest import record_report
+
+from repro.bench import experiment_serving
+
+
+def test_serving(benchmark):
+    result = benchmark.pedantic(
+        experiment_serving,
+        kwargs={"forms": 6, "queries_per_form": 25, "workers": 4},
+        rounds=1,
+        iterations=1,
+    )
+    record_report(result.report())
+    assert result.all_passed
+    assert result.data["parallel_speedup"] >= 2.0
+    assert result.data["warm_speedup"] >= 5.0
+    assert result.data["answer_cache"]["hits"] > 0

@@ -24,7 +24,7 @@ import os
 import random
 import tempfile
 
-from repro import ResiliencePolicy, RetryPolicy
+from repro import ResiliencePolicy, RetryPolicy, SessionConfig
 from repro.datalog.database import Database
 from repro.datalog.parser import parse_query
 from repro.learning import PIB
@@ -110,11 +110,11 @@ def degraded_processor() -> None:
     database = FlakyDatabase(Database.from_program(FACTS), plan)
     processor = SelfOptimizingQueryProcessor(
         rules,
-        resilience=ResiliencePolicy(
+        config=SessionConfig(resilience=ResiliencePolicy(
             retry=RetryPolicy(max_attempts=3, base_backoff=0.1),
             deadline=6.0,
             seed=5,
-        ),
+        )),
     )
     people = ["manolis", "russ", "lena", "ghost"]
     rng = random.Random(1)

@@ -15,7 +15,7 @@ Run:  python examples/self_optimizing_system.py
 
 import random
 
-from repro import SelfOptimizingQueryProcessor
+from repro import SelfOptimizingQueryProcessor, SessionConfig
 from repro.datalog import Database, parse_program, parse_query
 from repro.datalog.terms import Atom, Constant
 
@@ -44,7 +44,7 @@ def main() -> None:
             if role == "customer" and rng.random() < 0.3:
                 facts.add(Atom("premium", [Constant(name)]))
 
-    processor = SelfOptimizingQueryProcessor(rules, delta=0.05)
+    processor = SelfOptimizingQueryProcessor(rules, config=SessionConfig(delta=0.05))
 
     # Phase 1: a realistic query stream — mostly access checks.
     window = 400

@@ -21,9 +21,19 @@ The package is layered bottom-up:
 * :mod:`repro.workloads` — context distributions and the paper's
   concrete scenarios (Figure 1's university KB, Figure 2's ``G_B``,
   segmented-scan and negation-as-failure applications);
+* :mod:`repro.serving` — the deployment surface: query sessions,
+  form-sharded parallel batch serving, and the two-tier result cache;
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 
-Quickstart::
+Quickstart (serving)::
+
+    import repro
+
+    with repro.open_session("kb.dl", "facts.dl") as session:
+        answer = session.query("instructor(manolis)?")
+        report = session.learn_from_stream("stream.txt")
+
+Quickstart (learning internals)::
 
     from repro.workloads import g_a, theta_1, intended_probabilities
     from repro.workloads import IndependentDistribution
@@ -54,6 +64,17 @@ from .observability import (
     Tracer,
 )
 from .system import SelfOptimizingQueryProcessor, SystemAnswer
+from . import serving
+from .serving import (
+    CacheConfig,
+    QueryServer,
+    QuerySession,
+    ServingConfig,
+    SessionConfig,
+    StreamReport,
+    open_session,
+)
+from .strategies import ExecutionOutcome
 from .persistence import load_pib, pib_from_dict, pib_to_dict, save_pib
 from .resilience import (
     FaultPlan,
@@ -109,6 +130,15 @@ __version__ = _resolve_version()
 __all__ = [
     "SelfOptimizingQueryProcessor",
     "SystemAnswer",
+    "CacheConfig",
+    "ExecutionOutcome",
+    "QueryServer",
+    "QuerySession",
+    "ServingConfig",
+    "SessionConfig",
+    "StreamReport",
+    "open_session",
+    "serving",
     "MetricsRegistry",
     "NULL_RECORDER",
     "Recorder",

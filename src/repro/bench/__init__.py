@@ -19,6 +19,7 @@ from .experiments import (
     experiment_lemma1,
     experiment_naf,
     experiment_pib1_filter,
+    experiment_serving,
     experiment_smith_vs_learned,
     experiment_theorem1,
     experiment_theorem2,
@@ -46,6 +47,7 @@ __all__ = [
     "experiment_lemma1",
     "experiment_naf",
     "experiment_pib1_filter",
+    "experiment_serving",
     "experiment_smith_vs_learned",
     "experiment_theorem1",
     "experiment_theorem2",

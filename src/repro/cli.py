@@ -1,11 +1,13 @@
-"""Command-line interface: query, learn, trace, and optimize from the shell.
+"""Command-line interface: a thin adapter over the session layer.
 
-Five subcommands::
+Six subcommands::
 
     python -m repro query  --rules kb.dl --facts db.dl "instructor(manolis)?"
     python -m repro learn  --rules kb.dl --facts db.dl --queries stream.txt
     python -m repro trace  --rules kb.dl --facts db.dl --queries stream.txt \
                            --out trace.jsonl
+    python -m repro serve  --rules kb.dl --facts db.dl --queries batch.txt \
+                           --workers 4 --cache
     python -m repro stats  trace.jsonl
     python -m repro optimal --rules kb.dl --form instructor/b \
                             --probs D_prof=0.15,D_grad=0.6
@@ -18,20 +20,30 @@ Five subcommands::
   exports the full JSONL event trace (spans, attempts, retries,
   breaker transitions, Equation 6 margins, climbs) and prints the
   metrics snapshot;
+* ``serve`` answers a batch of queries through the serving layer:
+  work sharded by query form across ``--workers`` threads, fronted by
+  the two-tier cache (``--cache`` or explicit capacities), with the
+  cache hit/miss counters printed at the end;
 * ``stats`` summarizes a previously exported JSONL trace — event
-  volumes, billed vs settled cost, retries, climbs, breaker opens;
+  volumes, billed vs settled cost, retries, climbs, breaker opens,
+  cache traffic;
 * ``optimal`` compiles a query form's inference graph and prints
   ``Υ_AOT``'s optimal strategy for a given probability vector.
 
 All file formats are plain Datalog (the ``--facts`` file holds ground
 facts only); traces are JSON Lines.
+
+Every learning/serving subcommand builds its configuration with
+:meth:`~repro.serving.config.SessionConfig.from_options` and runs
+through :func:`repro.open_session` — the CLI owns no replay or policy
+logic of its own.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-from typing import Dict, Optional, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from .datalog.database import Database
 from .datalog.engine import TopDownEngine
@@ -41,7 +53,7 @@ from .graphs.builder import build_inference_graph
 from .errors import ReproError
 from .observability import Tracer, read_trace, summarize_trace
 from .optimal.upsilon import upsilon_aot
-from .system import SelfOptimizingQueryProcessor
+from .serving import CacheConfig, ServingConfig, SessionConfig, open_session
 
 __all__ = ["main", "build_parser"]
 
@@ -94,113 +106,151 @@ def cmd_query(args: argparse.Namespace, out) -> int:
     return 0 if answer.proved else 1
 
 
-def _resilience_from_args(args: argparse.Namespace):
-    """A :class:`ResiliencePolicy` when any resilience flag is set."""
-    if not (args.retries or args.deadline):
-        return None
-    from .resilience import ResiliencePolicy, RetryPolicy
-
-    retry = RetryPolicy(max_attempts=args.retries or 3)
-    return ResiliencePolicy(retry=retry, deadline=args.deadline)
-
-
-def _drift_from_args(args: argparse.Namespace):
-    """A :class:`DriftConfig` when ``--drift`` is set (else ``None``)."""
-    if not args.drift:
-        return None
-    from .learning.drift import DriftConfig
-
-    return DriftConfig(
-        delta=args.drift_delta,
-        detector=args.drift_detector,
-    )
-
-
-def _replay_stream(processor, args, facts, out):
-    """Feed the query stream to the processor; returns (count, cost,
-    degraded) totals.  Shared by ``learn`` and ``trace``."""
-    total_cost = 0.0
-    count = 0
-    degraded = 0
-    with open(args.queries, encoding="utf-8") as handle:
-        for line in handle:
-            line = line.split("%", 1)[0].strip()
-            if not line:
-                continue
-            answer = processor.query(parse_query(line), facts)
-            total_cost += answer.cost
-            count += 1
-            if answer.degraded:
-                degraded += 1
-                if not args.quiet:
-                    print(f"[degraded query #{count}: {answer.incident}]",
-                          file=out)
-            if answer.climbed and not args.quiet:
-                print(f"[climb after query #{count}: {line}]", file=out)
-    if args.checkpoint_dir:
-        processor.checkpoint_now()
-    return count, total_cost, degraded
-
-
-def cmd_learn(args: argparse.Namespace, out) -> int:
-    rules = _load_rules(args.rules)
-    facts = _load_facts(args.facts)
-    processor = SelfOptimizingQueryProcessor(
-        rules,
+def _config_from_args(args: argparse.Namespace) -> SessionConfig:
+    """The CLI flag set, folded into a :class:`SessionConfig`."""
+    return SessionConfig.from_options(
         delta=args.delta,
         max_depth=args.max_depth,
-        resilience=_resilience_from_args(args),
+        retries=args.retries,
+        deadline=args.deadline,
         checkpoint_dir=args.checkpoint_dir,
         checkpoint_every=args.checkpoint_every,
-        drift=_drift_from_args(args),
+        drift=args.drift,
+        drift_delta=args.drift_delta,
+        drift_detector=args.drift_detector,
     )
-    count, total_cost, degraded = _replay_stream(processor, args, facts, out)
-    if count == 0:
-        print("no queries in the stream", file=out)
-        return 1
-    print(f"processed {count} queries, mean cost "
-          f"{total_cost / count:.3f}", file=out)
-    if degraded:
-        print(f"degraded (fallback) answers: {degraded}", file=out)
-    for form, info in sorted(processor.report().items()):
+
+
+def _echo_progress(args: argparse.Namespace, out):
+    """The ``on_answer`` callback echoing climbs and degradations."""
+
+    def on_answer(count, text, answer):
+        if args.quiet:
+            return
+        if answer.degraded:
+            print(f"[degraded query #{count}: {answer.incident}]", file=out)
+        if answer.climbed:
+            print(f"[climb after query #{count}: {text}]", file=out)
+
+    return on_answer
+
+
+def _print_stream_summary(report, out) -> None:
+    print(f"processed {report.queries} queries, mean cost "
+          f"{report.mean_cost:.3f}", file=out)
+    if report.degraded:
+        print(f"degraded (fallback) answers: {report.degraded}", file=out)
+
+
+def _print_form_report(summary, out) -> None:
+    for form, info in sorted(summary.items()):
         print(f"form {form}:", file=out)
         for key, value in info.items():
             print(f"  {key}: {value}", file=out)
+
+
+def cmd_learn(args: argparse.Namespace, out) -> int:
+    with open_session(
+        args.rules, args.facts, config=_config_from_args(args)
+    ) as session:
+        report = session.learn_from_stream(
+            args.queries, on_answer=_echo_progress(args, out)
+        )
+        if report.queries == 0:
+            print("no queries in the stream", file=out)
+            return 1
+        _print_stream_summary(report, out)
+        _print_form_report(session.processor.report(), out)
     return 0
 
 
 def cmd_trace(args: argparse.Namespace, out) -> int:
-    rules = _load_rules(args.rules)
-    facts = _load_facts(args.facts)
     tracer = Tracer(margin_events=not args.no_margins)
-    processor = SelfOptimizingQueryProcessor(
-        rules,
-        delta=args.delta,
-        max_depth=args.max_depth,
-        resilience=_resilience_from_args(args),
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every,
-        recorder=tracer,
-        drift=_drift_from_args(args),
+    with open_session(
+        args.rules, args.facts,
+        config=_config_from_args(args), recorder=tracer,
+    ) as session:
+        report = session.learn_from_stream(
+            args.queries, on_answer=_echo_progress(args, out)
+        )
+        if report.queries == 0:
+            print("no queries in the stream", file=out)
+            return 1
+        written = tracer.export_jsonl(args.out)
+        _print_stream_summary(report, out)
+        print(f"wrote {written} events to {args.out}", file=out)
+        metrics = tracer.metrics.snapshot()
+        print("counters:", file=out)
+        for name, value in metrics["counters"].items():
+            print(f"  {name}: {value}", file=out)
+        print("histograms:", file=out)
+        for name, stats in metrics["histograms"].items():
+            print(f"  {name}: count={stats['count']} "
+                  f"total={stats['total']:g} mean={stats['mean']:g}",
+                  file=out)
+    return 0
+
+
+def _cache_from_args(args: argparse.Namespace) -> CacheConfig:
+    """``--cache`` turns both tiers on at their defaults; explicit
+    ``--cache-answers`` / ``--cache-subgoals`` capacities win."""
+    base = (
+        CacheConfig.default_enabled() if args.cache else CacheConfig()
     )
-    count, total_cost, degraded = _replay_stream(processor, args, facts, out)
-    if count == 0:
+    answers = (
+        args.cache_answers if args.cache_answers is not None
+        else base.answer_capacity
+    )
+    subgoals = (
+        args.cache_subgoals if args.cache_subgoals is not None
+        else base.subgoal_capacity
+    )
+    return CacheConfig(answer_capacity=answers, subgoal_capacity=subgoals)
+
+
+def _load_query_lines(path: str) -> List[str]:
+    """The stream format (one query per line, ``%`` comments) as a list."""
+    queries: List[str] = []
+    with open(path, encoding="utf-8") as handle:
+        for line in handle:
+            text = line.split("%", 1)[0].strip()
+            if text:
+                queries.append(text)
+    return queries
+
+
+def cmd_serve(args: argparse.Namespace, out) -> int:
+    queries = _load_query_lines(args.queries)
+    if not queries:
         print("no queries in the stream", file=out)
         return 1
-    written = tracer.export_jsonl(args.out)
-    print(f"processed {count} queries, mean cost "
-          f"{total_cost / count:.3f}", file=out)
-    if degraded:
-        print(f"degraded (fallback) answers: {degraded}", file=out)
-    print(f"wrote {written} events to {args.out}", file=out)
-    metrics = tracer.metrics.snapshot()
-    print("counters:", file=out)
-    for name, value in metrics["counters"].items():
-        print(f"  {name}: {value}", file=out)
-    print("histograms:", file=out)
-    for name, stats in metrics["histograms"].items():
-        print(f"  {name}: count={stats['count']} total={stats['total']:g} "
-              f"mean={stats['mean']:g}", file=out)
+    with open_session(
+        args.rules, args.facts,
+        config=_config_from_args(args),
+        cache=_cache_from_args(args),
+        serving=ServingConfig(workers=args.workers),
+    ) as session:
+        for pass_number in range(1, args.repeat + 1):
+            answers = session.query_batch(queries)
+            total_cost = sum(answer.cost for answer in answers)
+            cached = sum(1 for answer in answers if answer.cached)
+            degraded = sum(1 for answer in answers if answer.degraded)
+            line = (f"pass {pass_number}: {len(answers)} queries, "
+                    f"mean cost {total_cost / len(answers):.3f}, "
+                    f"cached {cached}")
+            if degraded:
+                line += f", degraded {degraded}"
+            print(line, file=out)
+        snapshot = session.server.snapshot()
+        print(f"workers: {snapshot['workers']}", file=out)
+        print(f"forms: {snapshot['forms']}", file=out)
+        for tier in ("answer_cache", "subgoal_memo"):
+            stats = snapshot[tier]
+            print(f"{tier.replace('_', ' ')}: hits={stats['hits']} "
+                  f"misses={stats['misses']} "
+                  f"evictions={stats['evictions']} "
+                  f"(hit rate {stats['hit_rate']:.1%})", file=out)
+        _print_form_report(session.processor.report(), out)
     return 0
 
 
@@ -218,6 +268,10 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
     print(f"backoff cost: {summary['backoff_cost']:g}", file=out)
     print(f"retries: {summary['retries']}", file=out)
     print(f"breaker opens: {summary['breaker_opens']}", file=out)
+    for name, tier in summary.get("caches", {}).items():
+        print(f"cache {name}: hits={tier['hits']} "
+              f"misses={tier['misses']} evictions={tier['evictions']}",
+              file=out)
     print(f"climbs: {summary['climbs']}", file=out)
     for climb in summary["climb_steps"]:
         print(f"  step {climb['step']} after context "
@@ -323,6 +377,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="drop per-test Equation 6 margin events "
                             "(keeps spans, attempts, and climbs)")
     trace.set_defaults(handler=cmd_trace)
+
+    serve = sub.add_parser(
+        "serve",
+        help="answer a query batch through the serving layer "
+             "(form-sharded workers + two-tier cache)",
+    )
+    add_learning_flags(serve)
+    serve.add_argument("--workers", type=int, default=1,
+                       help="worker threads; batches shard by query form")
+    serve.add_argument("--cache", action="store_true",
+                       help="enable both cache tiers at default capacities")
+    serve.add_argument("--cache-answers", type=int, default=None,
+                       help="ground-answer cache capacity (0 disables)")
+    serve.add_argument("--cache-subgoals", type=int, default=None,
+                       help="subgoal memo capacity (0 disables)")
+    serve.add_argument("--repeat", type=int, default=1,
+                       help="run the batch N times (warms the caches)")
+    serve.set_defaults(handler=cmd_serve)
 
     stats = sub.add_parser(
         "stats", help="summarize a JSONL trace exported by 'trace'"

@@ -17,6 +17,7 @@ relation), which the [Smi89] fact-distribution heuristic baseline
 
 from __future__ import annotations
 
+import itertools
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
@@ -26,6 +27,10 @@ from .unify import match
 
 __all__ = ["Database"]
 
+#: Process-wide database identities, so cache keys from two different
+#: database objects can never collide even at equal generations.
+_next_database_id = itertools.count(1)
+
 
 class Database:
     """An indexed collection of ground facts.
@@ -33,14 +38,33 @@ class Database:
     Databases are mutable (facts can be added and removed) but the
     stored atoms themselves are immutable.  Iteration order is
     insertion order, which keeps retrieval enumeration deterministic.
+
+    Every mutation that actually changes the stored fact set bumps
+    :attr:`generation` — the coherence token the serving layer's
+    caches key on: a cached subgoal status or ground answer is valid
+    exactly as long as the generation it was computed against.
     """
 
     def __init__(self, facts: Iterable[Atom] = ()):
         self._facts: Dict[Tuple[str, int], Dict[Atom, None]] = defaultdict(dict)
         self._arg_index: Dict[Tuple[str, int, int, Constant], Set[Atom]] = defaultdict(set)
         self._size = 0
+        self._id = next(_next_database_id)
+        self._generation = 0
         for fact in facts:
             self.add(fact)
+
+    @property
+    def generation(self) -> int:
+        """Mutation counter: bumped by every effective add/remove."""
+        return self._generation
+
+    @property
+    def cache_key(self) -> Tuple[int, int]:
+        """A token identifying this database *state*: (identity,
+        generation).  Two equal tokens guarantee identical retrieval
+        behaviour, which is what cache entries are allowed to rely on."""
+        return (self._id, self._generation)
 
     # ------------------------------------------------------------------
     # Construction helpers
@@ -79,6 +103,7 @@ class Database:
         for position, arg in enumerate(fact.args):
             self._arg_index[(fact.predicate, fact.arity, position, arg)].add(fact)
         self._size += 1
+        self._generation += 1
         return True
 
     def remove(self, fact: Atom) -> bool:
@@ -95,6 +120,7 @@ class Database:
                 if not bucket:
                     del self._arg_index[key]
         self._size -= 1
+        self._generation += 1
         return True
 
     def update(self, facts: Iterable[Atom]) -> int:

@@ -1,7 +1,13 @@
 """Inference graphs, contexts, and graph construction (Section 2.1)."""
 
 from .inference_graph import Arc, ArcKind, GraphBuilder, InferenceGraph, Node
-from .contexts import Context, PartialContext, context_from_datalog
+from .contexts import (
+    Context,
+    LazyDatalogContext,
+    MemoizedDatalogContext,
+    PartialContext,
+    context_from_datalog,
+)
 from .builder import build_inference_graph
 from .random_graphs import random_instance, random_probabilities, random_tree_graph
 from .hypergraph import (
@@ -22,6 +28,8 @@ __all__ = [
     "InferenceGraph",
     "Node",
     "Context",
+    "LazyDatalogContext",
+    "MemoizedDatalogContext",
     "PartialContext",
     "context_from_datalog",
     "build_inference_graph",

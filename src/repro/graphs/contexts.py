@@ -31,6 +31,7 @@ __all__ = [
     "Context",
     "PartialContext",
     "LazyDatalogContext",
+    "MemoizedDatalogContext",
     "context_from_datalog",
 ]
 
@@ -265,6 +266,48 @@ class LazyDatalogContext(Context):
     def probed(self) -> Dict[str, bool]:
         """The statuses resolved so far (for asserting unobtrusiveness)."""
         return dict(self._statuses)
+
+
+class MemoizedDatalogContext(LazyDatalogContext):
+    """A :class:`LazyDatalogContext` that shares retrieval-probe
+    results *across queries* through a memo table (QSQN-style tabling).
+
+    ``memo`` is any object with ``lookup(pattern, database)`` →
+    ``Optional[bool]`` and ``store(pattern, database, status)`` —
+    typically a :class:`repro.serving.cache.SubgoalMemo`, which keys
+    entries by the database's mutation generation so fact updates
+    invalidate implicitly.
+
+    Only *retrieval* arcs are memoized: their status is a pure
+    function of (pattern, database state).  Blockable reduction arcs
+    stay on the inherited unification path — it touches no database.
+    The strategy's cost accounting is unchanged either way: attempting
+    an arc bills ``f(arc)`` whether the status came from the memo or
+    from a physical probe.
+    """
+
+    __slots__ = ("_memo",)
+
+    def __init__(
+        self,
+        graph: InferenceGraph,
+        query: Atom,
+        database: Database,
+        memo,
+    ):
+        super().__init__(graph, query, database)
+        self._memo = memo
+
+    def _resolve(self, arc: Arc) -> bool:
+        if arc.kind is not ArcKind.RETRIEVAL or arc.goal is None:
+            return super()._resolve(arc)
+        pattern = _instantiate(arc.goal, self.query, self._graph.root.goal)
+        remembered = self._memo.lookup(pattern, self.database)
+        if remembered is not None:
+            return remembered
+        status = self.database.succeeds(pattern)
+        self._memo.store(pattern, self.database, status)
+        return status
 
 
 def context_from_datalog(

@@ -10,13 +10,20 @@ produce byte-identical snapshots.
 
 from __future__ import annotations
 
+import threading
 from typing import Dict, Optional
 
 __all__ = ["Counter", "Histogram", "MetricsRegistry"]
 
+#: One lock for every metric instance: updates are a handful of
+#: attribute writes, so fine-grained per-metric locks buy nothing,
+#: while a shared lock keeps concurrent serving workers' increments
+#: from losing read-modify-write races.
+_METRICS_LOCK = threading.Lock()
+
 
 class Counter:
-    """A monotonically increasing integer counter."""
+    """A monotonically increasing integer counter (thread-safe)."""
 
     __slots__ = ("name", "value")
 
@@ -27,7 +34,8 @@ class Counter:
     def inc(self, amount: int = 1) -> None:
         if amount < 0:
             raise ValueError(f"counter {self.name!r} cannot decrease")
-        self.value += amount
+        with _METRICS_LOCK:
+            self.value += amount
 
 
 class Histogram:
@@ -49,12 +57,13 @@ class Histogram:
 
     def observe(self, value: float) -> None:
         value = float(value)
-        self.count += 1
-        self.total += value
-        if self.min is None or value < self.min:
-            self.min = value
-        if self.max is None or value > self.max:
-            self.max = value
+        with _METRICS_LOCK:
+            self.count += 1
+            self.total += value
+            if self.min is None or value < self.min:
+                self.min = value
+            if self.max is None or value > self.max:
+                self.max = value
 
     @property
     def mean(self) -> float:
@@ -85,13 +94,17 @@ class MetricsRegistry:
     def counter(self, name: str) -> Counter:
         counter = self._counters.get(name)
         if counter is None:
-            counter = self._counters[name] = Counter(name)
+            with _METRICS_LOCK:
+                counter = self._counters.setdefault(name, Counter(name))
         return counter
 
     def histogram(self, name: str) -> Histogram:
         histogram = self._histograms.get(name)
         if histogram is None:
-            histogram = self._histograms[name] = Histogram(name)
+            with _METRICS_LOCK:
+                histogram = self._histograms.setdefault(
+                    name, Histogram(name)
+                )
         return histogram
 
     def count(self, name: str) -> int:

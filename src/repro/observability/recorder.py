@@ -166,6 +166,19 @@ class Recorder:
         """PAO's sampling phase satisfied every counter."""
 
     # ------------------------------------------------------------------
+    # Serving-cache events
+    # ------------------------------------------------------------------
+
+    def cache_hit(self, kind: str) -> None:
+        """A cache tier answered a lookup (``kind``: ``answer``/``subgoal``)."""
+
+    def cache_miss(self, kind: str) -> None:
+        """A cache tier had no entry for a lookup."""
+
+    def cache_evict(self, kind: str) -> None:
+        """A cache tier dropped its least-recently-used entry."""
+
+    # ------------------------------------------------------------------
     # System events
     # ------------------------------------------------------------------
 

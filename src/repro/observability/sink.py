@@ -70,6 +70,7 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     drift_alarms = 0
     epoch_resets = 0
     rollbacks: List[Dict[str, Any]] = []
+    caches: Dict[str, Dict[str, int]] = {}
     for event in events:
         type_ = event["type"]
         event_counts[type_] = event_counts.get(type_, 0) + 1
@@ -93,6 +94,18 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             epoch_resets += 1
         elif type_ == "rollback":
             rollbacks.append(event)
+        elif type_ == "cache":
+            tier = caches.setdefault(
+                str(event.get("cache", "?")),
+                {"hits": 0, "misses": 0, "evictions": 0},
+            )
+            action = event.get("action")
+            if action == "hit":
+                tier["hits"] += 1
+            elif action == "miss":
+                tier["misses"] += 1
+            elif action == "evict":
+                tier["evictions"] += 1
     return {
         "events": sum(event_counts.values()),
         "event_counts": dict(sorted(event_counts.items())),
@@ -114,6 +127,7 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             for climb in climbs
         ],
         "breaker_opens": breaker_opens,
+        "caches": {name: caches[name] for name in sorted(caches)},
         "drift_alarms": drift_alarms,
         "epoch_resets": epoch_resets,
         "rollbacks": len(rollbacks),

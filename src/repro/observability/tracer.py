@@ -44,6 +44,8 @@ Event types (the ``type`` field of each JSONL line):
 ``drift_alarm``      epoch, context_number, sources
 ``epoch_reset``      epoch, context_number, strategy (last-known-good)
 ``rollback``         epoch, context_number, from, to
+``cache``            cache (``answer``/``subgoal``), action
+                     (``hit``/``miss``/``evict``)
 =================== ====================================================
 
 Tracing is for *observing*, never for steering: no instrumented code
@@ -54,6 +56,7 @@ tests).
 
 from __future__ import annotations
 
+import threading
 from typing import Any, Dict, List, Mapping, Optional
 
 from .metrics import MetricsRegistry
@@ -88,15 +91,20 @@ class Tracer(Recorder):
         self.margin_events = margin_events
         self.events: List[Dict[str, Any]] = []
         self._next_span = 0
+        #: Serving runs batches across worker threads that all share
+        #: one tracer; the lock keeps ``seq`` numbering and the event
+        #: list consistent.  Uncontended single-thread cost is noise.
+        self._lock = threading.Lock()
 
     # ------------------------------------------------------------------
     # Plumbing
     # ------------------------------------------------------------------
 
     def _emit(self, type_: str, **fields: Any) -> Dict[str, Any]:
-        event: Dict[str, Any] = {"seq": len(self.events), "type": type_}
-        event.update(fields)
-        self.events.append(event)
+        with self._lock:
+            event: Dict[str, Any] = {"seq": len(self.events), "type": type_}
+            event.update(fields)
+            self.events.append(event)
         return event
 
     def export_jsonl(self, path: str) -> int:
@@ -117,8 +125,9 @@ class Tracer(Recorder):
     # ------------------------------------------------------------------
 
     def begin_query(self, strategy: Any, resilient: bool = False) -> int:
-        self._next_span += 1
-        span = self._next_span
+        with self._lock:
+            self._next_span += 1
+            span = self._next_span
         arcs = list(strategy.arc_names()) if strategy is not None else []
         self._emit("query_begin", span=span, strategy=arcs,
                    resilient=resilient)
@@ -271,6 +280,22 @@ class Tracer(Recorder):
         self._emit("rollback", epoch=epoch, context_number=context_number,
                    **{"from": list(from_arcs), "to": list(to_arcs)})
         self.metrics.counter("rollbacks_total").inc()
+
+    # ------------------------------------------------------------------
+    # Serving-cache events
+    # ------------------------------------------------------------------
+
+    def cache_hit(self, kind: str) -> None:
+        self._emit("cache", cache=kind, action="hit")
+        self.metrics.counter(f"{kind}_cache_hits_total").inc()
+
+    def cache_miss(self, kind: str) -> None:
+        self._emit("cache", cache=kind, action="miss")
+        self.metrics.counter(f"{kind}_cache_misses_total").inc()
+
+    def cache_evict(self, kind: str) -> None:
+        self._emit("cache", cache=kind, action="evict")
+        self.metrics.counter(f"{kind}_cache_evictions_total").inc()
 
     # ------------------------------------------------------------------
     # PAO + system events

@@ -278,6 +278,16 @@ class FlakyDatabase(Database):
     def inner(self) -> Database:
         return self._inner
 
+    @property
+    def generation(self) -> int:
+        return self._inner.generation
+
+    @property
+    def cache_key(self):
+        # Cache coherence tracks the settled store, not the fault
+        # process: a memo hit is simply a probe that cannot fault.
+        return self._inner.cache_key
+
     # -- probing (faultable) -------------------------------------------
 
     def _inject(self, pattern) -> None:

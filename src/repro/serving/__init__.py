@@ -1,0 +1,60 @@
+"""The serving layer: sessions, batched parallel execution, caching.
+
+Public surface:
+
+* :func:`~repro.serving.session.open_session` /
+  :class:`~repro.serving.session.QuerySession` — the unified entry
+  point (query, batches, learn-from-stream, report, checkpoint);
+* :class:`~repro.serving.server.QueryServer` — form-sharded worker
+  pool with the two-tier cache;
+* :class:`~repro.serving.config.SessionConfig` /
+  :class:`~repro.serving.config.CacheConfig` /
+  :class:`~repro.serving.config.ServingConfig` — typed configuration;
+* :class:`~repro.serving.cache.AnswerCache` /
+  :class:`~repro.serving.cache.SubgoalMemo` — the cache tiers.
+
+``server``/``session`` import :mod:`repro.system` (which itself uses
+this package's config module), so they are loaded lazily via module
+``__getattr__`` to keep the import graph acyclic.
+"""
+
+from .cache import AnswerCache, CacheStats, SubgoalMemo
+from .config import CacheConfig, ServingConfig, SessionConfig
+
+__all__ = [
+    "AnswerCache",
+    "CacheConfig",
+    "CacheStats",
+    "QueryServer",
+    "QuerySession",
+    "ServingConfig",
+    "SessionConfig",
+    "StreamReport",
+    "SubgoalMemo",
+    "open_session",
+]
+
+_LAZY = {
+    "QueryServer": "server",
+    "QuerySession": "session",
+    "StreamReport": "session",
+    "open_session": "session",
+}
+
+
+def __getattr__(name):
+    module_name = _LAZY.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    from importlib import import_module
+
+    module = import_module(f".{module_name}", __name__)
+    value = getattr(module, name)
+    globals()[name] = value
+    return value
+
+
+def __dir__():
+    return sorted(set(globals()) | set(_LAZY))

@@ -1,0 +1,248 @@
+"""The serving layer's two-tier cache: answers and subgoal memos.
+
+Query-Subquery Nets eliminate re-derivation by *tabling*: once a
+ground subgoal's status is known, later queries reuse it instead of
+re-proving.  The serving layer applies the same idea at two levels:
+
+* :class:`SubgoalMemo` — a memo table over *database probes*.  The
+  executor's unit operation is "does any fact match this retrieval
+  pattern?"; the memo records the answer per (pattern, database
+  generation) so that concurrent and repeated queries skip the
+  physical probe.  The strategy's cost accounting is untouched — an
+  attempted arc is billed its ``f(arc)`` either way — so learning
+  statistics are identical with and without the memo.
+* :class:`AnswerCache` — whole-query results.  A repeated ground
+  query with an unchanged database is answered straight from cache
+  (billed zero: no retrieval work happens) and **bypasses the
+  learner**: a cache hit executes no strategy, so it contributes no
+  sample to PIB's Δ̃ accumulators.
+
+Coherence is by construction, not by invalidation walks: every key
+embeds :attr:`repro.datalog.database.Database.cache_key` — the
+database's identity plus its mutation ``generation`` counter — so the
+moment a fact is added or removed, every previously cached entry for
+that database stops matching and ages out of the LRU bound.
+
+Both tiers are thread-safe (one lock per table) and report
+hit/miss/eviction counters through :class:`CacheStats` and, when a
+recorder is attached, through the observability layer's ``cache``
+events and ``*_cache_*_total`` metrics.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import OrderedDict
+from dataclasses import replace
+from typing import Any, Dict, Hashable, Optional, Tuple, TYPE_CHECKING
+
+from ..datalog.terms import Atom, Variable
+from ..observability.recorder import NULL_RECORDER, Recorder
+
+if TYPE_CHECKING:
+    from ..datalog.database import Database
+    from ..system import SystemAnswer
+
+__all__ = ["CacheStats", "LRUTable", "SubgoalMemo", "AnswerCache"]
+
+#: Distinguishes "cached as False/None" from "not cached".
+_MISS = object()
+
+
+class CacheStats:
+    """Hit/miss/eviction counters for one cache tier."""
+
+    __slots__ = ("hits", "misses", "evictions")
+
+    def __init__(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        lookups = self.lookups
+        return self.hits / lookups if lookups else 0.0
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+        }
+
+    def __repr__(self) -> str:
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"evictions={self.evictions})"
+        )
+
+
+class LRUTable:
+    """A bounded, thread-safe LRU map with observability counters.
+
+    ``kind`` names the tier in recorder events (``"answer"`` /
+    ``"subgoal"``).  Lookups and stores are O(1); eviction drops the
+    least-recently-used entry once ``capacity`` is exceeded.
+    """
+
+    def __init__(
+        self,
+        capacity: int,
+        kind: str,
+        recorder: Recorder = NULL_RECORDER,
+    ):
+        if capacity < 1:
+            raise ValueError("cache capacity must be at least 1")
+        self.capacity = capacity
+        self.kind = kind
+        self.recorder = recorder
+        self.stats = CacheStats()
+        self._data: "OrderedDict[Hashable, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def get(self, key: Hashable) -> Any:
+        """The cached value, or the module-private miss sentinel."""
+        with self._lock:
+            if key in self._data:
+                self._data.move_to_end(key)
+                self.stats.hits += 1
+                value = self._data[key]
+                hit = True
+            else:
+                self.stats.misses += 1
+                value = _MISS
+                hit = False
+        if self.recorder.enabled:
+            if hit:
+                self.recorder.cache_hit(self.kind)
+            else:
+                self.recorder.cache_miss(self.kind)
+        return value
+
+    def put(self, key: Hashable, value: Any) -> None:
+        evicted = 0
+        with self._lock:
+            self._data[key] = value
+            self._data.move_to_end(key)
+            while len(self._data) > self.capacity:
+                self._data.popitem(last=False)
+                self.stats.evictions += 1
+                evicted += 1
+        if evicted and self.recorder.enabled:
+            for _ in range(evicted):
+                self.recorder.cache_evict(self.kind)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._data.clear()
+
+
+def _pattern_key(pattern: Atom) -> Tuple:
+    """A canonical key for a retrieval pattern's success status.
+
+    Whether *any* fact matches a pattern depends only on the constants
+    at bound positions — variable names are wildcards — so two
+    patterns differing only in variable naming share one memo entry.
+    """
+    return (
+        pattern.predicate,
+        pattern.arity,
+        tuple(
+            None if isinstance(arg, Variable) else arg
+            for arg in pattern.args
+        ),
+    )
+
+
+class SubgoalMemo:
+    """Tabling for ground-subgoal probes (the QSQN idea).
+
+    Implements the memo seam
+    :class:`~repro.graphs.contexts.MemoizedDatalogContext` consumes:
+    :meth:`lookup` returns the remembered status of a retrieval
+    pattern against a database *generation* (``None`` when unknown),
+    :meth:`store` records a settled probe.  Faulted probes are never
+    stored — only the storage layer's settled truth enters the table.
+    """
+
+    def __init__(self, capacity: int, recorder: Recorder = NULL_RECORDER):
+        self._table = LRUTable(capacity, "subgoal", recorder)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._table.stats
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @staticmethod
+    def _key(pattern: Atom, database: "Database") -> Tuple:
+        return (database.cache_key,) + _pattern_key(pattern)
+
+    def lookup(self, pattern: Atom, database: "Database") -> Optional[bool]:
+        value = self._table.get(self._key(pattern, database))
+        return None if value is _MISS else value
+
+    def store(
+        self, pattern: Atom, database: "Database", status: bool
+    ) -> None:
+        self._table.put(self._key(pattern, database), bool(status))
+
+    def snapshot(self) -> Dict[str, float]:
+        return self._table.stats.snapshot()
+
+
+class AnswerCache:
+    """Whole-answer cache keyed by (query, database generation).
+
+    Only *clean* answers are stored: degraded answers (deadline
+    expiries, fault escapes, shed arcs) reflect infrastructure state
+    at one instant, not the database, so replaying them would be
+    wrong.  A stored answer is normalized to its served-from-cache
+    form once — zero billed cost, ``cached=True`` — so hits share one
+    immutable object.
+    """
+
+    def __init__(self, capacity: int, recorder: Recorder = NULL_RECORDER):
+        self._table = LRUTable(capacity, "answer", recorder)
+
+    @property
+    def stats(self) -> CacheStats:
+        return self._table.stats
+
+    def __len__(self) -> int:
+        return len(self._table)
+
+    @staticmethod
+    def _key(query: Atom, database: "Database") -> Tuple:
+        return (database.cache_key, str(query))
+
+    def lookup(
+        self, query: Atom, database: "Database"
+    ) -> Optional["SystemAnswer"]:
+        value = self._table.get(self._key(query, database))
+        return None if value is _MISS else value
+
+    def store(
+        self, query: Atom, database: "Database", answer: "SystemAnswer"
+    ) -> bool:
+        """Cache a clean answer; returns whether it was cacheable."""
+        if answer.degraded:
+            return False
+        self._table.put(
+            self._key(query, database),
+            replace(answer, cost=0.0, climbed=False, cached=True),
+        )
+        return True
+
+    def snapshot(self) -> Dict[str, float]:
+        return self._table.stats.snapshot()

@@ -1,0 +1,187 @@
+"""Typed configuration for the session/serving API.
+
+Until now the processor's knobs lived as loose keyword arguments on
+:class:`~repro.system.SelfOptimizingQueryProcessor` and as ad-hoc
+flag-parsing helpers buried in the CLI.  This module gathers them into
+three small dataclasses:
+
+* :class:`SessionConfig` — everything that shapes *learning and
+  answering* (the paper's ``δ``, the Equation 6 test cadence, the
+  resilience policy, checkpoints, drift handling);
+* :class:`CacheConfig` — the serving layer's two-tier cache: the
+  ground-answer cache and the QSQN-style subgoal memo table, both LRU
+  bounded and both disabled by default (capacity 0), because caching
+  changes which queries reach the learner;
+* :class:`ServingConfig` — the concurrency shape of a
+  :class:`~repro.serving.server.QueryServer` (worker count; work is
+  always sharded by query form, the unit that owns its PIB learner).
+
+The old processor keywords keep working through a shim that builds a
+:class:`SessionConfig` and emits a :class:`DeprecationWarning`; see
+:class:`~repro.system.SelfOptimizingQueryProcessor`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Callable, Optional, Sequence, TYPE_CHECKING
+
+from ..learning.drift import DriftConfig
+from ..resilience.policy import ResiliencePolicy
+from ..resilience.retry import RetryPolicy
+
+if TYPE_CHECKING:
+    from ..graphs.inference_graph import InferenceGraph
+    from ..strategies.transformations import Transformation
+
+__all__ = ["SessionConfig", "CacheConfig", "ServingConfig"]
+
+
+@dataclass
+class SessionConfig:
+    """Everything a query session's processor needs to know.
+
+    The fields mirror (and subsume) the legacy keyword arguments of
+    :class:`~repro.system.SelfOptimizingQueryProcessor`:
+
+    =========================  =====================================
+    legacy keyword             config field
+    =========================  =====================================
+    ``delta``                  :attr:`delta`
+    ``test_every``             :attr:`test_every`
+    ``max_depth``              :attr:`max_depth`
+    ``transformations_factory``:attr:`transformations_factory`
+    ``resilience``             :attr:`resilience`
+    ``checkpoint_dir``         :attr:`checkpoint_dir`
+    ``checkpoint_every``       :attr:`checkpoint_every`
+    ``drift``                  :attr:`drift`
+    =========================  =====================================
+    """
+
+    #: Per-form mistake budget (Theorem 1's ``δ``).
+    delta: float = 0.05
+    #: Run Equation 6 only every ``k``-th context.
+    test_every: int = 1
+    #: Graph-unfolding / SLD recursion bound (``None``: defaults).
+    max_depth: Optional[int] = None
+    #: Operator set factory (``None``: every sibling swap).
+    transformations_factory: Optional[
+        Callable[["InferenceGraph"], Sequence["Transformation"]]
+    ] = None
+    #: Retries/breakers/deadlines for the learned path (``None``: off).
+    resilience: Optional[ResiliencePolicy] = None
+    #: Directory for crash-safe per-form PIB checkpoints (``None``: off).
+    checkpoint_dir: Optional[str] = None
+    #: Checkpoint each form every N queries (and after every climb).
+    checkpoint_every: int = 25
+    #: Drift-aware learning configuration (``None``: stationary mode).
+    drift: Optional[DriftConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.checkpoint_every < 1:
+            raise ValueError("checkpoint_every must be at least 1")
+        if self.test_every < 1:
+            raise ValueError("test_every must be at least 1")
+
+    @classmethod
+    def from_options(
+        cls,
+        *,
+        delta: float = 0.05,
+        test_every: int = 1,
+        max_depth: Optional[int] = None,
+        retries: int = 0,
+        deadline: Optional[float] = None,
+        checkpoint_dir: Optional[str] = None,
+        checkpoint_every: int = 25,
+        drift: bool = False,
+        drift_delta: float = 0.05,
+        drift_detector: str = "window",
+    ) -> "SessionConfig":
+        """Build a config from scalar options (the CLI's flag set).
+
+        This is the public home of what used to be the CLI-only
+        ``_resilience_from_args`` / ``_drift_from_args`` helpers:
+        ``retries``/``deadline`` turn into a
+        :class:`~repro.resilience.policy.ResiliencePolicy` (either one
+        being set enables the resilience layer), and the ``drift*``
+        flags into a :class:`~repro.learning.drift.DriftConfig`.
+        Library users get exactly the capability the shell had.
+        """
+        resilience = None
+        if retries or deadline:
+            resilience = ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=retries or 3),
+                deadline=deadline,
+            )
+        drift_config = (
+            DriftConfig(delta=drift_delta, detector=drift_detector)
+            if drift
+            else None
+        )
+        return cls(
+            delta=delta,
+            test_every=test_every,
+            max_depth=max_depth,
+            resilience=resilience,
+            checkpoint_dir=checkpoint_dir,
+            checkpoint_every=checkpoint_every,
+            drift=drift_config,
+        )
+
+    def with_overrides(self, **changes) -> "SessionConfig":
+        """A copy with some fields replaced (``dataclasses.replace``)."""
+        return replace(self, **changes)
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """The serving layer's two-tier cache bounds (0 = tier disabled).
+
+    Both tiers key on :attr:`repro.datalog.database.Database.cache_key`
+    — the database's identity plus its mutation :attr:`generation` —
+    so any fact added or removed invalidates every cached entry for
+    that database *implicitly*: stale keys simply stop being looked up
+    and age out of the LRU.
+    """
+
+    #: Ground-answer cache entries, keyed by (query, database generation).
+    answer_capacity: int = 0
+    #: Subgoal memo entries, keyed by (ground subgoal, database generation).
+    subgoal_capacity: int = 0
+
+    def __post_init__(self) -> None:
+        if self.answer_capacity < 0:
+            raise ValueError("answer_capacity cannot be negative")
+        if self.subgoal_capacity < 0:
+            raise ValueError("subgoal_capacity cannot be negative")
+
+    @property
+    def enabled(self) -> bool:
+        return self.answer_capacity > 0 or self.subgoal_capacity > 0
+
+    @classmethod
+    def default_enabled(cls) -> "CacheConfig":
+        """The capacities behind the CLI's bare ``--cache`` flag."""
+        return cls(answer_capacity=4096, subgoal_capacity=16384)
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Concurrency shape of a :class:`~repro.serving.server.QueryServer`.
+
+    Work is sharded by query form: each form owns its PIB learner,
+    strategy, breakers, and drift epoch, so forms are independent and
+    embarrassingly parallel, while *within* a form queries run
+    serially under the form's lock — preserving exactly the paper's
+    sequential Δ̃ accumulation and Equation 6 test order.  With
+    ``workers == 1`` the server never touches a thread pool and is
+    byte-identical to the plain sequential processor loop.
+    """
+
+    #: Worker threads for batch execution (1 = strictly sequential).
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.workers < 1:
+            raise ValueError("workers must be at least 1")

@@ -1,0 +1,186 @@
+"""`QueryServer`: batched, form-sharded, cached query execution.
+
+The paper's learner state is *per query form* — each form owns its
+inference graph, PIB learner, breakers, and drift epoch (Theorem 1's
+guarantee is quantified per form), which makes the form the natural
+sharding key for concurrency: queries of different forms never touch
+shared learner state, so they can run on different worker threads,
+while queries of the same form are serialized under the form's lock so
+the Δ̃ accumulation and Equation 6 sequential test keep exactly the
+paper's serial semantics.
+
+Layered in front of execution sit the two cache tiers of
+:mod:`repro.serving.cache`: the answer cache short-circuits repeated
+ground queries entirely, and the subgoal memo (installed into the
+processor as its context seam) shares settled database-probe results
+across queries and threads.
+
+Determinism contract (asserted by the ``serving_determinism`` tests):
+
+* with ``workers == 1`` and caches disabled, a batch run is
+  byte-identical — trace and report — to calling
+  ``processor.query(...)`` in a plain loop;
+* under parallel execution, each form still sees its queries in
+  submission order, so per-form climb decisions are identical to the
+  sequential run's.
+"""
+
+from __future__ import annotations
+
+import threading
+from concurrent.futures import ThreadPoolExecutor
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..datalog.database import Database
+from ..datalog.rules import QueryForm
+from ..datalog.terms import Atom
+from ..system import SelfOptimizingQueryProcessor, SystemAnswer
+from .cache import AnswerCache, SubgoalMemo
+from .config import CacheConfig, ServingConfig
+
+__all__ = ["QueryServer"]
+
+
+class QueryServer:
+    """Serve batches of queries against a self-optimizing processor.
+
+    Parameters
+    ----------
+    processor:
+        The :class:`~repro.system.SelfOptimizingQueryProcessor` that
+        owns all per-form learner state.  The server installs its
+        subgoal memo (when configured) as the processor's context
+        seam; otherwise the processor is used unmodified.
+    serving:
+        Worker-pool shape (:class:`~repro.serving.config.ServingConfig`).
+    cache:
+        Cache-tier bounds (:class:`~repro.serving.config.CacheConfig`);
+        both tiers default to disabled.
+    """
+
+    def __init__(
+        self,
+        processor: SelfOptimizingQueryProcessor,
+        serving: Optional[ServingConfig] = None,
+        cache: Optional[CacheConfig] = None,
+    ):
+        self.processor = processor
+        self.serving = serving or ServingConfig()
+        self.cache_config = cache or CacheConfig()
+        recorder = processor.recorder
+        self.answer_cache: Optional[AnswerCache] = (
+            AnswerCache(self.cache_config.answer_capacity, recorder)
+            if self.cache_config.answer_capacity
+            else None
+        )
+        self.subgoal_memo: Optional[SubgoalMemo] = (
+            SubgoalMemo(self.cache_config.subgoal_capacity, recorder)
+            if self.cache_config.subgoal_capacity
+            else None
+        )
+        if self.subgoal_memo is not None:
+            processor.subgoal_memo = self.subgoal_memo
+        self.batches = 0
+        self.queries_served = 0
+        self.cached_answers = 0
+        self._admin_lock = threading.Lock()
+        self._form_locks: Dict[QueryForm, threading.Lock] = {}
+
+    # ------------------------------------------------------------------
+    # Locking
+    # ------------------------------------------------------------------
+
+    def _lock_for(self, form: QueryForm) -> threading.Lock:
+        """The form's serialization lock (created on first use).
+
+        Creation happens under the admin lock, which also guards the
+        processor's lazy per-form compilation: two threads racing on a
+        brand-new form must not both build its graph and learner.
+        """
+        lock = self._form_locks.get(form)
+        if lock is None:
+            with self._admin_lock:
+                lock = self._form_locks.get(form)
+                if lock is None:
+                    self.processor.ensure_compiled(form)
+                    lock = self._form_locks[form] = threading.Lock()
+        return lock
+
+    # ------------------------------------------------------------------
+    # Serving
+    # ------------------------------------------------------------------
+
+    def submit(self, query: Atom, database: Database) -> SystemAnswer:
+        """Answer one query: answer cache, then the learned processor.
+
+        Thread-safe: any number of threads may call this concurrently;
+        queries of one form are serialized in arrival order.
+        """
+        if self.answer_cache is not None:
+            cached = self.answer_cache.lookup(query, database)
+            if cached is not None:
+                with self._admin_lock:
+                    self.queries_served += 1
+                    self.cached_answers += 1
+                return cached
+        form = QueryForm.of(query)
+        with self._lock_for(form):
+            answer = self.processor.query(query, database)
+        if self.answer_cache is not None:
+            self.answer_cache.store(query, database, answer)
+        with self._admin_lock:
+            self.queries_served += 1
+        return answer
+
+    def run_batch(
+        self, queries: Sequence[Atom], database: Database
+    ) -> List[SystemAnswer]:
+        """Answer a batch; results align with the input order.
+
+        With one worker the batch runs strictly sequentially in
+        submission order (the byte-identity path).  With more, queries
+        are grouped by form and each group — internally ordered — runs
+        as one pool task, so forms proceed in parallel while per-form
+        order (and therefore every climb decision) is preserved.
+        """
+        queries = list(queries)
+        self.batches += 1
+        if self.serving.workers == 1:
+            return [self.submit(query, database) for query in queries]
+
+        groups: Dict[QueryForm, List[int]] = {}
+        for index, query in enumerate(queries):
+            groups.setdefault(QueryForm.of(query), []).append(index)
+        results: List[Optional[SystemAnswer]] = [None] * len(queries)
+        workers = min(self.serving.workers, max(len(groups), 1))
+
+        def run_group(indexes: List[int]) -> List[Tuple[int, SystemAnswer]]:
+            return [
+                (index, self.submit(queries[index], database))
+                for index in indexes
+            ]
+
+        with ThreadPoolExecutor(max_workers=workers) as pool:
+            for chunk in pool.map(run_group, groups.values()):
+                for index, answer in chunk:
+                    results[index] = answer
+        return results  # type: ignore[return-value]
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, object]:
+        """Serving + cache counters, JSON-ready (for ``report()``)."""
+        summary: Dict[str, object] = {
+            "workers": self.serving.workers,
+            "batches": self.batches,
+            "queries_served": self.queries_served,
+            "cached_answers": self.cached_answers,
+            "forms": len(self._form_locks),
+        }
+        if self.answer_cache is not None:
+            summary["answer_cache"] = self.answer_cache.snapshot()
+        if self.subgoal_memo is not None:
+            summary["subgoal_memo"] = self.subgoal_memo.snapshot()
+        return summary

@@ -8,7 +8,15 @@ truth, and the adaptive query processor ``QP^A`` of Section 4.1.
 """
 
 from .strategy import Strategy
-from .execution import ExecutionResult, cost_of, execute, pessimistic_cost
+from .execution import (
+    ExecutionOutcome,
+    ExecutionResult,
+    ResilientExecutionResult,
+    cost_of,
+    execute,
+    execute_resilient,
+    pessimistic_cost,
+)
 from .expected_cost import (
     attempt_probabilities,
     expected_cost_exact,
@@ -34,9 +42,12 @@ from .adaptive import AdaptiveQueryProcessor, AttemptOutcome, classify_attempt
 
 __all__ = [
     "Strategy",
+    "ExecutionOutcome",
     "ExecutionResult",
+    "ResilientExecutionResult",
     "cost_of",
     "execute",
+    "execute_resilient",
     "pessimistic_cost",
     "attempt_probabilities",
     "expected_cost_exact",

@@ -23,7 +23,15 @@ arcs the run did not attempt).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Dict, List, Optional, Set
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Set,
+    runtime_checkable,
+)
 
 from ..errors import RetrievalFaultError
 from ..graphs.contexts import Context, PartialContext
@@ -35,6 +43,7 @@ if TYPE_CHECKING:
     from ..resilience.policy import ResiliencePolicy
 
 __all__ = [
+    "ExecutionOutcome",
     "ExecutionResult",
     "ResilientExecutionResult",
     "execute",
@@ -42,6 +51,36 @@ __all__ = [
     "cost_of",
     "pessimistic_cost",
 ]
+
+
+@runtime_checkable
+class ExecutionOutcome(Protocol):
+    """What every strategy-execution result exposes, resilient or not.
+
+    :class:`ExecutionResult` and :class:`ResilientExecutionResult`
+    both satisfy this protocol, so callers that only need the shared
+    surface — the billed ``cost``, whether the run ``succeeded``, the
+    revealed ``partial_context()``, and the learner-facing
+    ``settled_result()`` — can take an ``ExecutionOutcome`` and stop
+    branching on the concrete result type.  ``degraded`` is ``False``
+    on a plain execution and reports resilience deviations (deadline
+    expiry, unsettled or shed arcs) on a resilient one.
+    """
+
+    strategy: Strategy
+    context: Context
+    cost: float
+    succeeded: bool
+    success_arc: Optional[Arc]
+    attempted: List[Arc]
+    observations: Dict[str, bool]
+
+    @property
+    def degraded(self) -> bool: ...
+
+    def settled_result(self) -> "ExecutionResult": ...
+
+    def partial_context(self) -> PartialContext: ...
 
 
 @dataclass
@@ -61,6 +100,16 @@ class ExecutionResult:
     success_arc: Optional[Arc]
     attempted: List[Arc] = field(default_factory=list)
     observations: Dict[str, bool] = field(default_factory=dict)
+
+    @property
+    def degraded(self) -> bool:
+        """A plain execution never deviates from the fault-free path."""
+        return False
+
+    def settled_result(self) -> "ExecutionResult":
+        """Itself: an unmonitored run *is* the settled view
+        (:class:`ExecutionOutcome`'s learner-facing accessor)."""
+        return self
 
     def partial_context(self) -> PartialContext:
         """The :class:`PartialContext` of what this run revealed."""

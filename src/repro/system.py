@@ -24,8 +24,9 @@ does not apply to them, matching the paper's scope.
 from __future__ import annotations
 
 import os
+import warnings
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional
 
 from .datalog.database import Database
 from .datalog.engine import TopDownEngine
@@ -38,18 +39,26 @@ from .errors import (
     ResilienceError,
 )
 from .graphs.builder import build_inference_graph
-from .graphs.contexts import LazyDatalogContext, _instantiate
+from .graphs.contexts import (
+    LazyDatalogContext,
+    MemoizedDatalogContext,
+    _instantiate,
+)
 from .graphs.inference_graph import InferenceGraph
-from .learning.drift import DriftAwarePIB, DriftConfig
+from .learning.drift import DriftAwarePIB
 from .learning.pib import ClimbRecord, PIB
 from .observability.recorder import NULL_RECORDER, Recorder
 from .persistence import load_pib, save_pib
-from .resilience.policy import ResiliencePolicy
+from .serving.config import SessionConfig
 from .strategies.execution import execute_resilient
 from .strategies.strategy import Strategy
-from .strategies.transformations import Transformation, all_sibling_swaps
+from .strategies.transformations import all_sibling_swaps
 
 __all__ = ["SystemAnswer", "FormState", "SelfOptimizingQueryProcessor"]
+
+#: Sentinel distinguishing "keyword not passed" from any real value,
+#: so the deprecation shim only fires on explicit legacy usage.
+_UNSET = object()
 
 
 @dataclass(frozen=True)
@@ -73,6 +82,9 @@ class SystemAnswer:
     #: SLD fallback, and ``incident`` says why.
     degraded: bool = False
     incident: Optional[str] = None
+    #: True when the serving layer answered from its ground-answer
+    #: cache: no strategy ran, no cost was charged, no PIB sample.
+    cached: bool = False
 
 
 @dataclass
@@ -94,8 +106,15 @@ class FormState:
 class SelfOptimizingQueryProcessor:
     """A query processor that gets faster on the forms it is asked.
 
-    Parameters mirror :class:`repro.learning.pib.PIB`; ``delta`` is the
-    *per-form* mistake budget (each form's learner runs its own
+    Configuration arrives as ``config=`` (a
+    :class:`~repro.serving.config.SessionConfig`); the individual
+    keywords below are a deprecated spelling of the same fields and
+    emit :class:`DeprecationWarning` (mixing them with ``config=`` is a
+    :class:`TypeError`).  ``recorder`` stays a first-class keyword: it
+    is an observer wired across objects, not a session setting.
+
+    Field meanings mirror :class:`repro.learning.pib.PIB`; ``delta`` is
+    the *per-form* mistake budget (each form's learner runs its own
     Theorem 1 guarantee).  ``max_depth`` bounds graph unfolding for
     recursive rule bases and the SLD fallback's recursion depth.
 
@@ -141,38 +160,76 @@ class SelfOptimizingQueryProcessor:
     def __init__(
         self,
         rule_base: RuleBase,
-        delta: float = 0.05,
-        transformations_factory: Optional[
-            Callable[[InferenceGraph], Sequence[Transformation]]
-        ] = None,
-        test_every: int = 1,
-        max_depth: Optional[int] = None,
-        resilience: Optional[ResiliencePolicy] = None,
-        checkpoint_dir: Optional[str] = None,
-        checkpoint_every: int = 25,
+        delta: Any = _UNSET,
+        transformations_factory: Any = _UNSET,
+        test_every: Any = _UNSET,
+        max_depth: Any = _UNSET,
+        resilience: Any = _UNSET,
+        checkpoint_dir: Any = _UNSET,
+        checkpoint_every: Any = _UNSET,
         recorder: Optional[Recorder] = None,
-        drift: Optional[DriftConfig] = None,
+        drift: Any = _UNSET,
+        *,
+        config: Optional[SessionConfig] = None,
     ):
-        if checkpoint_every < 1:
-            raise ValueError("checkpoint_every must be at least 1")
+        legacy = {
+            name: value
+            for name, value in (
+                ("delta", delta),
+                ("transformations_factory", transformations_factory),
+                ("test_every", test_every),
+                ("max_depth", max_depth),
+                ("resilience", resilience),
+                ("checkpoint_dir", checkpoint_dir),
+                ("checkpoint_every", checkpoint_every),
+                ("drift", drift),
+            )
+            if value is not _UNSET
+        }
+        if legacy:
+            if config is not None:
+                raise TypeError(
+                    "pass configuration either as config=SessionConfig(...) "
+                    "or as legacy keywords, not both "
+                    f"(got both config= and {sorted(legacy)})"
+                )
+            warnings.warn(
+                "passing "
+                + ", ".join(f"{name}=" for name in sorted(legacy))
+                + " directly to SelfOptimizingQueryProcessor is deprecated; "
+                "use config=SessionConfig(...) instead",
+                DeprecationWarning,
+                stacklevel=2,
+            )
+            config = SessionConfig(**legacy)
+        elif config is None:
+            config = SessionConfig()
+        self.config = config
         self.rule_base = rule_base
-        self.delta = delta
-        self.test_every = test_every
-        self.max_depth = max_depth
-        self.resilience = resilience
-        self.checkpoint_dir = checkpoint_dir
-        self.checkpoint_every = checkpoint_every
-        self.drift = drift
+        self.delta = config.delta
+        self.test_every = config.test_every
+        self.max_depth = config.max_depth
+        self.resilience = config.resilience
+        self.checkpoint_dir = config.checkpoint_dir
+        self.checkpoint_every = config.checkpoint_every
+        self.drift = config.drift
         self.recorder = recorder if recorder is not None else NULL_RECORDER
-        if resilience is not None and self.recorder.enabled:
-            resilience.bind_recorder(self.recorder)
+        if self.resilience is not None and self.recorder.enabled:
+            self.resilience.bind_recorder(self.recorder)
         self._transformations_factory = (
-            transformations_factory or all_sibling_swaps
+            config.transformations_factory or all_sibling_swaps
         )
+        #: Seam for the serving layer: when a
+        #: :class:`~repro.serving.cache.SubgoalMemo` is installed here,
+        #: learned-path executions run against a
+        #: :class:`MemoizedDatalogContext` that consults it before
+        #: probing the database.  ``None`` (the default) keeps the
+        #: plain lazy context, byte-identical to pre-serving behaviour.
+        self.subgoal_memo = None
         self._states: Dict[QueryForm, FormState] = {}
         self._uncompilable: Dict[QueryForm, str] = {}
         self._fallback = TopDownEngine(
-            rule_base, max_depth=max_depth or 64
+            rule_base, max_depth=self.max_depth or 64
         )
 
     # ------------------------------------------------------------------
@@ -275,6 +332,25 @@ class SelfOptimizingQueryProcessor:
                     self.recorder.checkpoint_saved(state.checkpoint_path)
         return written
 
+    def ensure_compiled(self, form: QueryForm) -> bool:
+        """Compile the form's graph and learner now (idempotent).
+
+        Returns whether the form is learnable; uncompilable forms keep
+        using the SLD fallback.  The serving layer calls this under its
+        admin lock so lazy compilation never races between workers.
+        """
+        return self._state_for(form) is not None
+
+    def _make_context(self, graph, query, database):
+        """The execution context for one learned-path run: memoized
+        when the serving layer installed a subgoal memo, plain lazy
+        otherwise."""
+        if self.subgoal_memo is not None:
+            return MemoizedDatalogContext(
+                graph, query, database, memo=self.subgoal_memo
+            )
+        return LazyDatalogContext(graph, query, database)
+
     def strategy_for(self, form: QueryForm) -> Optional[Strategy]:
         """The current strategy for a form (``None`` if never compiled)."""
         state = self._states.get(form)
@@ -317,7 +393,7 @@ class SelfOptimizingQueryProcessor:
         if self.resilience is not None:
             return self._query_resilient(state, query, database)
         climbs_before = state.learner.climbs
-        context = LazyDatalogContext(state.graph, query, database)
+        context = self._make_context(state.graph, query, database)
         result = state.learner.process(context)
         climbed = state.learner.climbs > climbs_before
         substitution = Substitution()
@@ -348,7 +424,7 @@ class SelfOptimizingQueryProcessor:
         incident instead of raising.
         """
         climbs_before = state.learner.climbs
-        context = LazyDatalogContext(state.graph, query, database)
+        context = self._make_context(state.graph, query, database)
         try:
             result = execute_resilient(
                 state.learner.strategy, context, self.resilience,

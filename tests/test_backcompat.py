@@ -1,0 +1,143 @@
+"""Backwards compatibility of the deprecated processor keywords.
+
+The configuration home is ``config=SessionConfig(...)``; the old loose
+keywords must (a) keep configuring exactly the same processor, (b)
+emit a ``DeprecationWarning`` naming the offending keywords, and (c)
+refuse to mix with ``config=``.
+"""
+
+import warnings
+
+import pytest
+
+from repro import SelfOptimizingQueryProcessor, SessionConfig
+from repro.datalog.parser import parse_query
+from repro.learning.drift import DriftConfig
+from repro.resilience import ResiliencePolicy, RetryPolicy
+from repro.workloads import db1, university_rule_base
+
+
+class TestDeprecatedKeywords:
+    def test_legacy_kwargs_warn(self):
+        with pytest.warns(DeprecationWarning, match="delta=.*deprecated"):
+            SelfOptimizingQueryProcessor(
+                university_rule_base(), delta=0.1
+            )
+
+    def test_warning_names_every_passed_keyword(self):
+        with pytest.warns(DeprecationWarning) as caught:
+            SelfOptimizingQueryProcessor(
+                university_rule_base(), delta=0.1, test_every=2,
+            )
+        message = str(caught[0].message)
+        assert "delta=" in message and "test_every=" in message
+
+    def test_legacy_kwargs_configure_identically(self):
+        with pytest.warns(DeprecationWarning):
+            legacy = SelfOptimizingQueryProcessor(
+                university_rule_base(),
+                delta=0.2,
+                test_every=3,
+                max_depth=32,
+                checkpoint_every=7,
+            )
+        modern = SelfOptimizingQueryProcessor(
+            university_rule_base(),
+            config=SessionConfig(
+                delta=0.2, test_every=3, max_depth=32, checkpoint_every=7
+            ),
+        )
+        for attr in (
+            "delta", "test_every", "max_depth", "checkpoint_every",
+            "checkpoint_dir", "resilience", "drift",
+        ):
+            assert getattr(legacy, attr) == getattr(modern, attr)
+        assert legacy.config == modern.config
+
+    def test_legacy_policy_objects_carried_through(self):
+        policy = ResiliencePolicy(retry=RetryPolicy(max_attempts=2))
+        drift = DriftConfig(delta=0.05)
+        with pytest.warns(DeprecationWarning):
+            processor = SelfOptimizingQueryProcessor(
+                university_rule_base(), resilience=policy, drift=drift
+            )
+        assert processor.resilience is policy
+        assert processor.drift is drift
+        assert processor.config.resilience is policy
+
+    def test_legacy_path_still_answers_queries(self):
+        with pytest.warns(DeprecationWarning):
+            processor = SelfOptimizingQueryProcessor(
+                university_rule_base(), delta=0.05
+            )
+        answer = processor.query(parse_query("instructor(manolis)"), db1())
+        assert answer.proved and answer.learned
+
+    def test_mixing_config_and_legacy_raises(self):
+        with pytest.raises(TypeError, match="not both"):
+            SelfOptimizingQueryProcessor(
+                university_rule_base(),
+                delta=0.1,
+                config=SessionConfig(),
+            )
+
+    def test_config_only_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SelfOptimizingQueryProcessor(
+                university_rule_base(), config=SessionConfig(delta=0.1)
+            )
+
+    def test_bare_construction_emits_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            processor = SelfOptimizingQueryProcessor(university_rule_base())
+        assert processor.config == SessionConfig()
+
+    def test_recorder_is_not_deprecated(self):
+        from repro import Tracer
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            SelfOptimizingQueryProcessor(
+                university_rule_base(), recorder=Tracer()
+            )
+
+
+class TestSessionConfigValidation:
+    def test_checkpoint_every_validated(self):
+        with pytest.raises(ValueError, match="checkpoint_every"):
+            SessionConfig(checkpoint_every=0)
+
+    def test_test_every_validated(self):
+        with pytest.raises(ValueError, match="test_every"):
+            SessionConfig(test_every=0)
+
+    def test_from_options_builds_resilience(self):
+        config = SessionConfig.from_options(retries=5, deadline=9.0)
+        assert config.resilience is not None
+        assert config.resilience.retry.max_attempts == 5
+        assert config.resilience.deadline.budget == 9.0
+
+    def test_from_options_deadline_alone_enables_resilience(self):
+        config = SessionConfig.from_options(deadline=4.0)
+        assert config.resilience is not None
+        assert config.resilience.retry.max_attempts == 3  # default
+
+    def test_from_options_builds_drift(self):
+        config = SessionConfig.from_options(
+            drift=True, drift_delta=0.01, drift_detector="page-hinkley"
+        )
+        assert config.drift is not None
+        assert config.drift.delta == 0.01
+        assert config.drift.detector == "page-hinkley"
+
+    def test_from_options_neutral_by_default(self):
+        config = SessionConfig.from_options()
+        assert config.resilience is None and config.drift is None
+
+    def test_with_overrides(self):
+        config = SessionConfig(delta=0.05)
+        changed = config.with_overrides(delta=0.2, test_every=4)
+        assert changed.delta == 0.2 and changed.test_every == 4
+        assert config.delta == 0.05  # original untouched

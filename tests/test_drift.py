@@ -430,6 +430,7 @@ class TestDriftThroughSystem:
         from repro.datalog.database import Database
         from repro.datalog.parser import parse_program, parse_query
         from repro.system import SelfOptimizingQueryProcessor
+        from repro.serving import SessionConfig
 
         rules = parse_program(
             "@Rp instructor(X) :- prof(X).\n"
@@ -437,7 +438,7 @@ class TestDriftThroughSystem:
         )
         facts = Database.from_program("prof(russ). grad(manolis).")
         processor = SelfOptimizingQueryProcessor(
-            rules, drift=DriftConfig(delta=0.05)
+            rules, config=SessionConfig(drift=DriftConfig(delta=0.05))
         )
         for _ in range(30):
             answer = processor.query(parse_query("instructor(manolis)?"),

@@ -7,6 +7,7 @@ from repro.datalog.database import Database
 from repro.datalog.parser import parse_program, parse_query
 from repro.datalog.terms import Constant, Variable
 from repro.graphs.contexts import LazyDatalogContext
+from repro.serving import SessionConfig
 from repro.system import SelfOptimizingQueryProcessor
 from repro.workloads import db1, university_rule_base
 
@@ -71,7 +72,9 @@ class TestQueryAnswering:
 
 class TestLearningThroughTheSystem:
     def test_strategy_improves_with_a_skewed_stream(self):
-        qp = SelfOptimizingQueryProcessor(university_rule_base(), delta=0.05)
+        qp = SelfOptimizingQueryProcessor(
+            university_rule_base(), config=SessionConfig(delta=0.05)
+        )
         database = db1()
         rng = random.Random(0)
         names = ["manolis"] * 70 + ["russ"] * 10 + ["fred"] * 20
@@ -89,7 +92,9 @@ class TestLearningThroughTheSystem:
         assert len(history) == 1
 
     def test_costs_drop_after_the_climb(self):
-        qp = SelfOptimizingQueryProcessor(university_rule_base(), delta=0.05)
+        qp = SelfOptimizingQueryProcessor(
+            university_rule_base(), config=SessionConfig(delta=0.05)
+        )
         database = db1()
         query = parse_query("instructor(manolis)")
         before = qp.query(query, database).cost

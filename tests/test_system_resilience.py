@@ -15,6 +15,7 @@ from repro.resilience import (
     ResiliencePolicy,
     RetryPolicy,
 )
+from repro.serving import SessionConfig
 from repro.system import SelfOptimizingQueryProcessor
 from repro.workloads import university_rule_base
 
@@ -44,7 +45,8 @@ class TestGracefulDegradation:
             "grad": FaultSpec(fault_rate=0.3, fail_first=3),
         })
         processor = SelfOptimizingQueryProcessor(
-            university_rule_base(), resilience=policy()
+            university_rule_base(),
+            config=SessionConfig(resilience=policy()),
         )
         database = flaky_db(plan)
         rng = random.Random(1)
@@ -71,10 +73,10 @@ class TestGracefulDegradation:
         })
         processor = SelfOptimizingQueryProcessor(
             university_rule_base(),
-            resilience=policy(
+            config=SessionConfig(resilience=policy(
                 retry=RetryPolicy(max_attempts=3, base_backoff=1.0),
                 deadline=2.5,
-            ),
+            )),
         )
         answer = processor.query(
             parse_query("instructor(manolis)"), flaky_db(plan)
@@ -92,7 +94,9 @@ class TestGracefulDegradation:
         })
         processor = SelfOptimizingQueryProcessor(
             university_rule_base(),
-            resilience=policy(retry=RetryPolicy(max_attempts=2)),
+            config=SessionConfig(
+                resilience=policy(retry=RetryPolicy(max_attempts=2))
+            ),
         )
         answer = processor.query(
             parse_query("instructor(manolis)"), flaky_db(plan)
@@ -106,7 +110,8 @@ class TestGracefulDegradation:
         clean = Database.from_program(FACTS)
         plain = SelfOptimizingQueryProcessor(university_rule_base())
         hardened = SelfOptimizingQueryProcessor(
-            university_rule_base(), resilience=policy()
+            university_rule_base(),
+            config=SessionConfig(resilience=policy()),
         )
         for who in ["manolis", "russ", "ghost"]:
             query = parse_query(f"instructor({who})")
@@ -121,8 +126,9 @@ class TestCheckpointing:
     def test_periodic_checkpoints_written(self, tmp_path):
         processor = SelfOptimizingQueryProcessor(
             university_rule_base(),
-            checkpoint_dir=str(tmp_path),
-            checkpoint_every=10,
+            config=SessionConfig(
+                checkpoint_dir=str(tmp_path), checkpoint_every=10
+            ),
         )
         database = Database.from_program(FACTS)
         for i in range(25):
@@ -139,7 +145,10 @@ class TestCheckpointing:
         query = parse_query("instructor(russ)")
 
         first = SelfOptimizingQueryProcessor(
-            rules, checkpoint_dir=str(tmp_path), checkpoint_every=5
+            rules,
+            config=SessionConfig(
+                checkpoint_dir=str(tmp_path), checkpoint_every=5
+            ),
         )
         for _ in range(20):
             first.query(query, database)
@@ -149,7 +158,10 @@ class TestCheckpointing:
         dead_strategy = dead_state.learner.strategy.arc_names()
 
         second = SelfOptimizingQueryProcessor(
-            rules, checkpoint_dir=str(tmp_path), checkpoint_every=5
+            rules,
+            config=SessionConfig(
+                checkpoint_dir=str(tmp_path), checkpoint_every=5
+            ),
         )
         second.query(query, database)  # triggers lazy compile + restore
         live_state = next(iter(second._states.values()))
@@ -169,7 +181,7 @@ class TestCheckpointing:
         with open(path, "w", encoding="utf-8") as handle:
             handle.write("{ torn")
         processor = SelfOptimizingQueryProcessor(
-            rules, checkpoint_dir=str(tmp_path)
+            rules, config=SessionConfig(checkpoint_dir=str(tmp_path))
         )
         answer = processor.query(query, database)
         assert answer.proved
@@ -180,7 +192,8 @@ class TestCheckpointing:
     def test_checkpoint_every_validated(self):
         with pytest.raises(ValueError):
             SelfOptimizingQueryProcessor(
-                university_rule_base(), checkpoint_every=0
+                university_rule_base(),
+                config=SessionConfig(checkpoint_every=0),
             )
 
 
@@ -201,7 +214,10 @@ class TestUncompilableFallbackHardening:
             plan,
         )
         processor = SelfOptimizingQueryProcessor(
-            rules, resilience=policy(retry=RetryPolicy(max_attempts=8))
+            rules,
+            config=SessionConfig(
+                resilience=policy(retry=RetryPolicy(max_attempts=8))
+            ),
         )
         for _ in range(20):
             answer = processor.query(
