@@ -1,6 +1,6 @@
 """Command-line interface: a thin adapter over the session layer.
 
-Six subcommands::
+Seven subcommands::
 
     python -m repro query  --rules kb.dl --facts db.dl "instructor(manolis)?"
     python -m repro learn  --rules kb.dl --facts db.dl --queries stream.txt
@@ -11,6 +11,7 @@ Six subcommands::
     python -m repro stats  trace.jsonl
     python -m repro optimal --rules kb.dl --form instructor/b \
                             --probs D_prof=0.15,D_grad=0.6
+    python -m repro verify --seeds 50 --profile pib
 
 * ``query`` answers one query with the plain SLD engine and prints the
   bindings, the charged cost, and the attempted retrievals;
@@ -28,7 +29,14 @@ Six subcommands::
   volumes, billed vs settled cost, retries, climbs, breaker opens,
   cache traffic;
 * ``optimal`` compiles a query form's inference graph and prints
-  ``Υ_AOT``'s optimal strategy for a given probability vector.
+  ``Υ_AOT``'s optimal strategy for a given probability vector;
+* ``verify`` runs the deterministic-simulation / differential-oracle
+  battery (:mod:`repro.verify`) over seeded random worlds, per
+  profile (``engine``, ``pib``, ``pao``, ``serving``, ``chaos`` or
+  ``all``); ``--replay world.json`` re-checks one saved
+  :class:`~repro.verify.worldgen.WorldSpec`, ``--artifacts DIR``
+  saves failing specs for replay, and ``--coverage`` runs the test
+  suite under ``coverage`` with the repo's fail-under floor.
 
 All file formats are plain Datalog (the ``--facts`` file holds ground
 facts only); traces are JSON Lines.
@@ -311,6 +319,69 @@ def cmd_optimal(args: argparse.Namespace, out) -> int:
     return 0
 
 
+def _run_coverage(out) -> int:
+    """Run the test suite under ``coverage`` with the repo's floor.
+
+    Gated on ``coverage`` being importable — the package is a CI-only
+    dependency, so locally this degrades to a clear message instead of
+    an ImportError.
+    """
+    import importlib.util
+    import subprocess
+
+    from .verify.runner import COVERAGE_FLOOR
+
+    if importlib.util.find_spec("coverage") is None:
+        print(
+            "error: the 'coverage' package is not installed; it is a "
+            "CI-only dependency (pip install coverage) — see README "
+            "'Coverage gating'",
+            file=out,
+        )
+        return 2
+    run = subprocess.run(
+        [sys.executable, "-m", "coverage", "run", "--source=src/repro",
+         "-m", "pytest", "-q"],
+    )
+    if run.returncode != 0:
+        print("error: test suite failed under coverage", file=out)
+        return run.returncode
+    report = subprocess.run(
+        [sys.executable, "-m", "coverage", "report",
+         f"--fail-under={COVERAGE_FLOOR}"],
+    )
+    if report.returncode != 0:
+        print(f"error: coverage fell below the {COVERAGE_FLOOR}% floor",
+              file=out)
+    return report.returncode
+
+
+def cmd_verify(args: argparse.Namespace, out) -> int:
+    from .verify.runner import PROFILES, replay_spec, run_verify
+    from .verify.worldgen import WorldSpec
+
+    if args.coverage:
+        return _run_coverage(out)
+    if args.replay is not None:
+        spec = WorldSpec.load(args.replay)
+        print(f"replaying {args.replay} (profile {spec.profile}, "
+              f"seed {spec.seed})", file=out)
+        return replay_spec(spec, out=out)
+    chosen = args.profile or ["all"]
+    profiles = (
+        list(PROFILES) if "all" in chosen
+        else list(dict.fromkeys(chosen))
+    )
+    return run_verify(
+        profiles,
+        seeds=args.seeds,
+        base_seed=args.base_seed,
+        artifact_dir=args.artifacts,
+        out=out,
+        shrink_failures=not args.no_shrink,
+    )
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -412,6 +483,32 @@ def build_parser() -> argparse.ArgumentParser:
                          help="arc=p comma list, e.g. D_prof=0.15,D_grad=0.6")
     optimal.add_argument("--max-depth", type=int, default=None)
     optimal.set_defaults(handler=cmd_optimal)
+
+    verify = sub.add_parser(
+        "verify",
+        help="run the deterministic-simulation / differential-oracle "
+             "battery over seeded random worlds",
+    )
+    verify.add_argument("--seeds", type=int, default=20,
+                        help="worlds per profile (seeds 0..N-1)")
+    verify.add_argument("--base-seed", type=int, default=0,
+                        help="first seed of the family")
+    verify.add_argument("--profile", action="append",
+                        choices=("engine", "pib", "pao", "serving",
+                                 "chaos", "all"),
+                        default=None,
+                        help="profile to run (repeatable; default all)")
+    verify.add_argument("--artifacts", default=None, metavar="DIR",
+                        help="write failing WorldSpecs as JSON here "
+                             "for --replay")
+    verify.add_argument("--replay", default=None, metavar="WORLD_JSON",
+                        help="re-run every check of one saved WorldSpec")
+    verify.add_argument("--no-shrink", action="store_true",
+                        help="report failing specs unshrunk")
+    verify.add_argument("--coverage", action="store_true",
+                        help="run the test suite under coverage with the "
+                             "repo's fail-under floor (CI-only dependency)")
+    verify.set_defaults(handler=cmd_verify)
 
     return parser
 

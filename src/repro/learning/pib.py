@@ -42,6 +42,14 @@ from .statistics import DeltaAccumulator, RetrievalStatistics
 
 __all__ = ["ClimbRecord", "PIB"]
 
+#: Test-only fault injection: when True, :meth:`PIB._maybe_climb`
+#: accepts a neighbour exactly when its evidence FAILS Equation 6 (the
+#: inequality is flipped) — the canonical "climbs on insufficient
+#: evidence" bug class Theorem 1 exists to prevent.  The verify
+#: subsystem's PIB contract oracle must catch this
+#: (``tests/test_verify_oracles.py``); never set it outside tests.
+FLIP_EQ6_FOR_TESTING = False
+
 
 @dataclass(frozen=True)
 class ClimbRecord:
@@ -215,7 +223,10 @@ class PIB:
                     accumulator.total,
                     threshold,
                 )
-            if margin >= 0.0 and (best is None or margin > best_margin):
+            accepts = (
+                margin < 0.0 if FLIP_EQ6_FOR_TESTING else margin >= 0.0
+            )
+            if accepts and (best is None or margin > best_margin):
                 best = accumulator
                 best_margin = margin
                 best_threshold = threshold

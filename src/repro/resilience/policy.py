@@ -44,6 +44,11 @@ class ResiliencePolicy:
     seed:
         Seeds the jitter RNG — two runs under equal-seeded policies
         charge identical backoff.
+    rng:
+        An explicit ``random.Random`` for the jitter stream, taking
+        precedence over ``seed``.  Callers that thread one seeded
+        generator through a whole experiment (the verify subsystem,
+        the benchmarks) pass it here instead of coordinating seeds.
     recorder:
         Observability hook handed to every breaker the board creates,
         so state transitions show up in traces; the null recorder by
@@ -58,6 +63,7 @@ class ResiliencePolicy:
         cooldown: int = 10,
         seed: int = 0,
         recorder: Recorder = NULL_RECORDER,
+        rng: Optional[random.Random] = None,
     ):
         self.retry = retry or RetryPolicy()
         if deadline is not None and not isinstance(deadline, CostDeadline):
@@ -68,7 +74,7 @@ class ResiliencePolicy:
             failure_threshold, cooldown, recorder=recorder
         )
         self.seed = int(seed)
-        self.rng = random.Random(seed)
+        self.rng = rng if rng is not None else random.Random(seed)
         #: Lifetime counters, aggregated over every execution run under
         #: this policy.
         self.total_retries = 0

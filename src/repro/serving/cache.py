@@ -149,18 +149,22 @@ class LRUTable:
 def _pattern_key(pattern: Atom) -> Tuple:
     """A canonical key for a retrieval pattern's success status.
 
-    Whether *any* fact matches a pattern depends only on the constants
-    at bound positions — variable names are wildcards — so two
-    patterns differing only in variable naming share one memo entry.
+    Whether *any* fact matches a pattern depends on the constants at
+    bound positions and on which variable positions must be *equal* —
+    ``e2(X, X)`` only matches facts with identical arguments, so it
+    must not share an entry with ``e2(X, Y)``.  Variables are therefore
+    numbered by first occurrence (names stay wildcards, repetition
+    structure does not).
     """
-    return (
-        pattern.predicate,
-        pattern.arity,
-        tuple(
-            None if isinstance(arg, Variable) else arg
-            for arg in pattern.args
-        ),
-    )
+    numbering: Dict[str, int] = {}
+    parts = []
+    for arg in pattern.args:
+        if isinstance(arg, Variable):
+            index = numbering.setdefault(arg.name, len(numbering))
+            parts.append(("var", index))
+        else:
+            parts.append(("const", arg))
+    return (pattern.predicate, pattern.arity, tuple(parts))
 
 
 class SubgoalMemo:

@@ -84,17 +84,20 @@ class AdaptiveQueryProcessor:
         #: attempted-to-reach semantics) or "reached" (Theorem 2 needs
         #: actual samples of each retrieval).
         self.count_mode = count
-        known = {arc.name for arc in graph.experiments()}
-        unknown = set(requirements) - known
+        # Declaration order, not a set: counter (and therefore
+        # estimate) dictionaries must iterate identically across
+        # processes regardless of PYTHONHASHSEED.
+        names = [arc.name for arc in graph.experiments()]
+        unknown = set(requirements) - set(names)
         if unknown:
             raise LearningError(
                 f"requirements name non-experiment arcs: {sorted(unknown)}"
             )
-        self._counters: Dict[str, int] = {name: 0 for name in known}
+        self._counters: Dict[str, int] = {name: 0 for name in names}
         self._counters.update({k: int(v) for k, v in requirements.items()})
-        self.reached: Dict[str, int] = {name: 0 for name in known}
-        self.unblocked: Dict[str, int] = {name: 0 for name in known}
-        self.attempts: Dict[str, int] = {name: 0 for name in known}
+        self.reached: Dict[str, int] = {name: 0 for name in names}
+        self.unblocked: Dict[str, int] = {name: 0 for name in names}
+        self.attempts: Dict[str, int] = {name: 0 for name in names}
         self.contexts_processed = 0
         self._declaration_rank = {
             arc.name: index for index, arc in enumerate(graph.arcs())

@@ -1,0 +1,109 @@
+"""Golden-stdout differential test over every ``examples/*.py``.
+
+Each example is a seeded, end-to-end exercise of one subsystem; their
+stdout is a byte-deterministic function of the source tree (all RNGs
+are explicitly seeded — see ``test_seed_discipline``).  This test runs
+every example in a subprocess under ``PYTHONHASHSEED=0``, normalizes
+the few environment-dependent tokens (temp-file paths), and compares a
+SHA-256 of the result against ``tests/fixtures/examples_golden.json``.
+
+A hash mismatch means an example's observable behaviour changed.  When
+the change is intentional, regenerate the fixture::
+
+    PYTHONPATH=src python tests/test_examples_golden.py --update
+
+and review the diff of the fixture file in the same commit.
+"""
+
+import hashlib
+import json
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).resolve().parent.parent
+EXAMPLES = REPO / "examples"
+FIXTURE = REPO / "tests" / "fixtures" / "examples_golden.json"
+
+#: Environment-dependent tokens scrubbed before hashing: anything
+#: under the system temp directory (mkstemp/mkdtemp names differ per
+#: run; the surrounding output must not).
+TMP_PATH = re.compile(r"(?:/tmp|/var/folders)/\S+")
+
+
+def example_files():
+    return sorted(EXAMPLES.glob("*.py"))
+
+
+def run_example(path: Path) -> str:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    env["PYTHONHASHSEED"] = "0"
+    completed = subprocess.run(
+        [sys.executable, str(path)],
+        capture_output=True,
+        text=True,
+        env=env,
+        timeout=600,
+        cwd=str(REPO),
+    )
+    assert completed.returncode == 0, (
+        f"{path.name} exited {completed.returncode}:\n{completed.stderr}"
+    )
+    return TMP_PATH.sub("<TMP>", completed.stdout)
+
+
+def digest(text: str) -> str:
+    return hashlib.sha256(text.encode("utf-8")).hexdigest()
+
+
+def load_fixture():
+    with open(FIXTURE, encoding="utf-8") as handle:
+        return json.load(handle)
+
+
+def test_fixture_covers_every_example():
+    recorded = set(load_fixture())
+    actual = {path.name for path in example_files()}
+    assert recorded == actual, (
+        f"fixture out of sync: missing {sorted(actual - recorded)}, "
+        f"stale {sorted(recorded - actual)} — regenerate with "
+        f"'python tests/test_examples_golden.py --update'"
+    )
+
+
+@pytest.mark.parametrize(
+    "path", example_files(), ids=lambda path: path.name
+)
+def test_example_stdout_matches_golden(path):
+    golden = load_fixture()
+    normalized = run_example(path)
+    assert digest(normalized) == golden[path.name], (
+        f"{path.name}: stdout hash changed — behaviour drifted (or an "
+        f"intentional change needs a fixture refresh via "
+        f"'python tests/test_examples_golden.py --update')"
+    )
+
+
+def update_fixture() -> None:
+    golden = {}
+    for path in example_files():
+        normalized = run_example(path)
+        golden[path.name] = digest(normalized)
+        print(f"{golden[path.name]}  {path.name}")
+    FIXTURE.parent.mkdir(parents=True, exist_ok=True)
+    with open(FIXTURE, "w", encoding="utf-8") as handle:
+        json.dump(golden, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {FIXTURE}")
+
+
+if __name__ == "__main__":
+    if "--update" in sys.argv:
+        update_fixture()
+    else:
+        print(__doc__)

@@ -1,0 +1,198 @@
+"""Property-based tests for the Datalog core (hypothesis).
+
+Randomized algebraic laws the hand-written unit tests cannot cover by
+enumeration:
+
+* unification — an mgu actually unifies, is idempotent, and is
+  symmetric up to variable renaming;
+* substitution composition — ``compose`` agrees with sequential
+  application and is associative;
+* the parser — ``parse ∘ pretty-print`` is the identity on rules,
+  atoms, and queries.
+
+Generators stay small (≤3 arity, tiny symbol pools) so shrunken
+counterexamples are readable; hypothesis's own shrinking does the rest.
+"""
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.datalog.parser import parse_atom, parse_query, parse_rule  # noqa: E402
+from repro.datalog.terms import Atom, Constant, Substitution, Variable  # noqa: E402
+from repro.datalog.rules import Literal, Rule  # noqa: E402
+from repro.datalog.unify import unify  # noqa: E402
+
+# ----------------------------------------------------------------------
+# Generators
+# ----------------------------------------------------------------------
+
+constants = st.sampled_from([Constant("a"), Constant("b"), Constant("c")])
+variables = st.sampled_from([Variable(n) for n in ("X", "Y", "Z")])
+terms = st.one_of(constants, variables)
+predicates = st.sampled_from(["p", "q", "r"])
+
+
+@st.composite
+def atoms(draw, term_strategy=terms):
+    predicate = draw(predicates)
+    arity = draw(st.integers(min_value=0, max_value=3))
+    return Atom(predicate, [draw(term_strategy) for _ in range(arity)])
+
+
+def _substitutions(source_names, target_terms):
+    """Substitutions over disjoint variable pools — acyclic by design."""
+    source = [Variable(n) for n in source_names]
+
+    @st.composite
+    def build(draw):
+        bindings = {}
+        for var in source:
+            if draw(st.booleans()):
+                bindings[var] = draw(target_terms)
+        return Substitution(bindings)
+
+    return build()
+
+
+# Three composable layers: X* -> {Y*, consts} -> {Z*, consts} -> consts.
+_y_terms = st.one_of(constants, st.sampled_from([Variable("Y0"), Variable("Y1")]))
+_z_terms = st.one_of(constants, st.sampled_from([Variable("Z0"), Variable("Z1")]))
+subst_1 = _substitutions(("X0", "X1", "X2"), _y_terms)
+subst_2 = _substitutions(("Y0", "Y1"), _z_terms)
+subst_3 = _substitutions(("Z0", "Z1"), constants)
+
+layered_terms = st.one_of(
+    constants,
+    st.sampled_from([Variable(n) for n in ("X0", "X1", "X2", "Y0", "Y1",
+                                           "Z0", "Z1")]),
+)
+
+
+# ----------------------------------------------------------------------
+# Unification laws
+# ----------------------------------------------------------------------
+
+
+@given(atoms(), atoms())
+def test_unifier_unifies(left, right):
+    """σ = mgu(a, b) makes the atoms literally equal."""
+    sigma = unify(left, right)
+    if sigma is not None:
+        assert sigma.apply(left) == sigma.apply(right)
+
+
+@given(atoms(), atoms())
+def test_unifier_idempotent(left, right):
+    """Applying an mgu twice is the same as applying it once."""
+    sigma = unify(left, right)
+    if sigma is not None:
+        once = sigma.apply(left)
+        assert sigma.apply(once) == once
+        for var in sigma:
+            assert sigma[var].substitute(sigma) == sigma[var]
+
+
+def _alpha_equivalent(left: Atom, right: Atom) -> bool:
+    """Equality up to a consistent bijective renaming of variables."""
+    if left.signature != right.signature:
+        return False
+    forward, backward = {}, {}
+    for l_arg, r_arg in zip(left.args, right.args):
+        l_var = isinstance(l_arg, Variable)
+        r_var = isinstance(r_arg, Variable)
+        if l_var != r_var:
+            return False
+        if not l_var:
+            if l_arg != r_arg:
+                return False
+            continue
+        if forward.setdefault(l_arg, r_arg) != r_arg:
+            return False
+        if backward.setdefault(r_arg, l_arg) != l_arg:
+            return False
+    return True
+
+
+@given(atoms(), atoms())
+def test_unify_symmetric_up_to_renaming(left, right):
+    """unify(a, b) and unify(b, a) agree modulo variable renaming.
+
+    Datalog mgus are unique up to renaming, so both directions must
+    succeed or fail together, and the unified atoms they produce must
+    be alpha-equivalent.
+    """
+    forward = unify(left, right)
+    backward = unify(right, left)
+    assert (forward is None) == (backward is None)
+    if forward is not None:
+        assert _alpha_equivalent(forward.apply(left), backward.apply(left))
+
+
+# ----------------------------------------------------------------------
+# Substitution composition laws
+# ----------------------------------------------------------------------
+
+
+@given(subst_1, subst_2, atoms(layered_terms))
+def test_compose_is_sequential_application(s1, s2, atom):
+    """(s1 ∘then∘ s2).apply ≡ s2.apply ∘ s1.apply."""
+    assert s1.compose(s2).apply(atom) == s2.apply(s1.apply(atom))
+
+
+@given(subst_1, subst_2, subst_3, atoms(layered_terms))
+def test_compose_associative(s1, s2, s3, atom):
+    left = s1.compose(s2).compose(s3)
+    right = s1.compose(s2.compose(s3))
+    assert left == right
+    assert left.apply(atom) == right.apply(atom)
+
+
+@given(subst_1, atoms(layered_terms))
+def test_empty_substitution_is_identity(s1, atom):
+    empty = Substitution()
+    assert empty.compose(s1) == s1
+    assert s1.compose(empty) == s1
+    assert empty.apply(atom) == atom
+
+
+# ----------------------------------------------------------------------
+# Parser round-trips
+# ----------------------------------------------------------------------
+
+
+@st.composite
+def rules(draw):
+    head = draw(atoms())
+    body_atoms = draw(st.lists(atoms(), min_size=0, max_size=3))
+    body = [
+        Literal(atom, positive=not draw(st.booleans()) or position == 0)
+        for position, atom in enumerate(body_atoms)
+    ]
+    return Rule(head, body)
+
+
+@given(atoms())
+def test_parse_atom_round_trip(atom):
+    assert parse_atom(str(atom)) == atom
+
+
+@given(atoms())
+def test_parse_query_round_trip(atom):
+    assert parse_query(f"{atom}?") == atom
+    assert parse_query(f"{atom}.") == atom
+    assert parse_query(str(atom)) == atom
+
+
+@settings(max_examples=200)
+@given(rules())
+def test_parse_rule_round_trip(rule):
+    """parse(pretty_print(rule)) reproduces head and body exactly."""
+    reparsed = parse_rule(str(rule))
+    assert reparsed.head == rule.head
+    assert list(reparsed.body) == list(rule.body)
+    # And pretty-printing is a fixed point after one round trip.
+    assert str(reparsed) == str(rule)

@@ -1,0 +1,53 @@
+"""Seed-discipline lint: no ambient randomness in the library.
+
+Every stochastic entry point in ``src/repro`` takes an explicit
+``random.Random`` (or a ``seed`` it immediately turns into one) so that
+all experiments, tests, and verify worlds replay byte-for-byte.  A
+single bare module-level call — ``random.random()``,
+``random.shuffle(...)`` — would silently share the global RNG across
+subsystems and break every determinism contract at once.
+
+This test greps the source tree: the only attribute of the ``random``
+module the library may touch is the ``Random`` class itself.
+"""
+
+import re
+from pathlib import Path
+
+SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
+
+#: Calls on the random *module* (not on a random.Random instance).
+#: ``random.Random(...)`` is the one sanctioned use.
+BARE_RANDOM_CALL = re.compile(r"\brandom\.(?!Random\b)[A-Za-z_]\w*\s*\(")
+
+
+def iter_source_files():
+    files = sorted(SRC.rglob("*.py"))
+    assert files, f"no sources under {SRC}"
+    return files
+
+
+def test_no_bare_random_calls_in_library():
+    offenders = []
+    for path in iter_source_files():
+        for number, line in enumerate(
+            path.read_text(encoding="utf-8").splitlines(), start=1
+        ):
+            code = line.split("#", 1)[0]
+            if BARE_RANDOM_CALL.search(code):
+                offenders.append(f"{path.relative_to(SRC.parent)}:{number}: "
+                                 f"{line.strip()}")
+    assert not offenders, (
+        "bare random-module calls found (thread an explicit "
+        "random.Random through instead):\n" + "\n".join(offenders)
+    )
+
+
+def test_lint_pattern_catches_offenses():
+    """The regex itself must flag the calls it exists to ban."""
+    for bad in ("random.random()", "x = random.randint(0, 3)",
+                "random.shuffle(items)", "random.choice(pool)  "):
+        assert BARE_RANDOM_CALL.search(bad), bad
+    for good in ("rng = random.Random(7)", "rng.random()",
+                 "self.rng.shuffle(items)", "random.Random()"):
+        assert not BARE_RANDOM_CALL.search(good), good

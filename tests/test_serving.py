@@ -182,6 +182,24 @@ class TestSubgoalMemo:
         memo.store(parse_query("prof(X)"), database, True)
         assert memo.lookup(parse_query("prof(Y)"), database) is True
 
+    def test_repeated_variables_do_not_collide(self):
+        """``e(X, X)`` asks a stricter question than ``e(X, Y)``.
+
+        Regression: the memo key used to erase all variable identity,
+        so a failed ``e(X, X)`` probe poisoned ``e(X, Y)`` — found by
+        the verify subsystem's cache-transparency oracle (serving
+        profile, seed 6).
+        """
+        memo = SubgoalMemo(8)
+        database = make_db()
+        memo.store(parse_query("advises(X, X)"), database, False)
+        assert memo.lookup(parse_query("advises(X, Y)"), database) is None
+        memo.store(parse_query("advises(X, Y)"), database, True)
+        assert memo.lookup(parse_query("advises(A, B)"), database) is True
+        assert memo.lookup(parse_query("advises(A, A)"), database) is False
+        # Repetition *pattern* is shared, names are not.
+        assert memo.lookup(parse_query("advises(Z, Z)"), database) is False
+
 
 class TestQueryServer:
     def test_batch_results_align_with_input_order(self):

@@ -1,0 +1,92 @@
+"""The ``repro verify`` subcommand."""
+
+import io
+import json
+
+from repro.cli import main
+from repro.learning import pib as pib_module
+from repro.verify.worldgen import WorldSpec
+
+
+def run_cli(*argv):
+    out = io.StringIO()
+    code = main(list(argv), out=out)
+    return code, out.getvalue()
+
+
+class TestVerifyCommand:
+    def test_single_profile_passes(self):
+        code, output = run_cli(
+            "verify", "--seeds", "3", "--profile", "engine"
+        )
+        assert code == 0
+        assert "profile engine:" in output
+        assert "ok over 3 worlds" in output
+
+    def test_multiple_profiles(self):
+        code, output = run_cli(
+            "verify", "--seeds", "2",
+            "--profile", "pib", "--profile", "serving",
+        )
+        assert code == 0
+        assert "profile pib:" in output
+        assert "profile serving:" in output
+
+    def test_default_runs_all_profiles(self):
+        code, output = run_cli("verify", "--seeds", "1")
+        assert code == 0
+        for profile in ("engine", "pib", "pao", "serving", "chaos"):
+            assert f"profile {profile}:" in output
+
+    def test_base_seed_shifts_the_family(self):
+        code, output = run_cli(
+            "verify", "--seeds", "2", "--base-seed", "40",
+            "--profile", "engine",
+        )
+        assert code == 0
+
+    def test_replay_round_trip(self, tmp_path):
+        path = tmp_path / "world.json"
+        WorldSpec(seed=3, profile="engine").save(path)
+        code, output = run_cli("verify", "--replay", str(path))
+        assert code == 0
+        assert "replaying" in output and "seed 3" in output
+
+    def test_replay_rejects_bad_file(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"seed": 1, "bogus": 2}))
+        code, output = run_cli("verify", "--replay", str(path))
+        assert code == 2
+        assert "error:" in output
+
+    def test_failure_writes_artifacts_and_replay_summary(self, tmp_path):
+        pib_module.FLIP_EQ6_FOR_TESTING = True
+        try:
+            code, output = run_cli(
+                "verify", "--seeds", "15", "--profile", "pib",
+                "--artifacts", str(tmp_path), "--no-shrink",
+            )
+        finally:
+            pib_module.FLIP_EQ6_FOR_TESTING = False
+        assert code == 1
+        assert "FAIL" in output
+        assert "replay:" in output  # inline one-line WorldSpec repro
+        artifacts = list(tmp_path.glob("worldspec-*.json"))
+        assert artifacts
+        # The artifact is a loadable spec.
+        spec = WorldSpec.load(artifacts[0])
+        assert spec.profile == "pib"
+
+    def test_coverage_flag_degrades_without_coverage_package(self, monkeypatch):
+        import importlib.util
+
+        real_find_spec = importlib.util.find_spec
+        monkeypatch.setattr(
+            importlib.util,
+            "find_spec",
+            lambda name, *a: None if name == "coverage"
+            else real_find_spec(name, *a),
+        )
+        code, output = run_cli("verify", "--coverage")
+        assert code == 2
+        assert "coverage" in output and "not installed" in output

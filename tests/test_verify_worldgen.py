@@ -1,0 +1,141 @@
+"""worldgen: WorldSpec round-trips, deterministic builds, shrinking."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.verify.worldgen import (
+    WorldSpec,
+    build_graph_world,
+    build_kb_world,
+    materialize,
+    shrink,
+)
+
+
+class TestWorldSpecRoundTrip:
+    def test_json_round_trip_is_identity(self):
+        spec = WorldSpec(
+            seed=7, profile="serving", workers=3, answer_cache=16,
+            negation_rate=0.2, kb_facts=("e0(a).",),
+        )
+        assert WorldSpec.from_json(spec.to_json()) == spec
+
+    def test_to_dict_is_compact(self):
+        compact = WorldSpec(seed=3).to_dict()
+        assert compact == {"seed": 3, "profile": "pib"}
+
+    def test_from_dict_rejects_unknown_fields(self):
+        with pytest.raises(ReproError):
+            WorldSpec.from_dict({"seed": 1, "bogus": True})
+
+    def test_from_dict_requires_seed(self):
+        with pytest.raises(ReproError):
+            WorldSpec.from_dict({"profile": "pib"})
+
+    def test_unknown_profile_rejected(self):
+        with pytest.raises(ReproError):
+            WorldSpec(seed=0, profile="nope")
+
+    def test_save_load(self, tmp_path):
+        spec = WorldSpec(seed=11, profile="engine", negation_rate=0.15)
+        path = tmp_path / "world.json"
+        spec.save(path)
+        assert WorldSpec.load(path) == spec
+
+    def test_kb_lists_normalized_to_tuples(self):
+        spec = WorldSpec(seed=0, kb_queries=["p0(X)?"])
+        assert spec.kb_queries == ("p0(X)?",)
+
+
+class TestDeterministicBuilds:
+    def test_graph_world_repeatable(self):
+        spec = WorldSpec(seed=5, blockable_reduction_rate=0.3)
+        first = build_graph_world(spec)
+        second = build_graph_world(spec)
+        assert [a.name for a in first.graph.arcs()] == [
+            a.name for a in second.graph.arcs()
+        ]
+        assert first.probs == second.probs
+
+    def test_kb_world_repeatable(self):
+        spec = WorldSpec(seed=9, profile="engine", negation_rate=0.15)
+        first = build_kb_world(spec)
+        second = build_kb_world(spec)
+        assert first.rule_text == second.rule_text
+        assert first.fact_text == second.fact_text
+        assert first.query_text == second.query_text
+
+    def test_different_seeds_differ(self):
+        base = WorldSpec(seed=0, profile="engine")
+        other = WorldSpec(seed=1, profile="engine")
+        assert (
+            build_kb_world(base).fact_text != build_kb_world(other).fact_text
+            or build_kb_world(base).rule_text
+            != build_kb_world(other).rule_text
+        )
+
+    def test_materialize_freezes_generated_kb(self):
+        spec = WorldSpec(seed=4, profile="engine")
+        frozen = materialize(spec)
+        assert frozen.kb_rules is not None
+        assert frozen.kb_facts is not None
+        assert frozen.kb_queries is not None
+        original = build_kb_world(spec)
+        replayed = build_kb_world(frozen)
+        assert replayed.rule_text == original.rule_text
+        assert replayed.fact_text == original.fact_text
+        assert replayed.query_text == original.query_text
+
+    def test_kb_overrides_win(self):
+        spec = WorldSpec(
+            seed=0,
+            profile="engine",
+            kb_rules=("p0(X) :- e0(X).",),
+            kb_facts=("e0(a).",),
+            kb_queries=("p0(a)?",),
+        )
+        world = build_kb_world(spec)
+        assert world.rule_text == ("p0(X) :- e0(X).",)
+        assert world.fact_text == ("e0(a).",)
+        assert [str(q) for q in world.queries] == ["p0(a)"]
+
+    def test_fault_plan_only_when_faulty(self):
+        assert build_graph_world(WorldSpec(seed=0)).fault_plan is None
+        chaotic = WorldSpec(seed=0, profile="chaos", fault_rate=0.2)
+        assert build_graph_world(chaotic).fault_plan is not None
+
+
+class TestShrinking:
+    def test_shrink_requires_failing_original(self):
+        with pytest.raises(ReproError):
+            shrink(WorldSpec(seed=0, profile="engine"), lambda spec: False)
+
+    def test_shrink_reduces_failure_to_few_lines(self):
+        """A failure touching one fact shrinks to <= 10 facts + rules."""
+        spec = WorldSpec(seed=2, profile="engine", universe=10,
+                         selectivity=0.8, n_queries=16)
+
+        def fails(candidate):
+            world = build_kb_world(candidate)
+            return any("e0" in str(fact) for fact in world.fact_text)
+
+        small = shrink(spec, fails)
+        assert fails(small)
+        assert small.kb_facts is not None and small.kb_rules is not None
+        assert len(small.kb_facts) + len(small.kb_rules) <= 10
+        # The shrunk spec replays standalone (text is frozen on it).
+        assert fails(WorldSpec.from_json(small.to_json()))
+
+    def test_shrink_reduces_graph_size(self):
+        spec = WorldSpec(seed=3, profile="pib", n_retrievals=4, n_internal=3)
+
+        def fails(candidate):
+            world = build_graph_world(candidate)
+            return any(
+                arc.name.startswith("R") for arc in world.graph.arcs()
+            )
+
+        small = shrink(spec, fails)
+        assert fails(small)
+        assert small.n_retrievals <= spec.n_retrievals
+        assert small.n_internal <= spec.n_internal
