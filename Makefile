@@ -1,7 +1,8 @@
 PYTHON ?= python
 export PYTHONPATH := src
 
-.PHONY: test verify verify-deep coverage coverage-approx lint examples
+.PHONY: test verify verify-deep coverage coverage-approx lint examples \
+	bench-trajectory
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -24,6 +25,12 @@ coverage-approx:
 
 lint:
 	ruff check src tests benchmarks examples tools
+
+## Re-run the pinned perf suite and refresh this PR's BENCH_<n>.json
+## (see tools/bench_trajectory.py for the trajectory story).
+BENCH_LABEL ?= 6
+bench-trajectory:
+	$(PYTHON) tools/bench_trajectory.py --label $(BENCH_LABEL)
 
 examples:
 	for example in examples/*.py; do \

@@ -66,9 +66,13 @@ from .observability import (
 from .system import SelfOptimizingQueryProcessor, SystemAnswer
 from . import serving
 from .serving import (
+    AdmissionConfig,
     CacheConfig,
     QueryServer,
     QuerySession,
+    Request,
+    RequestOutcome,
+    ServerHealth,
     ServingConfig,
     SessionConfig,
     StreamReport,
@@ -130,10 +134,14 @@ __version__ = _resolve_version()
 __all__ = [
     "SelfOptimizingQueryProcessor",
     "SystemAnswer",
+    "AdmissionConfig",
     "CacheConfig",
     "ExecutionOutcome",
     "QueryServer",
     "QuerySession",
+    "Request",
+    "RequestOutcome",
+    "ServerHealth",
     "ServingConfig",
     "SessionConfig",
     "StreamReport",

@@ -18,6 +18,7 @@ from .experiments import (
     experiment_figure2_pib,
     experiment_lemma1,
     experiment_naf,
+    experiment_overload,
     experiment_pib1_filter,
     experiment_serving,
     experiment_smith_vs_learned,
@@ -46,6 +47,7 @@ __all__ = [
     "experiment_figure2_pib",
     "experiment_lemma1",
     "experiment_naf",
+    "experiment_overload",
     "experiment_pib1_filter",
     "experiment_serving",
     "experiment_smith_vs_learned",

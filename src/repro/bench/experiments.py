@@ -18,7 +18,7 @@ import time
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datalog.database import Database
-from ..datalog.parser import parse_program, parse_query
+from ..datalog.parser import parse_atom, parse_program, parse_query
 from ..graphs.contexts import Context
 from ..graphs.inference_graph import GraphBuilder, InferenceGraph
 from ..graphs.random_graphs import random_instance
@@ -39,6 +39,7 @@ from ..workloads import university
 from ..workloads import figure2
 from ..persistence import pib_from_dict, pib_to_dict
 from ..resilience import ResiliencePolicy, RetryPolicy
+from ..resilience.faults import FaultPlan, FaultSpec, FlakyDatabase
 from ..strategies.execution import execute_resilient
 from ..workloads.distributed import (
     FlakySegmentAccessDistribution,
@@ -48,7 +49,16 @@ from ..workloads.distributed import (
     segment_scan_graph,
 )
 from ..learning.drift import DriftAwarePIB, DriftConfig
-from ..serving import CacheConfig, ServingConfig, SessionConfig, open_session
+from ..serving import (
+    AdmissionConfig,
+    CacheConfig,
+    ServingConfig,
+    SessionConfig,
+    open_session,
+)
+from ..serving.admission import coerce_requests
+from ..serving.server import QueryServer
+from ..system import SelfOptimizingQueryProcessor
 from ..workloads.distributions import (
     IndependentDistribution,
     PiecewiseStationaryDistribution,
@@ -72,6 +82,7 @@ __all__ = [
     "experiment_distributed_faulty",
     "experiment_drift",
     "experiment_naf",
+    "experiment_overload",
     "experiment_serving",
     "experiment_upsilon_scaling",
     "experiment_comparison",
@@ -1343,5 +1354,236 @@ def experiment_serving(
     result.check(
         "cache counters visible in the serving report",
         hits > 0 and serving_snapshot["answer_cache"]["hit_rate"] > 0,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# OV1: overload — admission control bounds tail latency under burst
+# ----------------------------------------------------------------------
+
+
+def _latency_quantile(sorted_values: Sequence[float], q: float) -> float:
+    """Exact linear-interpolated quantile of pre-sorted values."""
+    if not sorted_values:
+        return 0.0
+    position = q * (len(sorted_values) - 1)
+    low = int(position)
+    high = min(low + 1, len(sorted_values) - 1)
+    fraction = position - low
+    return sorted_values[low] * (1 - fraction) + sorted_values[high] * fraction
+
+
+def experiment_overload(
+    forms: int = 4,
+    queries_per_form: int = 12,
+    burst: int = 10,
+    queue_capacity: int = 8,
+    tenants: int = 3,
+    delta: float = 0.05,
+) -> ExperimentResult:
+    """Admission control under a 10x burst: bounded tails, typed sheds.
+
+    The load-shedding claim, measured in the serving layer's own
+    deterministic latency units (per-form virtual cost clocks): with a
+    bounded admission queue, the p99 *served* latency under a 10x
+    burst is (1) essentially the p99 at 1x — the queue cannot deepen
+    past its capacity, so neither can the wait — and (2) far below the
+    unbounded-queue p99, which grows linearly with offered load.
+    Meanwhile every request still gets a typed outcome, the outcome
+    sequence is byte-deterministic, and under ``reject-over-quota`` no
+    tenant starves.
+    """
+    result = ExperimentResult(
+        "OV1: overload — admission control bounds tail latency"
+    )
+    rules_text, facts_text, queries = _serving_workload(
+        forms, queries_per_form
+    )
+    rules = parse_program(rules_text)
+    database = Database.from_program(facts_text)
+
+    def run_burst(burst_factor: int, capacity: int):
+        processor = SelfOptimizingQueryProcessor(
+            rules, config=SessionConfig(delta=delta)
+        )
+        server = QueryServer(
+            processor,
+            serving=ServingConfig(admission=AdmissionConfig(
+                queue_capacity=capacity,
+                shed_policy="reject-over-quota",
+            )),
+        )
+        requests = coerce_requests(
+            list(queries) * burst_factor, tenants=tenants
+        )
+        return server.run_requests(requests, database)
+
+    def served_latencies(outcomes) -> List[float]:
+        return sorted(o.latency for o in outcomes if o.served)
+
+    unbounded_capacity = len(queries) * burst + 1
+
+    calm = run_burst(1, queue_capacity)
+    stormy = run_burst(burst, queue_capacity)
+    stormy_again = run_burst(burst, queue_capacity)
+    unbounded = run_burst(burst, unbounded_capacity)
+
+    calm_p99 = _latency_quantile(served_latencies(calm), 0.99)
+    stormy_sorted = served_latencies(stormy)
+    stormy_p50 = _latency_quantile(stormy_sorted, 0.50)
+    stormy_p95 = _latency_quantile(stormy_sorted, 0.95)
+    stormy_p99 = _latency_quantile(stormy_sorted, 0.99)
+    unbounded_p99 = _latency_quantile(served_latencies(unbounded), 0.99)
+
+    def tally(outcomes) -> Dict[str, int]:
+        counts = {"served": 0, "degraded": 0, "rejected": 0}
+        for outcome in outcomes:
+            counts[outcome.status] += 1
+        return counts
+
+    stormy_counts = tally(stormy)
+    goodput = stormy_counts["served"] / len(stormy) if stormy else 0.0
+    fingerprint = [
+        (o.request.tenant, o.status, o.reason, round(o.latency, 9))
+        for o in stormy
+    ]
+    fingerprint_again = [
+        (o.request.tenant, o.status, o.reason, round(o.latency, 9))
+        for o in stormy_again
+    ]
+    progressed_tenants = {
+        o.request.tenant for o in stormy if not o.rejected
+    }
+    demanded_tenants = {o.request.tenant for o in stormy}
+
+    result.tables.append(format_table(
+        f"{len(queries)} queries/pass, {forms} forms, "
+        f"queue capacity {queue_capacity}, {tenants} tenants "
+        f"(latencies in virtual cost units)",
+        ["configuration", "offered", "served", "p99 latency"],
+        [
+            ["bounded, 1x load", len(calm), tally(calm)["served"],
+             calm_p99],
+            [f"bounded, {burst}x burst", len(stormy),
+             stormy_counts["served"], stormy_p99],
+            [f"unbounded, {burst}x burst", len(unbounded),
+             tally(unbounded)["served"], unbounded_p99],
+        ],
+        footer=f"{burst}x burst under the bounded queue: "
+               f"p50={stormy_p50:.1f} p95={stormy_p95:.1f} "
+               f"p99={stormy_p99:.1f}, goodput {goodput:.1%}, "
+               f"rejected {stormy_counts['rejected']}",
+    ))
+    result.data.update({
+        "offered": len(stormy),
+        "burst": burst,
+        "queue_capacity": queue_capacity,
+        "served": stormy_counts["served"],
+        "rejected": stormy_counts["rejected"],
+        "degraded": stormy_counts["degraded"],
+        "goodput": goodput,
+        "calm_p99": calm_p99,
+        "stormy_p50": stormy_p50,
+        "stormy_p95": stormy_p95,
+        "stormy_p99": stormy_p99,
+        "unbounded_p99": unbounded_p99,
+        "tail_ratio": (unbounded_p99 / stormy_p99 if stormy_p99 else 0.0),
+    })
+    result.check(
+        f"p99 under {burst}x burst stays within 1.25x of the 1x p99",
+        stormy_p99 <= calm_p99 * 1.25,
+    )
+    result.check(
+        "bounded-queue p99 at least 3x below the unbounded queue's",
+        unbounded_p99 >= stormy_p99 * 3.0,
+    )
+    result.check(
+        "every request received exactly one typed outcome",
+        len(stormy) == sum(stormy_counts.values()),
+    )
+    result.check(
+        "outcome sequence is byte-deterministic across reruns",
+        fingerprint == fingerprint_again,
+    )
+    result.check(
+        "no tenant starves under reject-over-quota",
+        progressed_tenants == demanded_tenants,
+    )
+
+    # The chaos leg: the same bounded burst, but the database both
+    # faults (seeded FaultPlan at the storage layer) and drifts (a
+    # mid-run mutation moves facts, bumping the cache generation).
+    # Admission must still hand back a typed outcome for every request
+    # — the hot path never raises even when the storage layer does —
+    # and the virtual-latency tail must stay bounded: faults inflate
+    # per-serve cost via retries, but the queue bound still caps how
+    # many serves any request waits behind.
+    plan = FaultPlan(seed=3, per_arc={
+        "rare0": FaultSpec(fault_rate=0.3),
+        "common0": FaultSpec(fault_rate=0.2),
+        "common1": FaultSpec(fault_rate=0.2, fail_first=2),
+    })
+    chaos_processor = SelfOptimizingQueryProcessor(
+        rules,
+        config=SessionConfig(
+            delta=delta,
+            resilience=ResiliencePolicy(
+                retry=RetryPolicy(max_attempts=3, base_backoff=0.1),
+                seed=0,
+            ),
+        ),
+    )
+    chaos_server = QueryServer(
+        chaos_processor,
+        serving=ServingConfig(admission=AdmissionConfig(
+            queue_capacity=queue_capacity,
+            shed_policy="reject-over-quota",
+        )),
+    )
+    flaky = FlakyDatabase(Database.from_program(facts_text), plan)
+    requests = coerce_requests(list(queries) * burst, tenants=tenants)
+    half = len(requests) // 2
+    chaos_outcomes = list(
+        chaos_server.run_requests(requests[:half], flaky)
+    )
+    for k in range(forms):  # the drift: every form's facts move
+        flaky.inner.add(parse_atom(f"common{k}(drifted)"))
+    chaos_outcomes.extend(
+        chaos_server.run_requests(requests[half:], flaky)
+    )
+    chaos_sorted = served_latencies(chaos_outcomes)
+    chaos_p99 = _latency_quantile(chaos_sorted, 0.99)
+    chaos_counts = tally(chaos_outcomes)
+    result.data.update({
+        "chaos_p99": chaos_p99,
+        "chaos_served": chaos_counts["served"],
+        "chaos_rejected": chaos_counts["rejected"],
+        "chaos_faults_injected": plan.injected_faults,
+    })
+    result.tables.append(format_table(
+        "Chaos leg: same burst + storage faults + mid-run data drift",
+        ["leg", "offered", "served", "p99 latency"],
+        [
+            ["clean burst", len(stormy), stormy_counts["served"],
+             stormy_p99],
+            ["faults + drift", len(chaos_outcomes),
+             chaos_counts["served"], chaos_p99],
+        ],
+        footer=f"{plan.injected_faults} faults injected; "
+               f"retries bill extra cost, so the chaos p99 may sit "
+               f"above the clean p99 — but the queue bound still "
+               f"caps it",
+    ))
+    result.check(
+        "chaos leg: every request still gets a typed outcome",
+        len(chaos_outcomes) == len(requests)
+        and all(o.status in ("served", "degraded", "rejected")
+                for o in chaos_outcomes)
+        and plan.injected_faults > 0,
+    )
+    result.check(
+        "chaos leg: p99 stays bounded (within 4x of the clean p99)",
+        chaos_p99 <= stormy_p99 * 4.0,
     )
     return result

@@ -32,8 +32,8 @@ Seven subcommands::
   ``Υ_AOT``'s optimal strategy for a given probability vector;
 * ``verify`` runs the deterministic-simulation / differential-oracle
   battery (:mod:`repro.verify`) over seeded random worlds, per
-  profile (``engine``, ``pib``, ``pao``, ``serving``, ``chaos`` or
-  ``all``); ``--replay world.json`` re-checks one saved
+  profile (``engine``, ``pib``, ``pao``, ``serving``, ``chaos``,
+  ``overload`` or ``all``); ``--replay world.json`` re-checks one saved
   :class:`~repro.verify.worldgen.WorldSpec`, ``--artifacts DIR``
   saves failing specs for replay, and ``--coverage`` runs the test
   suite under ``coverage`` with the repo's fail-under floor.
@@ -59,9 +59,23 @@ from .datalog.parser import parse_program, parse_query
 from .datalog.rules import QueryForm
 from .graphs.builder import build_inference_graph
 from .errors import ReproError
-from .observability import Tracer, read_trace, summarize_trace
+from .observability import (
+    LATENCY_BUCKETS,
+    Histogram,
+    Tracer,
+    read_trace,
+    summarize_trace,
+)
 from .optimal.upsilon import upsilon_aot
-from .serving import CacheConfig, ServingConfig, SessionConfig, open_session
+from .serving import (
+    AdmissionConfig,
+    CacheConfig,
+    ServingConfig,
+    SessionConfig,
+    open_session,
+)
+from .serving.admission import coerce_requests
+from .serving.config import SHED_POLICIES
 
 __all__ = ["main", "build_parser"]
 
@@ -227,18 +241,50 @@ def _load_query_lines(path: str) -> List[str]:
     return queries
 
 
+def _admission_from_args(
+    args: argparse.Namespace,
+) -> Optional[AdmissionConfig]:
+    """Admission control turns on when any overload flag is set."""
+    wanted = (args.queue_cap is not None or args.tenants > 0
+              or args.quota > 0 or args.request_deadline is not None)
+    if not wanted:
+        return None
+    return AdmissionConfig(
+        queue_capacity=args.queue_cap if args.queue_cap is not None else 64,
+        tenant_rate=args.quota,
+        shed_policy=args.shed_policy,
+        deadline=args.request_deadline,
+    )
+
+
 def cmd_serve(args: argparse.Namespace, out) -> int:
     queries = _load_query_lines(args.queries)
     if not queries:
         print("no queries in the stream", file=out)
         return 1
+    admission = _admission_from_args(args)
     with open_session(
         args.rules, args.facts,
         config=_config_from_args(args),
         cache=_cache_from_args(args),
-        serving=ServingConfig(workers=args.workers),
+        serving=ServingConfig(workers=args.workers, admission=admission),
     ) as session:
         for pass_number in range(1, args.repeat + 1):
+            if admission is not None:
+                parsed = [parse_query(text) for text in queries]
+                requests = coerce_requests(parsed, tenants=args.tenants)
+                outcomes = session.run_requests(requests)
+                served = [o for o in outcomes if o.served]
+                answers = [o.answer for o in served]
+                line = (f"pass {pass_number}: {len(outcomes)} requests, "
+                        f"served {len(served)}, "
+                        f"rejected {sum(o.rejected for o in outcomes)}, "
+                        f"degraded {sum(o.degraded for o in outcomes)}")
+                if answers:
+                    total_cost = sum(answer.cost for answer in answers)
+                    line += f", mean cost {total_cost / len(answers):.3f}"
+                print(line, file=out)
+                continue
             answers = session.query_batch(queries)
             total_cost = sum(answer.cost for answer in answers)
             cached = sum(1 for answer in answers if answer.cached)
@@ -253,11 +299,31 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         print(f"workers: {snapshot['workers']}", file=out)
         print(f"forms: {snapshot['forms']}", file=out)
         for tier in ("answer_cache", "subgoal_memo"):
-            stats = snapshot[tier]
+            stats = snapshot.get(tier)
+            if stats is None:
+                continue
             print(f"{tier.replace('_', ' ')}: hits={stats['hits']} "
                   f"misses={stats['misses']} "
                   f"evictions={stats['evictions']} "
                   f"(hit rate {stats['hit_rate']:.1%})", file=out)
+        if admission is not None:
+            info = snapshot["admission"]
+            print(f"health: {info['health']['state']}", file=out)
+            shed = info["shedder"]["shed"]
+            shed_text = " ".join(f"{name}={count}"
+                                 for name, count in shed.items()) or "none"
+            print(f"shed ({info['shedder']['policy']}): {shed_text}",
+                  file=out)
+            latency = Histogram("request_latency", buckets=LATENCY_BUCKETS)
+            for outcome in outcomes:
+                if outcome.served:
+                    latency.observe(outcome.latency)
+            if latency.count:
+                print("latency (cost units): "
+                      f"p50={latency.quantile(0.5):.1f} "
+                      f"p95={latency.quantile(0.95):.1f} "
+                      f"p99={latency.quantile(0.99):.1f} "
+                      f"max={latency.max:.1f}", file=out)
         _print_form_report(session.processor.report(), out)
     return 0
 
@@ -285,6 +351,20 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         print(f"  step {climb['step']} after context "
               f"{climb['context_number']}: {climb['transformation']} "
               f"(|S|={climb['samples']})", file=out)
+    admission = summary.get("admission")
+    if admission:
+        print(f"admission: served={admission['served']} "
+              f"rejected={admission['rejected']} "
+              f"degraded={admission['degraded']}", file=out)
+        for reason, count in admission["shed_reasons"].items():
+            print(f"  shed {reason}: {count}", file=out)
+        latency = admission.get("latency")
+        if latency:
+            print(f"  latency: p50={latency['p50']:.1f} "
+                  f"p95={latency['p95']:.1f} p99={latency['p99']:.1f} "
+                  f"max={latency['max']:.1f}", file=out)
+        for edge in admission["health_transitions"]:
+            print(f"  health {edge}", file=out)
     print(f"drift alarms: {summary['drift_alarms']}", file=out)
     print(f"epoch resets: {summary['epoch_resets']}", file=out)
     print(f"rollbacks: {summary['rollbacks']}", file=out)
@@ -465,6 +545,21 @@ def build_parser() -> argparse.ArgumentParser:
                        help="subgoal memo capacity (0 disables)")
     serve.add_argument("--repeat", type=int, default=1,
                        help="run the batch N times (warms the caches)")
+    serve.add_argument("--tenants", type=int, default=0,
+                       help="model N synthetic tenants (round-robin over "
+                            "the stream); implies admission control")
+    serve.add_argument("--quota", type=float, default=0.0,
+                       help="per-tenant token-bucket rate "
+                            "(tokens per arrival; 0 = unlimited)")
+    serve.add_argument("--queue-cap", type=int, default=None,
+                       help="per-form admission queue capacity "
+                            "(setting it enables admission control)")
+    serve.add_argument("--shed-policy", default="reject-newest",
+                       choices=SHED_POLICIES,
+                       help="who loses under overload")
+    serve.add_argument("--request-deadline", type=float, default=None,
+                       help="per-request latency budget in cost units "
+                            "(queue wait + service on the form clock)")
     serve.set_defaults(handler=cmd_serve)
 
     stats = sub.add_parser(
@@ -495,7 +590,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="first seed of the family")
     verify.add_argument("--profile", action="append",
                         choices=("engine", "pib", "pao", "serving",
-                                 "chaos", "all"),
+                                 "chaos", "overload", "all"),
                         default=None,
                         help="profile to run (repeatable; default all)")
     verify.add_argument("--artifacts", default=None, metavar="DIR",

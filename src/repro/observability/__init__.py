@@ -22,7 +22,7 @@ Quickstart::
     print(tracer.metrics.snapshot())
 """
 
-from .metrics import Counter, Histogram, MetricsRegistry
+from .metrics import Counter, Histogram, LATENCY_BUCKETS, MetricsRegistry
 from .recorder import NULL_RECORDER, Recorder
 from .sink import read_trace, summarize_trace, write_trace
 from .tracer import Tracer
@@ -30,6 +30,7 @@ from .tracer import Tracer
 __all__ = [
     "Counter",
     "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_RECORDER",
     "Recorder",

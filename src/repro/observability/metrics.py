@@ -11,9 +11,15 @@ produce byte-identical snapshots.
 from __future__ import annotations
 
 import threading
-from typing import Dict, Optional
+from typing import Dict, List, Optional, Sequence, Tuple
 
-__all__ = ["Counter", "Histogram", "MetricsRegistry"]
+__all__ = ["Counter", "Histogram", "MetricsRegistry", "LATENCY_BUCKETS"]
+
+#: Default fixed boundaries for latency-style histograms (cost units).
+#: Roughly exponential, wide enough for queue wait under a 10× burst.
+LATENCY_BUCKETS: Tuple[float, ...] = (
+    0.5, 1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0, 256.0, 512.0,
+)
 
 #: One lock for every metric instance: updates are a handful of
 #: attribute writes, so fine-grained per-metric locks buy nothing,
@@ -39,21 +45,45 @@ class Counter:
 
 
 class Histogram:
-    """Streaming summary of observed values: count/sum/min/max/mean.
+    """Streaming summary of observed values: count/sum/min/max/mean,
+    plus — when constructed with fixed bucket boundaries — cumulative
+    bucket counts and interpolated quantile estimates.
 
-    Full quantile sketches are overkill for the simulation's needs;
-    the four moments kept here are exactly what the acceptance checks
-    reconcile against (totals must match the executor's own sums).
+    The moment-only form is exactly what the acceptance checks
+    reconcile against (totals must match the executor's own sums); the
+    bucketed form is what latency reporting wants (p50/p95/p99 without
+    keeping every sample).  Boundaries are *upper* bounds; values above
+    the last boundary land in the implicit ``+inf`` bucket.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max")
+    __slots__ = ("name", "count", "total", "min", "max", "boundaries",
+                 "bucket_counts")
 
-    def __init__(self, name: str):
+    def __init__(self, name: str,
+                 buckets: Optional[Sequence[float]] = None):
         self.name = name
         self.count = 0
         self.total = 0.0
         self.min: Optional[float] = None
         self.max: Optional[float] = None
+        if buckets is not None:
+            boundaries = tuple(sorted(float(b) for b in buckets))
+            if not boundaries:
+                raise ValueError("buckets, when given, must be non-empty")
+            self.boundaries: Optional[Tuple[float, ...]] = boundaries
+            #: one count per boundary plus the +inf overflow bucket
+            self.bucket_counts: Optional[List[int]] = \
+                [0] * (len(boundaries) + 1)
+        else:
+            self.boundaries = None
+            self.bucket_counts = None
+
+    def _bucket_index(self, value: float) -> int:
+        assert self.boundaries is not None
+        for index, bound in enumerate(self.boundaries):
+            if value <= bound:
+                return index
+        return len(self.boundaries)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -64,19 +94,64 @@ class Histogram:
                 self.min = value
             if self.max is None or value > self.max:
                 self.max = value
+            if self.bucket_counts is not None:
+                self.bucket_counts[self._bucket_index(value)] += 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else 0.0
 
+    def quantile(self, q: float) -> Optional[float]:
+        """A bucket-interpolated quantile estimate (``None`` without
+        buckets or observations).
+
+        The estimate walks the cumulative counts to the bucket holding
+        the ``q``-th sample and interpolates linearly inside it, with
+        the observed ``min``/``max`` tightening the outer edges — the
+        classic fixed-boundary histogram_quantile.
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("quantile must be in [0, 1]")
+        if self.bucket_counts is None or self.count == 0:
+            return None
+        assert self.boundaries is not None and self.min is not None \
+            and self.max is not None
+        rank = q * self.count
+        cumulative = 0
+        for index, bucket_count in enumerate(self.bucket_counts):
+            if bucket_count == 0:
+                continue
+            if cumulative + bucket_count >= rank:
+                lower = (self.boundaries[index - 1] if index > 0
+                         else min(self.min, self.boundaries[0]))
+                upper = (self.boundaries[index]
+                         if index < len(self.boundaries) else self.max)
+                lower = max(lower, self.min)
+                upper = min(upper, self.max) if upper >= lower else lower
+                fraction = (rank - cumulative) / bucket_count
+                return lower + (upper - lower) * min(max(fraction, 0.0), 1.0)
+            cumulative += bucket_count
+        return self.max
+
     def snapshot(self) -> Dict[str, float]:
-        return {
+        snap: Dict[str, float] = {
             "count": self.count,
             "total": self.total,
             "mean": self.mean,
             "min": self.min if self.min is not None else 0.0,
             "max": self.max if self.max is not None else 0.0,
         }
+        if self.bucket_counts is not None:
+            snap["buckets"] = {  # type: ignore[assignment]
+                ("+inf" if index == len(self.boundaries)
+                 else f"{self.boundaries[index]:g}"): count
+                for index, count in enumerate(self.bucket_counts)
+            }
+            for label, q in (("p50", 0.5), ("p95", 0.95), ("p99", 0.99)):
+                estimate = self.quantile(q)
+                if estimate is not None:
+                    snap[label] = round(estimate, 9)
+        return snap
 
 
 class MetricsRegistry:
@@ -98,12 +173,18 @@ class MetricsRegistry:
                 counter = self._counters.setdefault(name, Counter(name))
         return counter
 
-    def histogram(self, name: str) -> Histogram:
+    def histogram(
+        self, name: str, buckets: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The named histogram (created on first use).  ``buckets``
+        only matters at creation: it fixes the boundary set that
+        enables :meth:`Histogram.quantile`; later callers get the
+        existing instance whatever they pass."""
         histogram = self._histograms.get(name)
         if histogram is None:
             with _METRICS_LOCK:
                 histogram = self._histograms.setdefault(
-                    name, Histogram(name)
+                    name, Histogram(name, buckets=buckets)
                 )
         return histogram
 

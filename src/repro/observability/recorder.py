@@ -179,6 +179,29 @@ class Recorder:
         """A cache tier dropped its least-recently-used entry."""
 
     # ------------------------------------------------------------------
+    # Admission events
+    # ------------------------------------------------------------------
+
+    def request_served(self, tenant: str, latency: float) -> None:
+        """An admitted request completed; ``latency`` is wait + service
+        in cost units on the form's virtual clock."""
+
+    def request_rejected(self, tenant: str, reason: str) -> None:
+        """Admission shed a request without an answer (``reason``:
+        ``queue-full``/``over-quota``/``draining``/…)."""
+
+    def request_degraded(self, tenant: str, reason: str) -> None:
+        """Admission served a stale cached answer instead of running
+        the request (the ``degrade-to-cached`` shed policy)."""
+
+    def queue_depth(self, form: str, depth: int) -> None:
+        """A form's admission-queue depth after an admission step."""
+
+    def health_transition(self, old_state: str, new_state: str) -> None:
+        """The server's overload state machine moved
+        (healthy/shedding/draining)."""
+
+    # ------------------------------------------------------------------
     # System events
     # ------------------------------------------------------------------
 

@@ -10,9 +10,10 @@ practice, trace sizes here being simulation-scale).
 from __future__ import annotations
 
 import json
-from typing import Any, Dict, Iterable, List
+from typing import Any, Dict, Iterable, List, Optional
 
 from ..errors import ReproError
+from .metrics import LATENCY_BUCKETS, Histogram
 
 __all__ = ["write_trace", "read_trace", "summarize_trace"]
 
@@ -71,6 +72,10 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     epoch_resets = 0
     rollbacks: List[Dict[str, Any]] = []
     caches: Dict[str, Dict[str, int]] = {}
+    admission: Dict[str, int] = {"served": 0, "rejected": 0, "degraded": 0}
+    shed_reasons: Dict[str, int] = {}
+    latency: Optional[Histogram] = None
+    health_transitions: List[str] = []
     for event in events:
         type_ = event["type"]
         event_counts[type_] = event_counts.get(type_, 0) + 1
@@ -106,7 +111,22 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 tier["misses"] += 1
             elif action == "evict":
                 tier["evictions"] += 1
-    return {
+        elif type_ == "admission":
+            action = str(event.get("action", "?"))
+            admission[action] = admission.get(action, 0) + 1
+            if action == "served":
+                if latency is None:
+                    latency = Histogram("request_latency",
+                                        buckets=LATENCY_BUCKETS)
+                latency.observe(event.get("latency", 0.0))
+            else:
+                reason = str(event.get("reason", "?"))
+                shed_reasons[reason] = shed_reasons.get(reason, 0) + 1
+        elif type_ == "health":
+            health_transitions.append(
+                f"{event.get('from', '?')}->{event.get('to', '?')}"
+            )
+    summary: Dict[str, Any] = {
         "events": sum(event_counts.values()),
         "event_counts": dict(sorted(event_counts.items())),
         "queries": queries,
@@ -140,3 +160,20 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             for rollback in rollbacks
         ],
     }
+    if any(admission.values()):
+        summary["admission"] = {
+            "served": admission.get("served", 0),
+            "rejected": admission.get("rejected", 0),
+            "degraded": admission.get("degraded", 0),
+            "shed_reasons": dict(sorted(shed_reasons.items())),
+            "health_transitions": health_transitions,
+        }
+        if latency is not None:
+            summary["admission"]["latency"] = {
+                "p50": latency.quantile(0.5),
+                "p95": latency.quantile(0.95),
+                "p99": latency.quantile(0.99),
+                "mean": latency.mean,
+                "max": latency.max,
+            }
+    return summary

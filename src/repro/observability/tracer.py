@@ -46,6 +46,10 @@ Event types (the ``type`` field of each JSONL line):
 ``rollback``         epoch, context_number, from, to
 ``cache``            cache (``answer``/``subgoal``), action
                      (``hit``/``miss``/``evict``)
+``admission``        tenant, action (``served``/``rejected``/
+                     ``degraded``), latency? (served/degraded), reason?
+``queue_depth``      form, depth  (after an admission step)
+``health``           from, to  (server overload state transition)
 =================== ====================================================
 
 Tracing is for *observing*, never for steering: no instrumented code
@@ -59,7 +63,7 @@ from __future__ import annotations
 import threading
 from typing import Any, Dict, List, Mapping, Optional
 
-from .metrics import MetricsRegistry
+from .metrics import LATENCY_BUCKETS, MetricsRegistry
 from .recorder import Recorder
 from .sink import write_trace
 
@@ -296,6 +300,40 @@ class Tracer(Recorder):
     def cache_evict(self, kind: str) -> None:
         self._emit("cache", cache=kind, action="evict")
         self.metrics.counter(f"{kind}_cache_evictions_total").inc()
+
+    # ------------------------------------------------------------------
+    # Admission events
+    # ------------------------------------------------------------------
+
+    def request_served(self, tenant: str, latency: float) -> None:
+        self._emit("admission", tenant=tenant, action="served",
+                   latency=latency)
+        self.metrics.counter("admission_served_total").inc()
+        self.metrics.histogram(
+            "request_latency", buckets=LATENCY_BUCKETS
+        ).observe(latency)
+        self.metrics.histogram(
+            f"tenant_latency:{tenant}", buckets=LATENCY_BUCKETS
+        ).observe(latency)
+
+    def request_rejected(self, tenant: str, reason: str) -> None:
+        self._emit("admission", tenant=tenant, action="rejected",
+                   reason=reason)
+        self.metrics.counter("admission_rejected_total").inc()
+        self.metrics.counter(f"shed_{reason}_total").inc()
+
+    def request_degraded(self, tenant: str, reason: str) -> None:
+        self._emit("admission", tenant=tenant, action="degraded",
+                   reason=reason)
+        self.metrics.counter("admission_degraded_total").inc()
+
+    def queue_depth(self, form: str, depth: int) -> None:
+        self._emit("queue_depth", form=form, depth=depth)
+        self.metrics.histogram("queue_depth").observe(depth)
+
+    def health_transition(self, old_state: str, new_state: str) -> None:
+        self._emit("health", **{"from": old_state, "to": new_state})
+        self.metrics.counter("health_transitions_total").inc()
 
     # ------------------------------------------------------------------
     # PAO + system events

@@ -9,24 +9,34 @@ Public surface:
   pool with the two-tier cache;
 * :class:`~repro.serving.config.SessionConfig` /
   :class:`~repro.serving.config.CacheConfig` /
-  :class:`~repro.serving.config.ServingConfig` — typed configuration;
+  :class:`~repro.serving.config.ServingConfig` /
+  :class:`~repro.serving.config.AdmissionConfig` — typed configuration;
 * :class:`~repro.serving.cache.AnswerCache` /
-  :class:`~repro.serving.cache.SubgoalMemo` — the cache tiers.
+  :class:`~repro.serving.cache.SubgoalMemo` — the cache tiers;
+* :class:`~repro.serving.admission.Request` /
+  :class:`~repro.serving.admission.RequestOutcome` /
+  :class:`~repro.serving.admission.ServerHealth` — the admission
+  control surface (bounded queues, quotas, shedding, health).
 
 ``server``/``session`` import :mod:`repro.system` (which itself uses
 this package's config module), so they are loaded lazily via module
 ``__getattr__`` to keep the import graph acyclic.
 """
 
+from .admission import Request, RequestOutcome, ServerHealth
 from .cache import AnswerCache, CacheStats, SubgoalMemo
-from .config import CacheConfig, ServingConfig, SessionConfig
+from .config import AdmissionConfig, CacheConfig, ServingConfig, SessionConfig
 
 __all__ = [
+    "AdmissionConfig",
     "AnswerCache",
     "CacheConfig",
     "CacheStats",
     "QueryServer",
     "QuerySession",
+    "Request",
+    "RequestOutcome",
+    "ServerHealth",
     "ServingConfig",
     "SessionConfig",
     "StreamReport",

@@ -218,6 +218,14 @@ class AnswerCache:
 
     def __init__(self, capacity: int, recorder: Recorder = NULL_RECORDER):
         self._table = LRUTable(capacity, "answer", recorder)
+        #: Last clean answer per (database identity, query) — any
+        #: generation.  Only the admission layer's ``degrade-to-cached``
+        #: shed policy reads this, and only through
+        #: :meth:`lookup_stale`; coherent lookups never see it.  Bounded
+        #: by the same capacity as the main table.
+        self._stale: "OrderedDict[Tuple, SystemAnswer]" = OrderedDict()
+        self._stale_lock = threading.Lock()
+        self.stale_hits = 0
 
     @property
     def stats(self) -> CacheStats:
@@ -229,6 +237,10 @@ class AnswerCache:
     @staticmethod
     def _key(query: Atom, database: "Database") -> Tuple:
         return (database.cache_key, str(query))
+
+    @staticmethod
+    def _stale_key(query: Atom, database: "Database") -> Tuple:
+        return (database.cache_key[0], str(query))
 
     def lookup(
         self, query: Atom, database: "Database"
@@ -242,11 +254,34 @@ class AnswerCache:
         """Cache a clean answer; returns whether it was cacheable."""
         if answer.degraded:
             return False
-        self._table.put(
-            self._key(query, database),
-            replace(answer, cost=0.0, climbed=False, cached=True),
-        )
+        normalized = replace(answer, cost=0.0, climbed=False, cached=True)
+        self._table.put(self._key(query, database), normalized)
+        with self._stale_lock:
+            key = self._stale_key(query, database)
+            self._stale[key] = normalized
+            self._stale.move_to_end(key)
+            while len(self._stale) > self._table.capacity:
+                self._stale.popitem(last=False)
         return True
 
+    def lookup_stale(
+        self, query: Atom, database: "Database"
+    ) -> Optional["SystemAnswer"]:
+        """The last clean answer for this query against this database
+        *object*, whatever its generation was — possibly stale.
+
+        This is the ``degrade-to-cached`` shed policy's escape hatch:
+        under overload, a stale answer explicitly marked degraded beats
+        no answer.  Never consulted on the coherent path.
+        """
+        with self._stale_lock:
+            answer = self._stale.get(self._stale_key(query, database))
+            if answer is not None:
+                self.stale_hits += 1
+        return answer
+
     def snapshot(self) -> Dict[str, float]:
-        return self._table.stats.snapshot()
+        stats = self._table.stats.snapshot()
+        if self.stale_hits:
+            stats["stale_hits"] = self.stale_hits
+        return stats

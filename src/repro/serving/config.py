@@ -14,7 +14,11 @@ three small dataclasses:
   changes which queries reach the learner;
 * :class:`ServingConfig` — the concurrency shape of a
   :class:`~repro.serving.server.QueryServer` (worker count; work is
-  always sharded by query form, the unit that owns its PIB learner).
+  always sharded by query form, the unit that owns its PIB learner);
+* :class:`AdmissionConfig` — overload protection: bounded per-form
+  queues, per-tenant token-bucket quotas, load-shedding policy, and
+  request deadlines.  ``None``/absent means admission control is off
+  and the server accepts everything (the pre-admission behaviour).
 
 The old processor keywords keep working through a shim that builds a
 :class:`SessionConfig` and emits a :class:`DeprecationWarning`; see
@@ -34,7 +38,10 @@ if TYPE_CHECKING:
     from ..graphs.inference_graph import InferenceGraph
     from ..strategies.transformations import Transformation
 
-__all__ = ["SessionConfig", "CacheConfig", "ServingConfig"]
+__all__ = ["SessionConfig", "CacheConfig", "ServingConfig", "AdmissionConfig"]
+
+#: The load-shedding policies :class:`AdmissionConfig` accepts.
+SHED_POLICIES = ("reject-newest", "reject-over-quota", "degrade-to-cached")
 
 
 @dataclass
@@ -167,6 +174,72 @@ class CacheConfig:
 
 
 @dataclass(frozen=True)
+class AdmissionConfig:
+    """Overload protection for a :class:`~repro.serving.server.QueryServer`.
+
+    Everything is denominated in the simulation's deterministic units —
+    token buckets refill per *arrival tick* and deadlines are measured
+    on the per-form virtual cost clock — so admission decisions are a
+    pure function of the request sequence: equal request streams shed
+    and serve identically, regardless of threads or wall time.
+
+    The three shed policies differ only in what happens when a request
+    cannot be admitted (queue full, tenant over quota, or the server is
+    SHEDDING):
+
+    * ``reject-newest`` — the incoming request is rejected;
+    * ``reject-over-quota`` — queue overflow evicts the queued request
+      of the *most-queued* tenant instead (protecting in-quota tenants
+      from a noisy neighbour); quota violations still reject;
+    * ``degrade-to-cached`` — before rejecting, try to serve a stale
+      :class:`~repro.serving.cache.AnswerCache` entry (any generation)
+      as a *degraded* answer — availability over freshness.
+    """
+
+    #: Bounded per-form queue capacity (the backpressure bound).
+    queue_capacity: int = 64
+    #: Token-bucket refill per arrival tick (tokens a tenant earns each
+    #: time *any* request arrives).  ``0`` disables rate limiting.
+    tenant_rate: float = 0.0
+    #: Token-bucket burst size (max accumulated tokens).
+    tenant_burst: int = 8
+    #: Max queued-but-unserved requests per tenant (``0``: unlimited).
+    tenant_concurrency: int = 0
+    #: What to do with the overflow (see class docstring).
+    shed_policy: str = "reject-newest"
+    #: Default per-request latency budget in cost units (wait + service
+    #: on the form's virtual clock); ``None`` = no deadline.  Composes
+    #: with the resilience layer's :class:`CostDeadline`, which bounds
+    #: the *execution* alone.
+    deadline: Optional[float] = None
+    #: Queue-depth fraction at which health enters SHEDDING.
+    shed_threshold: float = 0.8
+    #: Queue-depth fraction at which health returns to HEALTHY.
+    recover_threshold: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.queue_capacity < 1:
+            raise ValueError("queue_capacity must be at least 1")
+        if self.tenant_rate < 0:
+            raise ValueError("tenant_rate cannot be negative")
+        if self.tenant_burst < 1:
+            raise ValueError("tenant_burst must be at least 1")
+        if self.tenant_concurrency < 0:
+            raise ValueError("tenant_concurrency cannot be negative")
+        if self.shed_policy not in SHED_POLICIES:
+            raise ValueError(
+                f"unknown shed_policy {self.shed_policy!r}; expected one "
+                f"of {', '.join(SHED_POLICIES)}"
+            )
+        if self.deadline is not None and self.deadline <= 0:
+            raise ValueError("deadline must be positive")
+        if not 0.0 < self.recover_threshold <= self.shed_threshold <= 1.0:
+            raise ValueError(
+                "need 0 < recover_threshold <= shed_threshold <= 1"
+            )
+
+
+@dataclass(frozen=True)
 class ServingConfig:
     """Concurrency shape of a :class:`~repro.serving.server.QueryServer`.
 
@@ -177,10 +250,16 @@ class ServingConfig:
     sequential Δ̃ accumulation and Equation 6 test order.  With
     ``workers == 1`` the server never touches a thread pool and is
     byte-identical to the plain sequential processor loop.
+
+    ``admission`` (``None`` by default — admission control off, the
+    byte-identical legacy path) bounds what a server will accept under
+    overload; see :class:`AdmissionConfig`.
     """
 
     #: Worker threads for batch execution (1 = strictly sequential).
     workers: int = 1
+    #: Overload protection (``None``: accept everything, legacy path).
+    admission: Optional[AdmissionConfig] = None
 
     def __post_init__(self) -> None:
         if self.workers < 1:

@@ -31,10 +31,28 @@ import threading
 from concurrent.futures import ThreadPoolExecutor
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from dataclasses import replace
+
 from ..datalog.database import Database
 from ..datalog.rules import QueryForm
-from ..datalog.terms import Atom
+from ..datalog.terms import Atom, Substitution
 from ..system import SelfOptimizingQueryProcessor, SystemAnswer
+from .admission import (
+    REASON_DEADLINE,
+    REASON_DRAINING,
+    REASON_EVICTED,
+    REASON_OVER_CONCURRENCY,
+    REASON_OVER_QUOTA,
+    REASON_QUEUE_FULL,
+    AdmissionQueue,
+    HealthTracker,
+    LoadShedder,
+    Request,
+    RequestOutcome,
+    ServerHealth,
+    TenantQuota,
+    coerce_requests,
+)
 from .cache import AnswerCache, SubgoalMemo
 from .config import CacheConfig, ServingConfig
 
@@ -83,8 +101,32 @@ class QueryServer:
         self.batches = 0
         self.queries_served = 0
         self.cached_answers = 0
+        self.requests_rejected = 0
+        self.requests_degraded = 0
         self._admin_lock = threading.Lock()
         self._form_locks: Dict[QueryForm, threading.Lock] = {}
+        admission = self.serving.admission
+        if admission is not None:
+            self._quota: Optional[TenantQuota] = TenantQuota(
+                admission.tenant_rate,
+                admission.tenant_burst,
+                admission.tenant_concurrency,
+            )
+            self._shedder: Optional[LoadShedder] = LoadShedder(
+                admission.shed_policy
+            )
+            self._health: Optional[HealthTracker] = HealthTracker(
+                admission.shed_threshold, admission.recover_threshold
+            )
+            self._queues: Dict[QueryForm, AdmissionQueue] = {}
+            #: Guards shedder/quota/counter mutations reachable from
+            #: dispatch worker threads.
+            self._admission_lock = threading.Lock()
+        else:
+            self._quota = None
+            self._shedder = None
+            self._health = None
+            self._queues = {}
 
     # ------------------------------------------------------------------
     # Locking
@@ -132,6 +174,243 @@ class QueryServer:
             self.queries_served += 1
         return answer
 
+    # ------------------------------------------------------------------
+    # Admission-controlled serving
+    # ------------------------------------------------------------------
+
+    @property
+    def health(self) -> ServerHealth:
+        """The overload state machine (HEALTHY when admission is off)."""
+        return (self._health.state if self._health is not None
+                else ServerHealth.HEALTHY)
+
+    def drain(self) -> None:
+        """Enter DRAINING: refuse every new request from now on.
+
+        Queued work in an in-flight ``run_requests`` still completes;
+        later submissions are rejected with reason ``draining``.
+        No-op when admission is off.
+        """
+        if self._health is None:
+            return
+        edge = self._health.drain()
+        recorder = self.processor.recorder
+        if edge is not None and recorder.enabled:
+            recorder.health_transition(*edge)
+
+    def _breaker_open(self) -> bool:
+        """Whether any circuit breaker on the processor is not closed."""
+        policy = self.processor.resilience
+        if policy is None:
+            return False
+        return any(
+            state.get("state") != "closed"
+            for state in policy.breakers.snapshot().values()
+        )
+
+    def _queue_for(self, form: QueryForm) -> AdmissionQueue:
+        queue = self._queues.get(form)
+        if queue is None:
+            assert self.serving.admission is not None
+            queue = self._queues[form] = AdmissionQueue(
+                self.serving.admission.queue_capacity
+            )
+        return queue
+
+    def _update_health(self) -> None:
+        assert self._health is not None and self.serving.admission is not None
+        depth = sum(len(queue) for queue in self._queues.values())
+        capacity = (self.serving.admission.queue_capacity
+                    * max(1, len(self._queues)))
+        edge = self._health.update(depth, capacity,
+                                   breaker_open=self._breaker_open())
+        recorder = self.processor.recorder
+        if edge is not None and recorder.enabled:
+            recorder.health_transition(*edge)
+
+    def _shed(
+        self, request: Request, reason: str, database: Database
+    ) -> RequestOutcome:
+        """Turn one request away: stale-cache degrade when the policy
+        allows and a stale answer exists, typed rejection otherwise.
+        Never raises; never touches the processor (learner isolation).
+        """
+        assert self._shedder is not None
+        recorder = self.processor.recorder
+        with self._admission_lock:
+            self._shedder.note(reason)
+        if self._shedder.wants_degrade and self.answer_cache is not None:
+            stale = self.answer_cache.lookup_stale(request.query, database)
+            if stale is not None:
+                answer = replace(stale, degraded=True,
+                                 incident=f"admission: {reason}")
+                with self._admission_lock:
+                    self.requests_degraded += 1
+                if recorder.enabled:
+                    recorder.request_degraded(request.tenant, reason)
+                return RequestOutcome(request, "degraded", answer=answer,
+                                      reason=reason)
+        with self._admission_lock:
+            self.requests_rejected += 1
+        if recorder.enabled:
+            recorder.request_rejected(request.tenant, reason)
+        return RequestOutcome(request, "rejected", reason=reason)
+
+    def submit_request(
+        self, request: Request, database: Database
+    ) -> RequestOutcome:
+        """Admission-controlled :meth:`submit` for one request."""
+        return self.run_requests([request], database)[0]
+
+    def run_requests(
+        self, requests: Sequence, database: Database
+    ) -> List[RequestOutcome]:
+        """Serve a burst of :class:`~repro.serving.admission.Request`
+        objects (plain :class:`Atom` queries are wrapped) through
+        admission control; outcomes align with the input order.
+
+        The run has two deterministic phases:
+
+        *Admission* walks the arrival sequence once — each arrival
+        advances the quota clock one tick, DRAINING and per-tenant
+        limits shed first, then the form's bounded queue admits or the
+        shed policy picks a victim.  All admission state is a pure
+        function of the arrival sequence (never wall time), so
+        outcomes are byte-identical across worker counts and replays.
+
+        *Dispatch* drains each form's queue in (deadline, arrival)
+        order on the form's *virtual cost clock*: each serve advances
+        the clock by the answer's billed cost plus one overhead tick,
+        and a request whose latency budget is already exhausted when
+        its turn comes is shed as ``deadline-expired-in-queue``.  The
+        request-level budget bounds *queue wait*; the per-execution
+        :class:`~repro.resilience.deadline.CostDeadline` (when the
+        processor has one) still bounds each run's own cost, so the
+        two compose.  Forms are independent — with ``workers > 1``
+        they drain in parallel with unchanged outcomes.
+
+        Shed requests never reach the processor: they contribute no
+        PIB sample, so Theorem 1's per-form schedule over the served
+        requests equals a plain sequential run over those requests.
+        """
+        requests = coerce_requests(requests)
+        admission = self.serving.admission
+        recorder = self.processor.recorder
+        if admission is None:
+            outcomes = []
+            for request in requests:
+                answer = self.submit(request.query, database)
+                outcomes.append(RequestOutcome(
+                    request, "served", answer=answer, latency=answer.cost
+                ))
+            return outcomes
+
+        assert (self._quota is not None and self._shedder is not None
+                and self._health is not None)
+        quota, shedder, health = self._quota, self._shedder, self._health
+        slots: List[Optional[RequestOutcome]] = [None] * len(requests)
+
+        # -- Phase 1: admission, strictly in arrival order -------------
+        for index, request in enumerate(requests):
+            quota.tick()
+            tenant = request.tenant
+            if health.state is ServerHealth.DRAINING:
+                slots[index] = self._shed(request, REASON_DRAINING, database)
+                continue
+            if quota.over_concurrency(tenant):
+                slots[index] = self._shed(request, REASON_OVER_CONCURRENCY,
+                                          database)
+                continue
+            if not quota.try_acquire(tenant):
+                slots[index] = self._shed(request, REASON_OVER_QUOTA,
+                                          database)
+                continue
+            form = QueryForm.of(request.query)
+            queue = self._queue_for(form)
+            # Proactive backpressure: in SHEDDING, a tenant that already
+            # holds queue slots is shed before the queue is hard-full —
+            # tenants with nothing queued are spared, so light tenants
+            # keep getting through while heavy ones drain.
+            proactive = (health.state is ServerHealth.SHEDDING
+                         and not queue.full
+                         and len(queue)
+                         >= admission.shed_threshold * queue.capacity
+                         and queue.tenant_depths().get(tenant, 0) > 0)
+            if proactive or queue.full:
+                victim = (None if proactive
+                          else shedder.overflow_victim(queue, request))
+                if victim is not None:
+                    victim_seq, victim_request = victim
+                    quota.leave(victim_request.tenant)
+                    slots[victim_seq] = self._shed(
+                        victim_request, REASON_EVICTED, database
+                    )
+                    queue.push(request, index, admission.deadline)
+                    quota.enter(tenant)
+                else:
+                    slots[index] = self._shed(request, REASON_QUEUE_FULL,
+                                              database)
+            else:
+                queue.push(request, index, admission.deadline)
+                quota.enter(tenant)
+            if recorder.enabled:
+                recorder.queue_depth(str(form), len(queue))
+            self._update_health()
+
+        # -- Phase 2: dispatch, per-form virtual cost clocks -----------
+        def drain_queue(form: QueryForm, queue: AdmissionQueue) -> None:
+            clock = 0.0
+            while True:
+                item = queue.pop()
+                if item is None:
+                    return
+                seq, request = item
+                deadline = (request.deadline
+                            if request.deadline is not None
+                            else admission.deadline)
+                if deadline is not None and clock >= deadline:
+                    with self._admission_lock:
+                        quota.leave(request.tenant)
+                    slots[seq] = self._shed(request, REASON_DEADLINE,
+                                            database)
+                    continue
+                answer = self.submit(request.query, database)
+                clock += answer.cost + 1.0
+                with self._admission_lock:
+                    quota.leave(request.tenant)
+                slots[seq] = RequestOutcome(
+                    request, "served", answer=answer, latency=clock
+                )
+                if recorder.enabled:
+                    recorder.request_served(request.tenant, clock)
+
+        pending = [(form, queue) for form, queue in self._queues.items()
+                   if len(queue)]
+        if self.serving.workers == 1 or len(pending) <= 1:
+            for form, queue in pending:
+                drain_queue(form, queue)
+        else:
+            workers = min(self.serving.workers, len(pending))
+            with ThreadPoolExecutor(max_workers=workers) as pool:
+                list(pool.map(lambda pair: drain_queue(*pair), pending))
+
+        self._update_health()
+        return slots  # type: ignore[return-value]
+
+    def _answer_for(self, outcome: RequestOutcome) -> SystemAnswer:
+        """An outcome as a SystemAnswer (for the batch API): rejected
+        requests become degraded unproved answers, never exceptions."""
+        if outcome.answer is not None:
+            return outcome.answer
+        return SystemAnswer(
+            proved=False,
+            substitution=Substitution(),
+            cost=0.0,
+            learned=False,
+            degraded=True,
+            incident=f"admission: {outcome.reason}",
+        )
+
     def run_batch(
         self, queries: Sequence[Atom], database: Database
     ) -> List[SystemAnswer]:
@@ -145,6 +424,9 @@ class QueryServer:
         """
         queries = list(queries)
         self.batches += 1
+        if self.serving.admission is not None:
+            outcomes = self.run_requests(queries, database)
+            return [self._answer_for(outcome) for outcome in outcomes]
         if self.serving.workers == 1:
             return [self.submit(query, database) for query in queries]
 
@@ -183,4 +465,22 @@ class QueryServer:
             summary["answer_cache"] = self.answer_cache.snapshot()
         if self.subgoal_memo is not None:
             summary["subgoal_memo"] = self.subgoal_memo.snapshot()
+        if (self._health is not None and self._shedder is not None
+                and self._quota is not None):
+            summary["admission"] = {
+                "health": self._health.snapshot(),
+                "shedder": self._shedder.snapshot(),
+                "quota": self._quota.snapshot(),
+                "rejected": self.requests_rejected,
+                "degraded": self.requests_degraded,
+                "queues": {
+                    str(form): {
+                        "offered": queue.offered,
+                        "peak_depth": queue.peak_depth,
+                    }
+                    for form, queue in sorted(
+                        self._queues.items(), key=lambda pair: str(pair[0])
+                    )
+                },
+            }
         return summary

@@ -33,6 +33,7 @@ from ..datalog.terms import Atom
 from ..errors import ReproError
 from ..observability.recorder import Recorder
 from ..system import SelfOptimizingQueryProcessor, SystemAnswer
+from .admission import Request, RequestOutcome
 from .config import CacheConfig, ServingConfig, SessionConfig
 from .server import QueryServer
 
@@ -165,6 +166,38 @@ class QuerySession:
             [self._coerce_query(query) for query in queries],
             self._resolve_database(database),
         )
+
+    def submit_request(
+        self,
+        request: "Request",
+        database: Optional[Database] = None,
+    ) -> "RequestOutcome":
+        """Admission-controlled single submission (typed outcome)."""
+        self._require_open()
+        return self.server.submit_request(
+            request, self._resolve_database(database)
+        )
+
+    def run_requests(
+        self,
+        requests: Sequence,
+        database: Optional[Database] = None,
+    ) -> List["RequestOutcome"]:
+        """Serve a burst of :class:`~repro.serving.admission.Request`
+        objects (or plain queries) through admission control; outcomes
+        align with the input order and are never exceptions."""
+        self._require_open()
+        return self.server.run_requests(
+            [request if isinstance(request, Request)
+             else Request(self._coerce_query(request))
+             for request in requests],
+            self._resolve_database(database),
+        )
+
+    def drain(self) -> None:
+        """Move the server to DRAINING: queued work finishes, new
+        requests are rejected.  No-op when admission is off."""
+        self.server.drain()
 
     def learn_from_stream(
         self,

@@ -20,8 +20,12 @@ brute-force oracles in :mod:`repro.optimal`:
 * :mod:`repro.verify.invariants` — always-on runtime invariants
   (Δ̃ conservatism, Equation 6 schedule monotonicity, breaker state
   legality, cache generation coherence) assertable in any test;
+* :mod:`repro.verify.overload` — seeded burst worlds through the real
+  admission-controlled server: outcome byte-determinism, worker-count
+  parity, learner isolation, no-starvation and quota ceilings;
 * :mod:`repro.verify.runner` — the profile runner behind
-  ``repro verify --seeds N --profile {engine,pib,pao,serving,chaos}``.
+  ``repro verify --seeds N --profile
+  {engine,pib,pao,serving,chaos,overload}``.
 """
 
 from .invariants import (
@@ -40,6 +44,7 @@ from .oracles import (
     pao_contract,
     pib_contract,
 )
+from .overload import OverloadRun, simulate_overload
 from .runner import PROFILES, VerifyReport, replay_spec, run_verify
 from .simulator import SimulatedBatch, simulate
 from .worldgen import GraphWorld, KBWorld, WorldSpec, build_graph_world, build_kb_world, shrink
@@ -52,6 +57,7 @@ __all__ = [
     "KBWorld",
     "OracleFailure",
     "OracleReport",
+    "OverloadRun",
     "PROFILES",
     "SimulatedBatch",
     "VerifyReport",
@@ -68,5 +74,6 @@ __all__ = [
     "run_verify",
     "shrink",
     "simulate",
+    "simulate_overload",
     "verify_invariants",
 ]

@@ -17,7 +17,14 @@ serving    the virtual-clock simulator: trace byte-determinism,
            sequential parity, cache transparency, generation coherence
 chaos      fault-plan worlds through the resilient executor: settled
            observations match ground truth, billed ≥ settled cost,
-           byte-deterministic reruns, breaker state legality
+           byte-deterministic reruns, breaker state legality; every
+           fourth seed is a combined drift+faults+burst world (the
+           distribution shifts mid-run and contexts repeat in bursts)
+overload   seeded burst worlds through admission control: outcome and
+           trace byte-determinism, worker-count parity, typed-outcome
+           conservation, learner isolation (shed requests feed no PIB
+           sample), no-starvation and quota ceilings under
+           reject-over-quota
 =========  ==========================================================
 
 Deterministic failures are shrunk (``worldgen.shrink``) before being
@@ -46,18 +53,31 @@ from .oracles import (
     pao_contract,
     pib_contract,
 )
+from .overload import (
+    check_overload_conservation,
+    check_overload_determinism,
+    check_overload_fairness,
+    check_overload_isolation,
+    check_overload_worker_parity,
+)
 from .simulator import (
     check_byte_determinism,
     check_cache_effects,
     check_generation_coherence,
     check_sequential_parity,
 )
-from .worldgen import WorldSpec, build_graph_world, context_rng, shrink
+from .worldgen import (
+    WorldSpec,
+    build_graph_world,
+    context_rng,
+    shifted_distribution,
+    shrink,
+)
 
 __all__ = ["PROFILES", "VerifyReport", "specs_for", "run_profile",
            "run_verify", "replay_spec"]
 
-PROFILES = ("engine", "pib", "pao", "serving", "chaos")
+PROFILES = ("engine", "pib", "pao", "serving", "chaos", "overload")
 
 #: Coverage floor (percent) enforced by ``make coverage`` and CI's
 #: coverage job.  Calibrated against the 88.0% line coverage measured
@@ -147,6 +167,10 @@ def specs_for(
                 )
             )
         elif profile == "chaos":
+            # Every fourth seed is the combined drift+faults+burst
+            # world: the blocking distribution shifts at the midpoint
+            # and each sampled context arrives as a burst.
+            combined = seed % 4 == 3
             specs.append(
                 WorldSpec(
                     seed=seed,
@@ -155,6 +179,27 @@ def specs_for(
                     fault_rate=0.15,
                     timeout_rate=0.05,
                     retries=3,
+                    drift_shift=0.6 if combined else 0.0,
+                    burst_factor=3 if combined else 1,
+                )
+            )
+        elif profile == "overload":
+            specs.append(
+                WorldSpec(
+                    seed=seed,
+                    profile="overload",
+                    n_queries=10,
+                    burst_factor=4,
+                    tenants=2 + seed % 3,
+                    queue_capacity=4 + seed % 5,
+                    tenant_rate=0.5 if seed % 2 else 0.0,
+                    shed_policy=(
+                        "degrade-to-cached" if seed % 3 == 2
+                        else "reject-over-quota" if seed % 3 == 1
+                        else "reject-newest"
+                    ),
+                    request_deadline=40.0 if seed % 5 == 4 else None,
+                    answer_cache=32 if seed % 3 == 2 else 0,
                 )
             )
         else:
@@ -184,9 +229,21 @@ def _chaos_outcomes(spec: WorldSpec, monitor: InvariantMonitor):
         recorder=monitor,
     )
     rng = context_rng(spec)
+    # Combined drift+faults+burst worlds: at the midpoint the blocking
+    # distribution shifts toward a second seeded draw, and every
+    # sampled context arrives burst_factor times in a row (the same
+    # storage state hammered back-to-back, the breaker stress case).
+    drifted = (shifted_distribution(spec, world)
+               if spec.drift_shift > 0.0 else None)
+    midpoint = spec.contexts // 2
+    burst = max(spec.burst_factor, 1)
     outcomes = []
+    contexts = []
     for number in range(spec.contexts):
-        inner = world.distribution.sample(rng)
+        source = (drifted if drifted is not None and number >= midpoint
+                  else world.distribution)
+        contexts.extend([source.sample(rng)] * burst)
+    for number, inner in enumerate(contexts):
         result = execute_resilient(
             strategy, FlakyContext(inner, world.fault_plan), policy
         )
@@ -321,6 +378,17 @@ def run_profile(
             _run_deterministic("chaos-resilience", family, check_chaos,
                                shrink_failures)
         )
+    elif profile == "overload":
+        for name, check in (
+            ("overload-byte-determinism", check_overload_determinism),
+            ("overload-worker-parity", check_overload_worker_parity),
+            ("overload-conservation", check_overload_conservation),
+            ("overload-learner-isolation", check_overload_isolation),
+            ("overload-fairness", check_overload_fairness),
+        ):
+            verify.reports.append(
+                _run_deterministic(name, family, check, shrink_failures)
+            )
     return verify
 
 
@@ -389,4 +457,11 @@ PROFILE_CHECKS: Dict[str, List[str]] = {
         "serving-generation-coherence",
     ],
     "chaos": ["chaos-resilience"],
+    "overload": [
+        "overload-byte-determinism",
+        "overload-worker-parity",
+        "overload-conservation",
+        "overload-learner-isolation",
+        "overload-fairness",
+    ],
 }

@@ -29,7 +29,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 from ..datalog.database import Database
 from ..datalog.parser import parse_program, parse_query
 from ..datalog.rules import RuleBase
-from ..datalog.terms import Atom, Constant, Variable
+from ..datalog.terms import Atom
 from ..errors import ReproError
 from ..graphs.inference_graph import InferenceGraph
 from ..graphs.random_graphs import random_probabilities, random_tree_graph
@@ -43,11 +43,12 @@ __all__ = [
     "build_graph_world",
     "build_kb_world",
     "materialize",
+    "shifted_distribution",
     "shrink",
 ]
 
 #: The verification profiles a spec can target.
-PROFILE_NAMES = ("engine", "pib", "pao", "serving", "chaos")
+PROFILE_NAMES = ("engine", "pib", "pao", "serving", "chaos", "overload")
 
 
 @dataclass(frozen=True)
@@ -92,6 +93,19 @@ class WorldSpec:
     fault_rate: float = 0.0
     timeout_rate: float = 0.0
     retries: int = 3
+    #: Blend factor toward a second seeded probability draw applied at
+    #: the run's midpoint (0 = stationary): the combined
+    #: drift+faults+burst chaos world.
+    drift_shift: float = 0.0
+    #: Burst multiplier: chaos repeats each sampled context this many
+    #: times; overload repeats the query stream this many times.
+    burst_factor: int = 1
+    # --- overload ------------------------------------------------------
+    tenants: int = 3
+    queue_capacity: int = 8
+    tenant_rate: float = 0.0
+    shed_policy: str = "reject-newest"
+    request_deadline: Optional[float] = None
     # --- explicit overrides (installed by the shrinker) ---------------
     kb_rules: Optional[Tuple[str, ...]] = None
     kb_facts: Optional[Tuple[str, ...]] = None
@@ -208,6 +222,24 @@ def build_graph_world(spec: WorldSpec) -> GraphWorld:
 def context_rng(spec: WorldSpec) -> random.Random:
     """The context-sampling stream, decoupled from world construction."""
     return random.Random((spec.seed << 16) ^ 0x5EED)
+
+
+def shifted_distribution(
+    spec: WorldSpec, world: GraphWorld
+) -> IndependentDistribution:
+    """The post-drift regime for combined chaos worlds: the world's
+    probabilities blended ``drift_shift`` of the way toward a second
+    seeded draw.  Deterministic in the spec, like everything else."""
+    rng = random.Random((spec.seed << 4) ^ 0xD51F7)
+    target = random_probabilities(
+        rng, world.graph, low=spec.prob_low, high=spec.prob_high
+    )
+    blended = {
+        name: (1.0 - spec.drift_shift) * prob
+        + spec.drift_shift * target[name]
+        for name, prob in world.probs.items()
+    }
+    return IndependentDistribution(world.graph, blended)
 
 
 # ----------------------------------------------------------------------
@@ -433,7 +465,8 @@ def shrink(
     if not checked_fails(spec):
         raise ReproError("shrink() called with a spec that does not fail")
 
-    spec = materialize(spec) if spec.profile in ("engine", "serving") else spec
+    spec = (materialize(spec)
+            if spec.profile in ("engine", "serving", "overload") else spec)
     if spec.kb_rules is not None:
         for field in ("kb_facts", "kb_queries", "kb_rules"):
             value = getattr(spec, field) or ()
