@@ -2,7 +2,7 @@ PYTHON ?= python
 export PYTHONPATH := src
 
 .PHONY: test verify verify-deep coverage coverage-approx lint examples \
-	bench-trajectory
+	bench-trajectory bench-check
 
 test:
 	$(PYTHON) -m pytest -x -q
@@ -28,9 +28,14 @@ lint:
 
 ## Re-run the pinned perf suite and refresh this PR's BENCH_<n>.json
 ## (see tools/bench_trajectory.py for the trajectory story).
-BENCH_LABEL ?= 6
+BENCH_LABEL ?= 7
 bench-trajectory:
 	$(PYTHON) tools/bench_trajectory.py --label $(BENCH_LABEL)
+
+## Compare the suite's deterministic metrics against the committed
+## snapshot without rewriting it (the CI gate for hot-path PRs).
+bench-check:
+	$(PYTHON) tools/bench_trajectory.py --label $(BENCH_LABEL) --check
 
 examples:
 	for example in examples/*.py; do \

@@ -14,6 +14,7 @@ from .experiments import (
     experiment_distributed,
     experiment_distributed_faulty,
     experiment_drift,
+    experiment_engine,
     experiment_figure1,
     experiment_figure2_pib,
     experiment_lemma1,
@@ -43,6 +44,7 @@ __all__ = [
     "experiment_distributed",
     "experiment_distributed_faulty",
     "experiment_drift",
+    "experiment_engine",
     "experiment_figure1",
     "experiment_figure2_pib",
     "experiment_lemma1",

@@ -70,6 +70,7 @@ from .stats import rate_with_interval
 
 __all__ = [
     "experiment_learning_curve",
+    "experiment_engine",
     "experiment_figure1",
     "experiment_smith_vs_learned",
     "experiment_figure2_pib",
@@ -1585,5 +1586,99 @@ def experiment_overload(
     result.check(
         "chaos leg: p99 stays bounded (within 4x of the clean p99)",
         chaos_p99 <= stormy_p99 * 4.0,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# F13: raw Datalog engine throughput (the hot-path overhaul)
+# ----------------------------------------------------------------------
+
+def experiment_engine(
+    nodes: int = 60, proves: int = 200
+) -> ExperimentResult:
+    """Raw substrate throughput on a transitive-closure workload.
+
+    The learning results ride on the Datalog substrate, so its constant
+    factors bound every experiment above: this leg times repeated
+    top-down proves, full answer enumeration, and both bottom-up
+    fixpoints on an ``nodes``-node chain-with-shortcuts graph, and
+    cross-checks the three evaluators against each other (the
+    differential oracle of the verify subsystem, inlined).
+
+    The recorded ``metrics`` — model size, answer count, trace cost —
+    are machine-independent; the wall time of the whole leg is the
+    trajectory's engine-speed trend.
+    """
+    from ..datalog.bottomup import naive_evaluate, seminaive_evaluate
+    from ..datalog.engine import TopDownEngine
+    from ..datalog.terms import Atom
+
+    result = ExperimentResult("F13: Datalog engine throughput (engine leg)")
+    rules = parse_program("""
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    """)
+    facts = Database()
+    for index in range(nodes - 1):
+        facts.add(Atom("edge", [f"n{index:03d}", f"n{index + 1:03d}"]))
+    for index in range(0, nodes - 5, 5):
+        facts.add(Atom("edge", [f"n{index:03d}", f"n{index + 5:03d}"]))
+
+    timings: Dict[str, float] = {}
+
+    start = time.perf_counter()
+    seminaive = seminaive_evaluate(rules, facts)
+    timings["seminaive"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    naive = naive_evaluate(rules, facts)
+    timings["naive"] = time.perf_counter() - start
+
+    engine = TopDownEngine(rules, max_depth=4 * nodes)
+    goal = parse_query(f"path(n000, n{nodes - 1:03d})")
+    start = time.perf_counter()
+    for _ in range(proves):
+        answer = engine.prove(goal, facts)
+    timings["proves"] = time.perf_counter() - start
+    prove_cost = answer.trace.cost
+
+    start = time.perf_counter()
+    answers = list(engine.answers(parse_query("path(n000, X)"), facts))
+    timings["answers"] = time.perf_counter() - start
+
+    path_facts = len(seminaive.relation("path", 2))
+    result.data.update({
+        "path_facts": path_facts,
+        "answers": len(answers),
+        "prove_cost": prove_cost,
+        "proves": proves,
+        "nodes": nodes,
+        "timings": {name: round(value, 4) for name, value in timings.items()},
+    })
+    result.tables.append(format_table(
+        f"Engine throughput, {nodes}-node closure ({len(facts)} edges)",
+        ["operation", "wall seconds"],
+        [[name, f"{value:.4f}"] for name, value in timings.items()],
+        footer=f"{path_facts} path facts; prove cost {prove_cost:g} "
+               f"x {proves} proves",
+    ))
+    result.check(
+        "semi-naive and naive fixpoints agree (differential oracle)",
+        set(seminaive) == set(naive),
+    )
+    result.check(
+        "top-down succeeds iff the model contains the goal",
+        answer.proved and goal in seminaive,
+    )
+    result.check(
+        "every reachable target enumerated exactly once",
+        len(answers) == len({a.substitution for a in answers})
+        and len(answers) == nodes - 1,
+    )
+    result.check(
+        "prove cost is positive and reproducible across runs",
+        prove_cost > 0
+        and engine.prove(goal, facts).trace.cost == prove_cost,
     )
     return result

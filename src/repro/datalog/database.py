@@ -10,9 +10,19 @@ each retrieval succeeds.  This module provides an indexed fact store:
   so that bound positions of a retrieval pattern prune the scan, the
   way any real EDB access path would.
 
+Both index levels are backed by **insertion-ordered** dicts: every
+enumeration a query can observe — full relation scans and per-argument
+index buckets alike — runs in insertion order, never in hash order, so
+multi-answer enumeration is byte-identical across ``PYTHONHASHSEED``
+values.  (The argument index originally used ``set`` buckets, which
+leaked hash ordering into answer enumeration; the serving layer's
+byte-identity guarantees forbid that.)
+
 The store also keeps simple relation statistics (fact counts per
 relation), which the [Smi89] fact-distribution heuristic baseline
-(:mod:`repro.optimal.smith`) consumes.
+(:mod:`repro.optimal.smith`) consumes, and caches the set of live
+relation signatures so the engine's per-retrieval "is this relation
+extensional?" check is O(1) instead of rebuilding a set per call.
 """
 
 from __future__ import annotations
@@ -22,8 +32,7 @@ from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import DatalogError
-from .terms import Atom, Constant, Substitution, Variable
-from .unify import match
+from .terms import EMPTY_SUBSTITUTION, Atom, Constant, Substitution, Variable
 
 __all__ = ["Database"]
 
@@ -37,7 +46,8 @@ class Database:
 
     Databases are mutable (facts can be added and removed) but the
     stored atoms themselves are immutable.  Iteration order is
-    insertion order, which keeps retrieval enumeration deterministic.
+    insertion order — including enumeration through the per-argument
+    indexes — which keeps retrieval enumeration deterministic.
 
     Every mutation that actually changes the stored fact set bumps
     :attr:`generation` — the coherence token the serving layer's
@@ -47,7 +57,12 @@ class Database:
 
     def __init__(self, facts: Iterable[Atom] = ()):
         self._facts: Dict[Tuple[str, int], Dict[Atom, None]] = defaultdict(dict)
-        self._arg_index: Dict[Tuple[str, int, int, Constant], Set[Atom]] = defaultdict(set)
+        # Insertion-ordered buckets (dict-as-ordered-set): enumeration
+        # through an index bucket must match insertion order.
+        self._arg_index: Dict[
+            Tuple[str, int, int, Constant], Dict[Atom, None]
+        ] = defaultdict(dict)
+        self._signatures: Set[Tuple[str, int]] = set()
         self._size = 0
         self._id = next(_next_database_id)
         self._generation = 0
@@ -63,7 +78,10 @@ class Database:
     def cache_key(self) -> Tuple[int, int]:
         """A token identifying this database *state*: (identity,
         generation).  Two equal tokens guarantee identical retrieval
-        behaviour, which is what cache entries are allowed to rely on."""
+        behaviour, which is what cache entries are allowed to rely on.
+        The identity component is a process-wide monotonic counter, not
+        ``id(self)`` — ``id()`` values can be reused after garbage
+        collection and alias two distinct databases."""
         return (self._id, self._generation)
 
     # ------------------------------------------------------------------
@@ -96,29 +114,36 @@ class Database:
             raise TypeError("facts must be Atoms")
         if not fact.is_ground:
             raise DatalogError(f"facts must be ground, got {fact}")
-        relation = self._facts[fact.signature]
+        signature = fact.signature
+        relation = self._facts[signature]
         if fact in relation:
             return False
         relation[fact] = None
+        predicate, arity = signature
         for position, arg in enumerate(fact.args):
-            self._arg_index[(fact.predicate, fact.arity, position, arg)].add(fact)
+            self._arg_index[(predicate, arity, position, arg)][fact] = None
+        self._signatures.add(signature)
         self._size += 1
         self._generation += 1
         return True
 
     def remove(self, fact: Atom) -> bool:
         """Remove a fact; returns ``False`` when it was absent."""
-        relation = self._facts.get(fact.signature)
+        signature = fact.signature
+        relation = self._facts.get(signature)
         if not relation or fact not in relation:
             return False
         del relation[fact]
+        predicate, arity = signature
         for position, arg in enumerate(fact.args):
-            key = (fact.predicate, fact.arity, position, arg)
+            key = (predicate, arity, position, arg)
             bucket = self._arg_index.get(key)
             if bucket is not None:
-                bucket.discard(fact)
+                bucket.pop(fact, None)
                 if not bucket:
                     del self._arg_index[key]
+        if not relation:
+            self._signatures.discard(signature)
         self._size -= 1
         self._generation += 1
         return True
@@ -162,25 +187,34 @@ class Database:
         )
 
     def signatures(self) -> Set[Tuple[str, int]]:
-        """All relation signatures with at least one fact."""
-        return {sig for sig, facts in self._facts.items() if facts}
+        """All relation signatures with at least one fact.
+
+        Returns the live cached set (maintained incrementally by
+        ``add``/``remove``) — treat it as read-only.  The engine checks
+        it once per attempted retrieval, so rebuilding it per call was
+        a top profile frame.
+        """
+        return self._signatures
 
     def _candidates(self, pattern: Atom) -> Iterable[Atom]:
-        """Facts that could match ``pattern``, using the tightest index."""
+        """Facts that could match ``pattern``, using the tightest index.
+
+        Returns an insertion-ordered mapping view, so enumeration is
+        deterministic regardless of which index bucket is chosen.
+        """
         relation = self._facts.get(pattern.signature)
         if not relation:
             return ()
-        best: Optional[Set[Atom]] = None
+        predicate, arity = pattern.signature
+        best: Optional[Dict[Atom, None]] = None
         for position, arg in enumerate(pattern.args):
-            if isinstance(arg, Variable):
+            if type(arg) is Variable:
                 continue
-            bucket = self._arg_index.get(
-                (pattern.predicate, pattern.arity, position, arg), set()
-            )
+            bucket = self._arg_index.get((predicate, arity, position, arg))
+            if bucket is None:
+                return ()
             if best is None or len(bucket) < len(best):
                 best = bucket
-            if not bucket:
-                return ()
         return relation if best is None else best
 
     def retrieve(self, pattern: Atom) -> Iterator[Substitution]:
@@ -189,16 +223,54 @@ class Database:
         A ground pattern yields at most one (empty) substitution; a
         pattern with variables yields their bindings.  This is the
         "attempted database retrieval" of the paper: the retrieval
-        *succeeds* iff the iterator is non-empty.
+        *succeeds* iff the iterator is non-empty.  Enumeration order is
+        fact insertion order.
         """
         if pattern.is_ground:
             if pattern in self:
-                yield Substitution()
+                yield EMPTY_SUBSTITUTION
             return
+        pattern_args = pattern.args
         for fact in self._candidates(pattern):
-            binding = match(pattern, fact)
-            if binding is not None:
-                yield binding
+            bindings = {}
+            for p_arg, f_arg in zip(pattern_args, fact.args):
+                if type(p_arg) is Variable:
+                    bound = bindings.get(p_arg)
+                    if bound is None:
+                        bindings[p_arg] = f_arg
+                    elif bound != f_arg:
+                        break
+                elif p_arg != f_arg:
+                    break
+            else:
+                yield Substitution._resolved(bindings)
+
+    def facts_matching(self, pattern: Atom) -> Iterator[Atom]:
+        """Yield the stored facts matching ``pattern``, in insertion
+        order.
+
+        Like :meth:`retrieve` but yields the facts themselves instead
+        of substitutions — the bottom-up join binds its slot array
+        straight from the fact argument tuples.
+        """
+        if pattern.is_ground:
+            if pattern in self:
+                yield pattern
+            return
+        pattern_args = pattern.args
+        for fact in self._candidates(pattern):
+            bindings = {}
+            for p_arg, f_arg in zip(pattern_args, fact.args):
+                if type(p_arg) is Variable:
+                    bound = bindings.get(p_arg)
+                    if bound is None:
+                        bindings[p_arg] = f_arg
+                    elif bound != f_arg:
+                        break
+                elif p_arg != f_arg:
+                    break
+            else:
+                yield fact
 
     def succeeds(self, pattern: Atom) -> bool:
         """Whether at least one fact matches ``pattern`` (satisficing)."""

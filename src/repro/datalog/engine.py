@@ -20,6 +20,14 @@ database of facts".  This module implements that reduction:
 The satisficing entry point is :meth:`TopDownEngine.prove`; the
 all-answers generator :meth:`TopDownEngine.answers` supports the
 substrate tests and the first-``k`` variant of Section 5.2.
+
+Reduction attempts run over the compiled
+:class:`~repro.datalog.rules.RulePlan` of each rule: the goal is
+unified against the plan's positional head slots directly, and fresh
+variables are minted only for body slots the goal left unbound.  This
+replaces the original per-attempt ``rename_apart`` + ``unify`` +
+``Substitution`` churn, which dominated the engine profile, while
+charging the identical cost and producing the identical trace.
 """
 
 from __future__ import annotations
@@ -28,9 +36,16 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, FrozenSet, Iterator, List, Optional, Sequence, Tuple
 
 from .database import Database
-from .rules import Literal, Rule, RuleBase
-from .terms import Atom, Substitution, Variable, variables_of
-from .unify import fresh_variable_factory, rename_apart, unify
+from .rules import Rule, RuleBase
+from .terms import (
+    EMPTY_SUBSTITUTION,
+    Atom,
+    Substitution,
+    Term,
+    Variable,
+    variables_of,
+)
+from .unify import fresh_variable_factory
 
 __all__ = ["CostModel", "RetrievalEvent", "ProofTrace", "Answer", "TopDownEngine"]
 
@@ -95,15 +110,19 @@ class ProofTrace:
         self.reductions += 1
         self.cost += cost
 
-    def success_counts(self) -> Dict[str, Tuple[int, int]]:
-        """Per-predicate ``(attempts, successes)`` counters.
+    def success_counts(self) -> Dict[Tuple[str, int], Tuple[int, int]]:
+        """Per-signature ``(attempts, successes)`` counters.
 
         These are exactly the counters PIB maintains per retrieval.
+        Counters are keyed by the full ``(predicate, arity)``
+        signature: ``p/1`` and ``p/2`` are distinct retrievals and
+        their statistics must never collide.
         """
-        counts: Dict[str, Tuple[int, int]] = {}
+        counts: Dict[Tuple[str, int], Tuple[int, int]] = {}
         for event in self.retrievals:
-            attempts, successes = counts.get(event.goal.predicate, (0, 0))
-            counts[event.goal.predicate] = (
+            signature = event.goal.signature
+            attempts, successes = counts.get(signature, (0, 0))
+            counts[signature] = (
                 attempts + 1,
                 successes + (1 if event.succeeded else 0),
             )
@@ -122,6 +141,21 @@ class Answer:
     proved: bool
     substitution: Substitution
     trace: ProofTrace
+
+
+#: A pending subgoal on the resolution stack: the (possibly non-ground)
+#: atom, its polarity, and the canonical keys of its branch ancestors.
+_Goal = Tuple[Atom, bool, FrozenSet[tuple]]
+
+
+def _deref(term: Term, outer: Dict[Variable, Term]) -> Term:
+    """Follow goal-variable bindings made during one head unification."""
+    while type(term) is Variable:
+        bound = outer.get(term)
+        if bound is None:
+            return term
+        term = bound
+    return term
 
 
 class TopDownEngine:
@@ -164,12 +198,12 @@ class TopDownEngine:
         """
         trace = ProofTrace()
         for substitution in self._solve(
-            [(Literal(query), frozenset())],
-            Substitution(), database, trace, self.max_depth,
+            [(query, True, frozenset())],
+            EMPTY_SUBSTITUTION, database, trace, self.max_depth,
         ):
             answer = substitution.restrict(variables_of(query))
             return Answer(True, answer, trace)
-        return Answer(False, Substitution(), trace)
+        return Answer(False, EMPTY_SUBSTITUTION, trace)
 
     def answers(
         self, query: Atom, database: Database, limit: Optional[int] = None
@@ -184,8 +218,8 @@ class TopDownEngine:
         seen = set()
         produced = 0
         for substitution in self._solve(
-            [(Literal(query), frozenset())],
-            Substitution(), database, trace, self.max_depth,
+            [(query, True, frozenset())],
+            EMPTY_SUBSTITUTION, database, trace, self.max_depth,
         ):
             answer = substitution.restrict(variables_of(query))
             key = answer.apply(query)
@@ -206,26 +240,98 @@ class TopDownEngine:
     # ------------------------------------------------------------------
 
     @staticmethod
-    def _canonical(atom: Atom) -> str:
+    def _canonical(atom: Atom) -> tuple:
         """A variant-invariant key: variables numbered by first occurrence.
 
         Two atoms are variants (equal up to variable renaming) iff
         their canonical keys coincide; the loop check below uses this
         to recognize a subgoal that repeats one of its own ancestors.
+        The key is a tuple of the predicate plus, per argument, the
+        occurrence index for a variable or the constant itself — no
+        string rendering (``int`` never equals ``Constant``, so the
+        two kinds of entry cannot collide).
         """
-        mapping: Dict[str, int] = {}
-        parts = [atom.predicate]
+        mapping: Dict[Variable, int] = {}
+        parts: List[object] = [atom.predicate]
         for arg in atom.args:
-            if isinstance(arg, Variable):
-                index = mapping.setdefault(arg.name, len(mapping))
-                parts.append(f"?{index}")
+            if type(arg) is Variable:
+                index = mapping.get(arg)
+                if index is None:
+                    index = mapping[arg] = len(mapping)
+                parts.append(index)
             else:
-                parts.append(repr(arg.value))
-        return "\x1f".join(parts)
+                parts.append(arg)
+        return tuple(parts)
+
+    def _reduce(
+        self, rule: Rule, goal: Atom, ancestry: FrozenSet[tuple]
+    ) -> Optional[Tuple[Substitution, List[_Goal]]]:
+        """Attempt one rule reduction of ``goal`` via the compiled plan.
+
+        Returns ``None`` when the head does not unify; otherwise the
+        unifier restricted to the *goal's* variables plus the
+        instantiated body as new pending goals.  Fresh variables are
+        created only for plan slots the goal left unbound.
+        """
+        plan = rule.plan
+        slots: List[Optional[Term]] = [None] * plan.nslots
+        outer: Dict[Variable, Term] = {}
+
+        for spec, garg in zip(plan.head_args, goal.args):
+            if outer and type(garg) is Variable:
+                garg = _deref(garg, outer)
+            if type(spec) is int:
+                cur = slots[spec]
+                if cur is None:
+                    slots[spec] = garg
+                    continue
+                if outer and type(cur) is Variable:
+                    cur = _deref(cur, outer)
+                if cur is garg or cur == garg:
+                    continue
+                if type(garg) is Variable:
+                    outer[garg] = cur
+                elif type(cur) is Variable:
+                    outer[cur] = garg
+                    slots[spec] = garg
+                else:
+                    return None  # two distinct constants
+            else:  # head position is a constant
+                if type(garg) is Variable:
+                    outer[garg] = spec
+                elif garg != spec:
+                    return None
+
+        if outer:
+            for var, term in outer.items():
+                while type(term) is Variable and term in outer:
+                    term = outer[term]
+                outer[var] = term
+            unifier = Substitution._resolved(outer)
+        else:
+            unifier = EMPTY_SUBSTITUTION
+
+        factory = self._factory
+        body: List[_Goal] = []
+        for lp in plan.body:
+            args: List[Term] = []
+            for spec in lp.args:
+                if type(spec) is int:
+                    value = slots[spec]
+                    if value is None:
+                        # First body occurrence of an unbound slot:
+                        # mint one fresh variable, shared thereafter.
+                        value = slots[spec] = factory(plan.slot_vars[spec].name)
+                    args.append(value)
+                else:
+                    args.append(spec)
+            body.append((Atom._make(lp.predicate, tuple(args)), lp.positive,
+                         ancestry))
+        return unifier, body
 
     def _solve(
         self,
-        goals: List[Tuple[Literal, FrozenSet[str]]],
+        goals: List[_Goal],
         bindings: Substitution,
         database: Database,
         trace: ProofTrace,
@@ -246,17 +352,16 @@ class TopDownEngine:
         if depth <= 0:
             return
 
-        pending, ancestry = goals[0]
-        literal = pending.substitute(bindings)
+        pending, positive, ancestry = goals[0]
+        goal = pending.substitute(bindings)
         rest = goals[1:]
 
-        if not literal.positive:
+        if not positive:
             yield from self._solve_negation(
-                literal.atom, rest, bindings, database, trace, depth
+                goal, rest, bindings, database, trace, depth
             )
             return
 
-        goal = literal.atom
         key = self._canonical(goal)
         if key in ancestry:
             return  # variant loop: this branch cannot make progress
@@ -267,32 +372,26 @@ class TopDownEngine:
         # above retrieval arcs), then the database retrieval if the
         # relation is extensional or mixed.
         for rule in self.rule_order(goal, rules):
-            renamed_atoms = rename_apart(
-                (rule.head,) + tuple(lit.atom for lit in rule.body),
-                self._factory,
-            )
-            head = renamed_atoms[0]
-            body = [
-                (Literal(atom, lit.positive), child_ancestry)
-                for atom, lit in zip(renamed_atoms[1:], rule.body)
-            ]
-            unifier = unify(goal, head)
-            if unifier is None:
+            reduced = self._reduce(rule, goal, child_ancestry)
+            if reduced is None:
                 continue
+            unifier, body = reduced
             trace.record_reduction(self.cost_model.reduction(rule))
             yield from self._solve(
-                body + rest, bindings.compose(unifier), database, trace, depth - 1
+                body + rest, bindings.compose(unifier), database, trace,
+                depth - 1,
             )
 
         if not rules or goal.signature in database.signatures():
             cost = self.cost_model.retrieval(goal)
             found = False
+            compose = bindings.compose
             for fact_binding in database.retrieve(goal):
                 if not found:
                     trace.record_retrieval(goal, True, cost)
                     found = True
                 yield from self._solve(
-                    rest, bindings.compose(fact_binding), database, trace, depth
+                    rest, compose(fact_binding), database, trace, depth
                 )
             if not found:
                 trace.record_retrieval(goal, False, cost)
@@ -300,7 +399,7 @@ class TopDownEngine:
     def _solve_negation(
         self,
         atom: Atom,
-        rest: List[Tuple[Literal, FrozenSet[str]]],
+        rest: List[_Goal],
         bindings: Substitution,
         database: Database,
         trace: ProofTrace,
@@ -316,8 +415,8 @@ class TopDownEngine:
         highlights — one owned item suffices to refute pauperhood.
         """
         for _ in self._solve(
-            [(Literal(atom), frozenset())],
-            Substitution(), database, trace, depth - 1,
+            [(atom, True, frozenset())],
+            EMPTY_SUBSTITUTION, database, trace, depth - 1,
         ):
             return  # a proof exists, so the negation fails
         yield bindings

@@ -24,7 +24,7 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tupl
 from ..errors import EvaluationError, StratificationError
 from .terms import Atom, Substitution, Variable, variables_of
 
-__all__ = ["Literal", "Rule", "RuleBase", "QueryForm"]
+__all__ = ["Literal", "Rule", "RuleBase", "QueryForm", "RulePlan", "LiteralPlan"]
 
 
 class Literal:
@@ -58,6 +58,78 @@ class Literal:
         return str(self.atom) if self.positive else f"not {self.atom}"
 
 
+class LiteralPlan:
+    """One body literal of a :class:`RulePlan`, in positional form.
+
+    ``args`` holds an ``int`` slot index per variable position and the
+    :class:`~repro.datalog.terms.Constant` itself per constant
+    position; ``signature`` is precomputed so join loops never rebuild
+    the ``(predicate, arity)`` tuple.
+    """
+
+    __slots__ = ("predicate", "signature", "positive", "args")
+
+    def __init__(self, atom: Atom, positive: bool, slot_of) -> None:
+        self.predicate = atom.predicate
+        self.signature = atom.signature
+        self.positive = positive
+        self.args = tuple(
+            slot_of[arg] if isinstance(arg, Variable) else arg
+            for arg in atom.args
+        )
+
+    def __repr__(self) -> str:
+        return (f"LiteralPlan({self.predicate!r}, args={self.args!r}, "
+                f"positive={self.positive})")
+
+
+class RulePlan:
+    """A rule precompiled to positional variable slots.
+
+    Compiling replaces every variable of the rule by a small integer
+    slot, once, so the engines stop paying per-attempt
+    ``rename_apart`` + ``unify`` + string churn:
+
+    * the top-down engine unifies a goal against ``head_args`` directly
+      into a slot array, creating fresh variables only for the slots
+      that remain unbound and only when they occur in the body;
+    * the bottom-up engine joins ``positive`` literals over the fact
+      indexes with the same slot array, binding slots from fact
+      argument tuples instead of building ``Substitution`` objects.
+
+    ``slot_vars[i]`` is the rule's original variable for slot ``i`` —
+    the placeholder the bottom-up join uses in retrieval patterns.
+    """
+
+    __slots__ = ("nslots", "slot_vars", "head_args", "body",
+                 "positive", "negated")
+
+    def __init__(self, rule: "Rule") -> None:
+        # Slot numbering must be deterministic (first occurrence, left
+        # to right) — never via a set, whose order is hash-dependent.
+        slot_of: Dict[Variable, int] = {}
+        for var in rule.head.variables():
+            slot_of.setdefault(var, len(slot_of))
+        for literal in rule.body:
+            for var in literal.atom.variables():
+                slot_of.setdefault(var, len(slot_of))
+        self.nslots = len(slot_of)
+        self.slot_vars = tuple(slot_of)  # insertion order == slot index
+        self.head_args = tuple(
+            slot_of[arg] if isinstance(arg, Variable) else arg
+            for arg in rule.head.args
+        )
+        self.body = tuple(
+            LiteralPlan(literal.atom, literal.positive, slot_of)
+            for literal in rule.body
+        )
+        self.positive = tuple(lp for lp in self.body if lp.positive)
+        self.negated = tuple(lp for lp in self.body if not lp.positive)
+
+    def __repr__(self) -> str:
+        return f"RulePlan({self.nslots} slots, {len(self.body)} literals)"
+
+
 class Rule:
     """A Datalog rule ``head :- body`` (facts are rules with empty body).
 
@@ -66,7 +138,7 @@ class Rule:
     :math:`\\mathcal{R}_g` and so on.
     """
 
-    __slots__ = ("head", "body", "name")
+    __slots__ = ("head", "body", "name", "_plan")
 
     def __init__(self, head: Atom, body: Sequence[Literal] = (),
                  name: Optional[str] = None):
@@ -82,11 +154,24 @@ class Rule:
         self.head = head
         self.body: Tuple[Literal, ...] = tuple(normalized)
         self.name = name
+        self._plan: Optional[RulePlan] = None
 
     @property
     def is_fact(self) -> bool:
         """Whether the rule has an empty body (i.e. is a ground fact rule)."""
         return not self.body
+
+    @property
+    def plan(self) -> RulePlan:
+        """The rule's compiled :class:`RulePlan` (built once, cached).
+
+        Rules are immutable, so the plan is a pure function of the rule
+        and safe to share across engines.
+        """
+        plan = self._plan
+        if plan is None:
+            plan = self._plan = RulePlan(self)
+        return plan
 
     @property
     def is_disjunctive_simple(self) -> bool:

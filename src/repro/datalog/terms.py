@@ -15,6 +15,21 @@ module supplies the term-level vocabulary those objects are written in:
 All objects are immutable, hashable and comparable, so they can be used
 freely as dictionary keys and set members — the database indexes depend
 on this.
+
+Terms sit on the engine's hottest path (every unification, every index
+probe, every trace event hashes and compares them), so the
+representation is tuned accordingly:
+
+* hashes are computed **once at construction** and stored in a slot;
+* :class:`Variable` and :class:`Constant` are **interned** through a
+  bounded table, so the working set compares by identity first (the
+  table stops growing past its cap instead of evicting, which keeps a
+  long-lived serving process from leaking through fresh-variable
+  churn);
+* :class:`Atom` precomputes ``signature`` and ``is_ground`` as plain
+  attributes and exposes the trusted fast constructor
+  :meth:`Atom._make` for callers (the compiled rule plans, the fact
+  indexes) that already hold a tuple of ``Term`` arguments.
 """
 
 from __future__ import annotations
@@ -31,6 +46,12 @@ __all__ = [
     "make_term",
     "variables_of",
 ]
+
+#: Interning stops (new objects are still created, just not remembered)
+#: once a table reaches this many entries, bounding memory under
+#: adversarial workloads such as fresh-variable churn in a long-lived
+#: serving process.
+_INTERN_LIMIT = 1 << 16
 
 
 class Term:
@@ -57,21 +78,33 @@ class Constant(Term):
     constant ``1`` and the constant ``"1"`` are distinct.
     """
 
-    __slots__ = ("value",)
+    __slots__ = ("value", "_hash")
 
-    def __init__(self, value):
+    is_ground = True  # shadows Term.is_ground: constants are ground
+
+    _intern: Dict[tuple, "Constant"] = {}
+
+    def __new__(cls, value):
         if isinstance(value, Term):
             raise TypeError("Constant value must be a plain value, not a Term")
+        key = (value.__class__, value)
+        table = cls._intern
+        cached = table.get(key)
+        if cached is not None:
+            return cached
+        self = super().__new__(cls)
         self.value = value
-
-    @property
-    def is_ground(self) -> bool:
-        return True
+        self._hash = hash((Constant, type(value).__name__, value))
+        if len(table) < _INTERN_LIMIT:
+            table[key] = self
+        return self
 
     def substitute(self, subst: "Substitution") -> "Constant":
         return self
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Constant)
             and type(self.value) is type(other.value)
@@ -79,7 +112,10 @@ class Constant(Term):
         )
 
     def __hash__(self) -> int:
-        return hash((Constant, type(self.value).__name__, self.value))
+        return self._hash
+
+    def __reduce__(self):
+        return (Constant, (self.value,))
 
     def __repr__(self) -> str:
         return f"Constant({self.value!r})"
@@ -96,25 +132,39 @@ class Variable(Term):
     conventionally anonymous but receive no special treatment here.
     """
 
-    __slots__ = ("name",)
+    __slots__ = ("name", "_hash")
 
-    def __init__(self, name: str):
+    is_ground = False  # shadows Term.is_ground: variables never are
+
+    _intern: Dict[str, "Variable"] = {}
+
+    def __new__(cls, name: str):
+        table = cls._intern
+        cached = table.get(name)
+        if cached is not None:
+            return cached
         if not isinstance(name, str) or not name:
             raise TypeError("Variable name must be a non-empty string")
+        self = super().__new__(cls)
         self.name = name
-
-    @property
-    def is_ground(self) -> bool:
-        return False
+        self._hash = hash((Variable, name))
+        if len(table) < _INTERN_LIMIT:
+            table[name] = self
+        return self
 
     def substitute(self, subst: "Substitution") -> Term:
         return subst.get(self, self)
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return isinstance(other, Variable) and self.name == other.name
 
     def __hash__(self) -> int:
-        return hash((Variable, self.name))
+        return self._hash
+
+    def __reduce__(self):
+        return (Variable, (self.name,))
 
     def __repr__(self) -> str:
         return f"Variable({self.name!r})"
@@ -141,44 +191,59 @@ class Atom:
     """A predicate applied to a tuple of terms, e.g. ``prof(manolis)``.
 
     ``predicate`` is the relation name; ``args`` is the (possibly empty)
-    argument tuple.  Atoms are immutable and hashable.
+    argument tuple.  Atoms are immutable and hashable; ``signature``,
+    ``is_ground`` and the hash are computed once at construction.
     """
 
-    __slots__ = ("predicate", "args", "_hash")
+    __slots__ = ("predicate", "args", "signature", "is_ground", "_hash")
 
     def __init__(self, predicate: str, args: Sequence = ()):
         if not isinstance(predicate, str) or not predicate:
             raise TypeError("predicate must be a non-empty string")
         self.predicate = predicate
         self.args: Tuple[Term, ...] = tuple(make_term(a) for a in args)
+        self.signature = (predicate, len(self.args))
+        self.is_ground = all(type(a) is not Variable for a in self.args)
         self._hash = hash((Atom, predicate, self.args))
+
+    @classmethod
+    def _make(cls, predicate: str, args: Tuple[Term, ...]) -> "Atom":
+        """Trusted fast constructor: ``args`` must already be a tuple of
+        :class:`Term` objects.  Skips coercion and validation — this is
+        the constructor the compiled rule plans and indexes use."""
+        atom = object.__new__(cls)
+        atom.predicate = predicate
+        atom.args = args
+        atom.signature = (predicate, len(args))
+        atom.is_ground = all(type(a) is not Variable for a in args)
+        atom._hash = hash((Atom, predicate, args))
+        return atom
 
     @property
     def arity(self) -> int:
         """Number of arguments."""
         return len(self.args)
 
-    @property
-    def signature(self) -> Tuple[str, int]:
-        """``(predicate, arity)`` pair identifying the relation."""
-        return (self.predicate, len(self.args))
-
-    @property
-    def is_ground(self) -> bool:
-        """Whether every argument is a constant."""
-        return all(a.is_ground for a in self.args)
-
     def variables(self) -> Iterator[Variable]:
         """Yield the variables of the atom, left to right, with repeats."""
         for arg in self.args:
-            if isinstance(arg, Variable):
+            if type(arg) is Variable:
                 yield arg
 
     def substitute(self, subst: "Substitution") -> "Atom":
         """Return the atom with ``subst`` applied to every argument."""
         if not subst:
             return self
-        return Atom(self.predicate, tuple(a.substitute(subst) for a in self.args))
+        changed = False
+        new_args = []
+        for arg in self.args:
+            new = arg.substitute(subst)
+            if new is not arg:
+                changed = True
+            new_args.append(new)
+        if not changed:
+            return self
+        return Atom._make(self.predicate, tuple(new_args))
 
     def binding_pattern(self) -> str:
         """The paper's query-form adornment: ``'b'``/``'f'`` per argument.
@@ -190,14 +255,20 @@ class Atom:
         return "".join("b" if a.is_ground else "f" for a in self.args)
 
     def __eq__(self, other) -> bool:
+        if self is other:
+            return True
         return (
             isinstance(other, Atom)
+            and self._hash == other._hash
             and self.predicate == other.predicate
             and self.args == other.args
         )
 
     def __hash__(self) -> int:
         return self._hash
+
+    def __reduce__(self):
+        return (Atom, (self.predicate, self.args))
 
     def __repr__(self) -> str:
         return f"Atom({self.predicate!r}, {list(self.args)!r})"
@@ -217,7 +288,7 @@ class Substitution(Mapping[Variable, Term]):
     substitutions idempotent, a property the unit tests rely on.
     """
 
-    __slots__ = ("_bindings",)
+    __slots__ = ("_bindings", "_hash")
 
     def __init__(self, bindings: Optional[Mapping[Variable, Term]] = None):
         resolved: Dict[Variable, Term] = {}
@@ -232,6 +303,18 @@ class Substitution(Mapping[Variable, Term]):
             if var == term:
                 raise ValueError(f"substitution binds {var} to itself")
         self._bindings = resolved
+        self._hash = None
+
+    @classmethod
+    def _resolved(cls, bindings: Dict[Variable, Term]) -> "Substitution":
+        """Trusted fast constructor: ``bindings`` must already be fully
+        resolved (no value is itself a bound variable) and free of
+        identity bindings.  The dict is adopted, not copied — callers
+        must hand over ownership."""
+        sub = object.__new__(cls)
+        sub._bindings = bindings
+        sub._hash = None
+        return sub
 
     def __getitem__(self, var: Variable) -> Term:
         return self._bindings[var]
@@ -241,6 +324,9 @@ class Substitution(Mapping[Variable, Term]):
 
     def __len__(self) -> int:
         return len(self._bindings)
+
+    def get(self, var: Variable, default=None):
+        return self._bindings.get(var, default)
 
     def apply(self, target: Union[Term, Atom]) -> Union[Term, Atom]:
         """Apply the substitution to a term or atom."""
@@ -252,20 +338,30 @@ class Substitution(Mapping[Variable, Term]):
         Applying the result is equivalent to applying ``self`` and then
         ``other``.
         """
+        mine = self._bindings
+        theirs = other._bindings
+        if not theirs:
+            return self
+        if not mine:
+            return other
         merged: Dict[Variable, Term] = {}
-        for var, term in self._bindings.items():
-            merged[var] = term.substitute(other)
-        for var, term in other._bindings.items():
-            if var not in merged:
+        for var, term in mine.items():
+            # Both inputs are fully resolved, so one substitution step
+            # fully resolves the composed binding.
+            new = term.substitute(other) if type(term) is Variable else term
+            if var is not new and var != new:
+                merged[var] = new
+        for var, term in theirs.items():
+            if var not in merged and var not in mine:
                 merged[var] = term
-        # Drop identity bindings introduced by the composition.
-        merged = {v: t for v, t in merged.items() if v != t}
-        return Substitution(merged)
+        return Substitution._resolved(merged)
 
     def restrict(self, variables: Iterable[Variable]) -> "Substitution":
         """Project the substitution onto ``variables``."""
-        keep = set(variables)
-        return Substitution({v: t for v, t in self._bindings.items() if v in keep})
+        bindings = self._bindings
+        return Substitution._resolved(
+            {v: bindings[v] for v in set(variables) if v in bindings}
+        )
 
     def is_ground(self) -> bool:
         """Whether every binding maps to a ground term."""
@@ -275,7 +371,9 @@ class Substitution(Mapping[Variable, Term]):
         return isinstance(other, Substitution) and self._bindings == other._bindings
 
     def __hash__(self) -> int:
-        return hash(frozenset(self._bindings.items()))
+        if self._hash is None:
+            self._hash = hash(frozenset(self._bindings.items()))
+        return self._hash
 
     def __repr__(self) -> str:
         inner = ", ".join(f"{v}: {t}" for v, t in sorted(

@@ -13,6 +13,13 @@ Three operations are provided:
   indexes for retrieval;
 * :func:`rename_apart` — freshen the variables of a clause before
   resolution so distinct rule applications never share variables.
+
+``unify`` and ``match`` are hot-path operations (one call per
+reduction attempt / per candidate fact), so both build a single raw
+binding dict in place and hand it to the trusted
+:meth:`~repro.datalog.terms.Substitution._resolved` constructor after a
+final chain-resolution pass, instead of re-validating through
+``Substitution.__init__``.
 """
 
 from __future__ import annotations
@@ -56,12 +63,28 @@ def unify(left: Atom, right: Atom) -> Optional[Substitution]:
     """
     if left.signature != right.signature:
         return None
-    bindings: Optional[Dict[Variable, Term]] = {}
+    bindings: Dict[Variable, Term] = {}
     for l_arg, r_arg in zip(left.args, right.args):
-        bindings = unify_terms(l_arg, r_arg, bindings)
-        if bindings is None:
-            return None
-    return Substitution(bindings)
+        while type(l_arg) is Variable and l_arg in bindings:
+            l_arg = bindings[l_arg]
+        while type(r_arg) is Variable and r_arg in bindings:
+            r_arg = bindings[r_arg]
+        if l_arg is r_arg or l_arg == r_arg:
+            continue
+        if type(l_arg) is Variable:
+            bindings[l_arg] = r_arg
+        elif type(r_arg) is Variable:
+            bindings[r_arg] = l_arg
+        else:
+            return None  # two distinct constants
+    if not bindings:
+        return Substitution._resolved({})
+    for var, term in bindings.items():
+        # Chase variable-to-variable chains so the result is resolved.
+        while type(term) is Variable and term in bindings:
+            term = bindings[term]
+        bindings[var] = term
+    return Substitution._resolved(bindings)
 
 
 def match(pattern: Atom, target: Atom) -> Optional[Substitution]:
@@ -75,12 +98,28 @@ def match(pattern: Atom, target: Atom) -> Optional[Substitution]:
         return None
     bindings: Dict[Variable, Term] = {}
     for p_arg, t_arg in zip(pattern.args, target.args):
-        p_arg = _resolve(p_arg, bindings)
-        if isinstance(p_arg, Variable):
-            bindings[p_arg] = t_arg
+        while type(p_arg) is Variable and p_arg in bindings:
+            p_arg = bindings[p_arg]
+        if type(p_arg) is Variable:
+            if p_arg != t_arg:
+                bindings[p_arg] = t_arg
         elif p_arg != t_arg:
             return None
-    return Substitution(bindings)
+    if bindings:
+        for var, term in bindings.items():
+            # Chains (and cycles) arise only when pattern and target
+            # share variables; walk with cycle detection like
+            # ``Substitution.__init__`` would.
+            seen = None
+            while type(term) is Variable and term in bindings:
+                if seen is None:
+                    seen = {var}
+                if term in seen:
+                    raise ValueError(f"cyclic substitution through {term}")
+                seen.add(term)
+                term = bindings[term]
+            bindings[var] = term
+    return Substitution._resolved(bindings)
 
 
 def _resolve(term: Term, bindings: Dict[Variable, Term]) -> Term:

@@ -301,6 +301,10 @@ class FlakyDatabase(Database):
         self._inject(pattern)
         return self._inner.retrieve(pattern)
 
+    def facts_matching(self, pattern) -> Iterator:
+        self._inject(pattern)
+        return self._inner.facts_matching(pattern)
+
     # -- passthrough ----------------------------------------------------
 
     def copy(self) -> "FlakyDatabase":

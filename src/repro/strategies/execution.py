@@ -131,11 +131,14 @@ def execute(
     run counts as succeeded only if all ``k`` successes were found.
 
     ``recorder`` observes the run (span + per-attempt events) without
-    influencing it; the default null recorder costs one attribute
-    check per attempted arc.
+    influencing it; with the default null recorder the common
+    first-success case takes a branch-free fast path with no recorder
+    or success-counting overhead in the arc loop.
     """
     if required_successes < 1:
         raise ValueError("required_successes must be at least 1")
+    if required_successes == 1 and not recorder.enabled:
+        return _execute_fast(strategy, context)
     graph = strategy.graph
     reached: Set[str] = {graph.root.name}
     cost = 0.0
@@ -170,6 +173,47 @@ def execute(
                 )
     if recorder.enabled:
         recorder.end_query(span, cost=cost, succeeded=False)
+    return ExecutionResult(
+        strategy, context, cost, False, None, attempted, observations
+    )
+
+
+def _execute_fast(strategy: Strategy, context: Context) -> ExecutionResult:
+    """:func:`execute` specialized to the dominant call shape.
+
+    Identical semantics to ``execute(strategy, context)`` with
+    ``required_successes=1`` and the null recorder — same cost, same
+    attempt order, same observations — minus the recorder seam and the
+    success counter.  PIB's inner training loop executes millions of
+    (strategy, context) pairs through here, so the per-arc constant
+    matters; the dispatch in :func:`execute` keeps every recorded or
+    first-``k`` call on the fully instrumented path.
+    """
+    reached: Set[str] = {strategy.graph.root.name}
+    cost = 0.0
+    attempted: List[Arc] = []
+    observations: Dict[str, bool] = {}
+    traversable_of = context.traversable
+    append = attempted.append
+    add_reached = reached.add
+    for arc in strategy:
+        if arc.source.name not in reached:
+            continue
+        append(arc)
+        if traversable_of(arc):
+            cost += arc.cost
+            if arc.blockable:
+                observations[arc.name] = True
+            target = arc.target
+            add_reached(target.name)
+            if target.is_success:
+                return ExecutionResult(
+                    strategy, context, cost, True, arc, attempted, observations
+                )
+        else:
+            cost += arc.blocked_cost
+            if arc.blockable:
+                observations[arc.name] = False
     return ExecutionResult(
         strategy, context, cost, False, None, attempted, observations
     )

@@ -113,6 +113,29 @@ class TestBottomUpEngine:
         engine.invalidate(db)
         assert engine.model(db) is not first
 
+    def test_mutation_invalidates_cached_model(self):
+        # Regression: the model cache used to key on ``id(database)``
+        # alone, so a database mutated after its first query kept
+        # serving the stale pre-mutation model until an explicit
+        # ``invalidate`` call.
+        engine = BottomUpEngine(parse_program("p(X) :- q(X)."))
+        db = Database.from_program("q(a).")
+        assert engine.holds(parse_query("p(a)"), db)
+        assert not engine.holds(parse_query("p(b)"), db)
+        db.add(Atom("q", ["b"]))
+        assert engine.holds(parse_query("p(b)"), db)
+        db.remove(Atom("q", ["a"]))
+        assert not engine.holds(parse_query("p(a)"), db)
+
+    def test_unmutated_database_stays_cached(self):
+        engine = BottomUpEngine(parse_program("p(X) :- q(X)."))
+        db = Database.from_program("q(a).")
+        first = engine.model(db)
+        db.add(Atom("q", ["b"]))
+        second = engine.model(db)
+        assert second is not first
+        assert engine.model(db) is second
+
     def test_invalidate_all(self):
         engine = BottomUpEngine(parse_program("p(X) :- q(X)."))
         db = Database.from_program("q(a).")

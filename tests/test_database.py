@@ -102,6 +102,34 @@ class TestRetrieval:
         facts = list(self.db)
         assert facts[0] == atom("edge", "a", "b")
 
+    def test_index_bucket_enumeration_is_insertion_order(self):
+        # Regression: the per-argument index used to keep ``set``
+        # buckets, so enumeration through a bound position ran in hash
+        # order — nondeterministic across PYTHONHASHSEED values.  The
+        # buckets are insertion-ordered dicts now; a bound-position
+        # retrieval must replay insertion order exactly.
+        db = Database()
+        targets = [f"n{index}" for index in range(50)]
+        for target in targets:
+            db.add(atom("edge", "hub", target))
+        db.add(atom("edge", "other", "n0"))  # forces the indexed path
+        seen = [
+            binding[Variable("X")].value
+            for binding in db.retrieve(atom("edge", "hub", "X"))
+        ]
+        assert seen == targets
+        facts = [fact.args[1].value
+                 for fact in db.facts_matching(atom("edge", "hub", "X"))]
+        assert facts == targets
+
+    def test_facts_matching_yields_stored_facts(self):
+        hits = list(self.db.facts_matching(atom("edge", "a", "X")))
+        assert hits == [atom("edge", "a", "b"), atom("edge", "a", "c")]
+        assert list(self.db.facts_matching(atom("edge", "a", "b"))) == [
+            atom("edge", "a", "b")
+        ]
+        assert list(self.db.facts_matching(atom("edge", "z", "X"))) == []
+
 
 class TestFromProgram:
     def test_loads_facts(self):

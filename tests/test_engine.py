@@ -172,8 +172,22 @@ class TestCostAccounting:
         db = Database.from_program("grad(manolis).")
         answer = engine.prove(parse_query("instructor(manolis)"), db)
         counts = answer.trace.success_counts()
-        assert counts["prof"] == (1, 0)
-        assert counts["grad"] == (1, 1)
+        assert counts[("prof", 1)] == (1, 0)
+        assert counts[("grad", 1)] == (1, 1)
+
+    def test_success_counts_distinguish_arities(self):
+        # Regression: counters used to key by predicate name only, so
+        # p/1 and p/2 retrieval statistics collided into one entry —
+        # poison for PIB's per-retrieval success frequencies.
+        engine = make_engine("""
+            goal(X) :- p(X), p(X, X).
+        """)
+        db = Database.from_program("p(a). p(b). p(a, a).")
+        answer = engine.prove(parse_query("goal(a)"), db)
+        counts = answer.trace.success_counts()
+        assert set(counts) == {("p", 1), ("p", 2)}
+        assert counts[("p", 1)] == (1, 1)
+        assert counts[("p", 2)] == (1, 1)
 
 
 class TestRuleOrderPolicy:

@@ -11,7 +11,10 @@ This test greps the source tree: the only attribute of the ``random``
 module the library may touch is the ``Random`` class itself.
 """
 
+import os
 import re
+import subprocess
+import sys
 from pathlib import Path
 
 SRC = Path(__file__).resolve().parent.parent / "src" / "repro"
@@ -51,3 +54,71 @@ def test_lint_pattern_catches_offenses():
     for good in ("rng = random.Random(7)", "rng.random()",
                  "self.rng.shuffle(items)", "random.Random()"):
         assert not BARE_RANDOM_CALL.search(good), good
+
+
+#: Enumerates every answer to a multi-answer retrieval, through both
+#: the full-relation scan and a per-argument index bucket, and prints
+#: the orders.  Run under different PYTHONHASHSEED values the output
+#: must be byte-identical — ``str`` hashing is the salted one, so any
+#: hash-ordered container on the enumeration path shows up here.
+_HASHSEED_PROBE = """\
+from repro.datalog.database import Database
+from repro.datalog.terms import Atom, Variable
+
+db = Database()
+for index in range(64):
+    db.add(Atom("edge", [f"hub", f"n{index:02d}"]))
+    db.add(Atom("edge", [f"s{index:02d}", "sink"]))
+
+X = Variable("X")
+scan = [b[X].value for b in db.retrieve(Atom("edge", ["hub", X]))]
+bucket = [b[X].value for b in db.retrieve(Atom("edge", [X, "sink"]))]
+signatures = sorted(db.signatures())
+print(scan)
+print(bucket)
+print(signatures)
+
+# Engine-level: the proof search enumerates candidate facts, so its
+# billed cost inherits any enumeration nondeterminism (the pre-fix
+# engine proved the same query at different costs under different
+# salts).
+from repro.datalog.engine import TopDownEngine
+from repro.datalog.parser import parse_program, parse_query
+
+rules = parse_program(
+    "path(X, Y) :- edge(X, Y). path(X, Y) :- edge(X, Z), path(Z, Y)."
+)
+closure = Database()
+for index in range(9):
+    closure.add(Atom("edge", [f"m{index}", f"m{index + 1}"]))
+closure.add(Atom("edge", ["m0", "m5"]))
+answer = TopDownEngine(rules).prove(parse_query("path(m0, m9)"), closure)
+print(answer.proved, answer.trace.cost, answer.trace.reductions)
+"""
+
+
+def test_retrieve_enumeration_order_survives_hash_seed():
+    """Answer enumeration is byte-identical across PYTHONHASHSEED.
+
+    Regression for the hash-order bug family: the per-argument fact
+    index used ``set`` buckets, so multi-answer retrieval order
+    depended on the interpreter's string-hash salt and the serving
+    layer's byte-identity guarantee silently held only within one
+    process.  Subprocesses are the only honest way to vary the salt —
+    it is fixed at interpreter startup.
+    """
+    outputs = set()
+    for seed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=str(SRC.parent))
+        result = subprocess.run(
+            [sys.executable, "-c", _HASHSEED_PROBE],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1, (
+        "retrieve enumeration varied with PYTHONHASHSEED:\n"
+        + "\n---\n".join(outputs)
+    )
+    expected = [f"n{index:02d}" for index in range(64)]
+    assert str(expected) in next(iter(outputs))

@@ -41,6 +41,7 @@ sys.path.insert(
 from repro.bench import (  # noqa: E402
     experiment_distributed,
     experiment_drift,
+    experiment_engine,
     experiment_figure1,
     experiment_overload,
     experiment_serving,
@@ -53,6 +54,16 @@ def _suite() -> List[Tuple[str, Callable, List[str]]]:
     """(name, thunk, data keys to record) — pinned parameters only."""
     return [
         ("figure1", experiment_figure1, []),
+        (
+            # Raw Datalog substrate speed: repeated proves, answer
+            # enumeration, both fixpoints.  The deterministic metrics
+            # pin search behaviour (a prove-cost change means the
+            # engine explores differently); wall_seconds is the
+            # hot-path speed trend.
+            "engine",
+            lambda: experiment_engine(nodes=60, proves=200),
+            ["path_facts", "answers", "prove_cost"],
+        ),
         ("distributed", experiment_distributed, []),
         (
             # Wall-clock speedup checks: wall_seconds is the trend
