@@ -79,6 +79,15 @@ from .serving import (
     open_session,
 )
 from .strategies import ExecutionOutcome
+from . import storage
+from .storage import (
+    COMPLETE,
+    Completeness,
+    FactStore,
+    FederatedStore,
+    ShardSpec,
+    SQLiteFactStore,
+)
 from .persistence import load_pib, pib_from_dict, pib_to_dict, save_pib
 from .resilience import (
     FaultPlan,
@@ -163,6 +172,13 @@ __all__ = [
     "learning",
     "resilience",
     "workloads",
+    "storage",
+    "COMPLETE",
+    "Completeness",
+    "FactStore",
+    "FederatedStore",
+    "ShardSpec",
+    "SQLiteFactStore",
     "FaultPlan",
     "FaultSpec",
     "FlakyContext",

@@ -82,6 +82,7 @@ __all__ = [
     "experiment_distributed",
     "experiment_distributed_faulty",
     "experiment_drift",
+    "experiment_federation",
     "experiment_naf",
     "experiment_overload",
     "experiment_serving",
@@ -1680,5 +1681,179 @@ def experiment_engine(
         "prove cost is positive and reproducible across runs",
         prove_cost > 0
         and engine.prove(goal, facts).trace.cost == prove_cost,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# FED1: storage backends — memory vs SQLite vs federated (calm / faulty)
+# ----------------------------------------------------------------------
+
+def experiment_federation(
+    nodes: int = 48,
+    queries: int = 120,
+    seed: int = 7,
+    shards: int = 3,
+    fault_rate: float = 0.25,
+    timeout_rate: float = 0.05,
+) -> ExperimentResult:
+    """Storage backends head-to-head on a transitive-closure workload.
+
+    The same chain-with-shortcuts knowledge base is answered through
+    the in-memory :class:`Database`, the SQLite backend, a *calm*
+    federated store (no faults), and a *faulty* federated store with
+    replicas and hedged reads.  The first three must be byte-identical
+    (same answers in the same enumeration order, same prove cost); the
+    faulty leg exercises degrade-to-partial: every answer it yields is
+    checked against the complete set, and its partial/dark/hedge/billed
+    telemetry — deterministic in the seed — is the trajectory metric.
+    """
+    from ..datalog.engine import TopDownEngine
+    from ..datalog.terms import Atom
+    from ..storage.federation import FederatedStore
+    from ..storage.sqlite import SQLiteFactStore
+
+    result = ExperimentResult(
+        "FED1: storage backends (memory vs SQLite vs federated)"
+    )
+    rules = parse_program("""
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    """)
+    facts: List[Atom] = []
+    for index in range(nodes - 1):
+        facts.append(Atom("edge", [f"n{index:03d}", f"n{index + 1:03d}"]))
+    for index in range(0, nodes - 5, 5):
+        facts.append(Atom("edge", [f"n{index:03d}", f"n{index + 5:03d}"]))
+    for index in range(0, nodes, 3):
+        facts.append(Atom("marked", [f"n{index:03d}"]))
+
+    def faulty_store() -> FederatedStore:
+        return FederatedStore(
+            facts,
+            shards=shards,
+            seed=seed,
+            fault=FaultSpec(fault_rate=fault_rate, timeout_rate=timeout_rate),
+            replicas=True,
+            # A faulty replica too, else hedging always rescues the
+            # probe and the degrade-to-partial path never runs.
+            replica_fault=FaultSpec(
+                fault_rate=fault_rate, timeout_rate=timeout_rate
+            ),
+            retry_budget=1,
+        )
+
+    backends = [
+        ("memory", Database(facts)),
+        ("sqlite", SQLiteFactStore(facts)),
+        ("federated-calm", FederatedStore(facts, shards=shards, seed=seed)),
+    ]
+    engine = TopDownEngine(rules, max_depth=4 * nodes)
+    goal = parse_query(f"path(n000, n{nodes - 1:03d})")
+    wildcard = parse_query("path(n000, X)")
+    marked = parse_query("marked(X)")
+
+    timings: Dict[str, float] = {}
+    enumerations: Dict[str, Tuple] = {}
+    prove_costs: Dict[str, float] = {}
+    for name, store in backends:
+        start = time.perf_counter()
+        enumerations[name] = tuple(
+            wildcard.substitute(answer.substitution)
+            for answer in engine.answers(wildcard, store)
+        )
+        prove_costs[name] = engine.prove(goal, store).trace.cost
+        timings[name] = time.perf_counter() - start
+    complete_marked = {
+        marked.substitute(answer.substitution)
+        for answer in engine.answers(marked, backends[0][1])
+    }
+
+    def run_faulty() -> Tuple[Tuple[int, int, int, int, float], bool]:
+        """One seeded faulty pass; returns (fingerprint, sound)."""
+        store = faulty_store()
+        partials = lost = 0
+        sound = True
+        for number in range(queries):
+            store.begin_probe_window()
+            if number % 2:
+                got = {
+                    marked.substitute(answer.substitution)
+                    for answer in engine.answers(marked, store)
+                }
+                window = store.end_probe_window()
+                if not got <= complete_marked:
+                    sound = False
+                if got != complete_marked:
+                    lost += 1
+                    if window.completeness.complete:
+                        sound = False
+            else:
+                proved = engine.prove(goal, store).proved
+                window = store.end_probe_window()
+                if not proved:
+                    lost += 1
+                    if window.completeness.complete:
+                        sound = False
+            if window.completeness.partial:
+                partials += 1
+        fingerprint = (
+            partials,
+            lost,
+            store.dark_probes,
+            store.hedged_reads,
+            round(store.billed_cost, 6),
+        )
+        return fingerprint, sound
+
+    start = time.perf_counter()
+    first, sound = run_faulty()
+    timings["federated-faulty"] = time.perf_counter() - start
+    second, _ = run_faulty()
+    partials, lost, dark, hedged, billed = first
+
+    result.data.update({
+        "answers": len(enumerations["memory"]),
+        "prove_cost": prove_costs["memory"],
+        "faulty_queries": queries,
+        "faulty_partials": partials,
+        "faulty_lost": lost,
+        "faulty_dark_probes": dark,
+        "faulty_hedged_reads": hedged,
+        "faulty_billed": billed,
+        "timings": {name: round(value, 4) for name, value in timings.items()},
+    })
+    result.tables.append(format_table(
+        f"Backends over {len(facts)} facts, {nodes}-node closure",
+        ["backend", "answers", "prove cost", "wall seconds"],
+        [[name, len(enumerations[name]), f"{prove_costs[name]:g}",
+          f"{timings[name]:.4f}"] for name, _ in backends]
+        + [["federated-faulty", f"{partials} partial/{queries}",
+            f"billed {billed:g}", f"{timings['federated-faulty']:.4f}"]],
+        footer=f"faulty leg: {dark} dark probes, {hedged} hedged reads",
+    ))
+    result.check(
+        "SQLite enumerates byte-identically to memory",
+        enumerations["sqlite"] == enumerations["memory"],
+    )
+    result.check(
+        "healthy federated enumerates byte-identically to memory",
+        enumerations["federated-calm"] == enumerations["memory"],
+    )
+    result.check(
+        "prove cost identical across healthy backends",
+        len(set(prove_costs.values())) == 1,
+    )
+    result.check(
+        "faulty federated answers stay sound (subset + honest verdicts)",
+        sound,
+    )
+    result.check(
+        "faults actually bit: at least one partial answer observed",
+        partials > 0,
+    )
+    result.check(
+        "faulty federated replay is byte-deterministic",
+        first == second,
     )
     return result

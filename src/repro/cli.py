@@ -33,7 +33,8 @@ Seven subcommands::
 * ``verify`` runs the deterministic-simulation / differential-oracle
   battery (:mod:`repro.verify`) over seeded random worlds, per
   profile (``engine``, ``pib``, ``pao``, ``serving``, ``chaos``,
-  ``overload`` or ``all``); ``--replay world.json`` re-checks one saved
+  ``overload``, ``federation`` or ``all``); ``--replay world.json``
+  re-checks one saved
   :class:`~repro.verify.worldgen.WorldSpec`, ``--artifacts DIR``
   saves failing specs for replay, and ``--coverage`` runs the test
   suite under ``coverage`` with the repo's fail-under floor.
@@ -78,6 +79,33 @@ from .serving.admission import coerce_requests
 from .serving.config import SHED_POLICIES
 
 __all__ = ["main", "build_parser"]
+
+
+def _build_store(args: argparse.Namespace):
+    """The ``--facts`` database on the backend ``--store`` names."""
+    facts = getattr(args, "facts", None)
+    store = getattr(args, "store", "memory")
+    if store == "memory" or facts is None:
+        return facts  # open_session coerces a path to a Database
+    with open(facts, encoding="utf-8") as handle:
+        text = handle.read()
+    if store == "sqlite":
+        from .storage.sqlite import SQLiteFactStore
+
+        return SQLiteFactStore.from_program(text)
+    from .resilience.faults import FaultSpec
+    from .storage.federation import FederatedStore
+
+    return FederatedStore.from_program(
+        text,
+        shards=args.store_shards,
+        seed=args.store_seed,
+        fault=FaultSpec(
+            fault_rate=args.store_fault_rate,
+            timeout_rate=args.store_timeout_rate,
+        ),
+        replicas=args.store_replicas,
+    )
 
 
 def _load_rules(path: str):
@@ -263,8 +291,9 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
         print("no queries in the stream", file=out)
         return 1
     admission = _admission_from_args(args)
+    store = _build_store(args)
     with open_session(
-        args.rules, args.facts,
+        args.rules, store,
         config=_config_from_args(args),
         cache=_cache_from_args(args),
         serving=ServingConfig(workers=args.workers, admission=admission),
@@ -280,6 +309,12 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                         f"served {len(served)}, "
                         f"rejected {sum(o.rejected for o in outcomes)}, "
                         f"degraded {sum(o.degraded for o in outcomes)}")
+                partial = sum(
+                    1 for o in outcomes
+                    if o.completeness is not None and o.completeness.partial
+                )
+                if partial:
+                    line += f", partial {partial}"
                 if answers:
                     total_cost = sum(answer.cost for answer in answers)
                     line += f", mean cost {total_cost / len(answers):.3f}"
@@ -289,15 +324,26 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
             total_cost = sum(answer.cost for answer in answers)
             cached = sum(1 for answer in answers if answer.cached)
             degraded = sum(1 for answer in answers if answer.degraded)
+            partial = sum(
+                1 for answer in answers if answer.completeness.partial
+            )
             line = (f"pass {pass_number}: {len(answers)} queries, "
                     f"mean cost {total_cost / len(answers):.3f}, "
                     f"cached {cached}")
             if degraded:
                 line += f", degraded {degraded}"
+            if partial:
+                line += f", partial {partial}"
             print(line, file=out)
         snapshot = session.server.snapshot()
         print(f"workers: {snapshot['workers']}", file=out)
         print(f"forms: {snapshot['forms']}", file=out)
+        if hasattr(store, "shard_names"):
+            fed = store.summary()
+            print(f"federation: shards={fed['shards']} "
+                  f"probes={fed['probes']} dark={fed['dark_probes']} "
+                  f"hedged={fed['hedged_reads']} "
+                  f"billed={fed['billed_cost']:g}", file=out)
         for tier in ("answer_cache", "subgoal_memo"):
             stats = snapshot.get(tier)
             if stats is None:
@@ -560,6 +606,20 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--request-deadline", type=float, default=None,
                        help="per-request latency budget in cost units "
                             "(queue wait + service on the form clock)")
+    serve.add_argument("--store", default="memory",
+                       choices=("memory", "sqlite", "federated"),
+                       help="fact-storage backend for --facts")
+    serve.add_argument("--store-shards", type=int, default=3,
+                       help="shard count for --store federated")
+    serve.add_argument("--store-seed", type=int, default=0,
+                       help="fault-plan seed for --store federated")
+    serve.add_argument("--store-fault-rate", type=float, default=0.0,
+                       help="per-shard fault rate for --store federated")
+    serve.add_argument("--store-timeout-rate", type=float, default=0.0,
+                       help="per-shard timeout rate for --store federated")
+    serve.add_argument("--store-replicas", action="store_true",
+                       help="give every federated shard a clean replica "
+                            "for hedged reads")
     serve.set_defaults(handler=cmd_serve)
 
     stats = sub.add_parser(
@@ -590,7 +650,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="first seed of the family")
     verify.add_argument("--profile", action="append",
                         choices=("engine", "pib", "pao", "serving",
-                                 "chaos", "overload", "all"),
+                                 "chaos", "overload", "federation", "all"),
                         default=None,
                         help="profile to run (repeatable; default all)")
     verify.add_argument("--artifacts", default=None, metavar="DIR",

@@ -27,21 +27,16 @@ extensional?" check is O(1) instead of rebuilding a set per call.
 
 from __future__ import annotations
 
-import itertools
 from collections import defaultdict
 from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
 
 from ..errors import DatalogError
+from ..storage.interface import FactStore, next_store_id
 from .terms import EMPTY_SUBSTITUTION, Atom, Constant, Substitution, Variable
 
 __all__ = ["Database"]
 
-#: Process-wide database identities, so cache keys from two different
-#: database objects can never collide even at equal generations.
-_next_database_id = itertools.count(1)
-
-
-class Database:
+class Database(FactStore):
     """An indexed collection of ground facts.
 
     Databases are mutable (facts can be added and removed) but the
@@ -64,7 +59,7 @@ class Database:
         ] = defaultdict(dict)
         self._signatures: Set[Tuple[str, int]] = set()
         self._size = 0
-        self._id = next(_next_database_id)
+        self._id = next_store_id()
         self._generation = 0
         for fact in facts:
             self.add(fact)

@@ -355,17 +355,31 @@ def save_pib(pib: PIB, path: str) -> None:
     and only then swapped in with :func:`os.replace`; the previously
     good checkpoint is first swapped to ``path + ".bak"``.  A crash at
     *any* step leaves either the old checkpoint, the backup, or both
-    intact — never a world with only a torn file.  Payloads carry a
-    SHA-256 ``checksum`` so :func:`load_pib` detects torn or edited
-    files and falls back to the backup.
+    intact — never a world with only a torn file: the checkpoint and
+    its backup are untouched until the temp write has fully synced, a
+    write that dies mid-stream (full disk, kill) removes its own torn
+    temp file, and the directory is fsynced after the renames so the
+    swap itself survives power loss.  Payloads carry a SHA-256
+    ``checksum`` so :func:`load_pib` detects torn or edited files and
+    falls back to the backup.
     """
     payload = pib_to_dict(pib)
     payload["checksum"] = payload_checksum(payload)
     tmp_path = path + ".tmp"
-    with open(tmp_path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2, sort_keys=True)
-        handle.flush()
-        os.fsync(handle.fileno())
+    try:
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.flush()
+            os.fsync(handle.fileno())
+    except BaseException:
+        # The write died mid-stream: the real checkpoint and its
+        # backup were never touched, so just clear the torn temp file
+        # (a later recovery scan must never mistake it for state).
+        try:
+            os.unlink(tmp_path)
+        except OSError:
+            pass
+        raise
     if os.path.exists(path):
         os.replace(path, backup_path(path))
     os.replace(tmp_path, path)

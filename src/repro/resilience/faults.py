@@ -273,6 +273,16 @@ class FlakyDatabase(Database):
     def __init__(self, inner: Database, plan: FaultPlan):
         self._inner = inner
         self.plan = plan
+        #: Cost multipliers billed by non-faulting probes (latency
+        #: spikes charge their factor, clean probes charge 1.0); the
+        #: executor bills *faulted* probes itself from the raised
+        #: error's multiplier, so the two channels never double-count.
+        self.billed_probe_cost = 0.0
+        #: Optional injection log for parity assertions: when set to a
+        #: list, every probe appends ``(predicate, faulted, timeout,
+        #: cost_multiplier)``.  ``None`` (default) keeps the hot path
+        #: allocation-free.
+        self.probe_log: Optional[list] = None
 
     @property
     def inner(self) -> Database:
@@ -291,7 +301,30 @@ class FlakyDatabase(Database):
     # -- probing (faultable) -------------------------------------------
 
     def _inject(self, pattern) -> None:
-        self.plan.draw(pattern.predicate).raise_if_faulted(pattern.predicate)
+        """One injection draw, billed identically for every probing
+        entry point — ``retrieve``, ``facts_matching`` and ``succeeds``
+        draw eagerly from the same predicate-keyed stream, so the same
+        pattern sequence produces the same injections and the same
+        billed cost regardless of which entry point ran it."""
+        predicate = pattern.predicate
+        injection = self.plan.draw(predicate)
+        if self.probe_log is not None:
+            self.probe_log.append(
+                (
+                    predicate,
+                    injection.faulted,
+                    injection.timeout,
+                    injection.cost_multiplier,
+                )
+            )
+        if injection.faulted:
+            injection.raise_if_faulted(predicate)
+        else:
+            # Latency spikes on successful probes are billed here; the
+            # executor cannot see them (no exception carries the
+            # multiplier), and before this channel existed they were
+            # counted in ``plan.injected_spikes`` but billed nowhere.
+            self.billed_probe_cost += injection.cost_multiplier
 
     def succeeds(self, pattern) -> bool:
         self._inject(pattern)

@@ -111,6 +111,15 @@ class RequestOutcome:
     def degraded(self) -> bool:
         return self.status == "degraded"
 
+    @property
+    def completeness(self):
+        """The answer's :class:`~repro.storage.interface.Completeness`
+        verdict (``None`` for rejected requests, which carry no
+        answer).  A degrade-to-cached outcome built from a stale
+        *partial* entry keeps its partial verdict — shedding never
+        upgrades an answer to complete."""
+        return self.answer.completeness if self.answer is not None else None
+
 
 # ----------------------------------------------------------------------
 # Queueing

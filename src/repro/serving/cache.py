@@ -251,18 +251,33 @@ class AnswerCache:
     def store(
         self, query: Atom, database: "Database", answer: "SystemAnswer"
     ) -> bool:
-        """Cache a clean answer; returns whether it was cacheable."""
+        """Cache a clean answer; returns whether it was cacheable.
+
+        Degraded answers are never cached.  *Partial* answers (a
+        federated backend with dark shards) never enter the coherent
+        table — a coherent hit must reflect the whole fact base — but
+        they do refresh the stale table, where the preserved
+        ``completeness`` verdict guarantees a later degrade-to-cached
+        shed serves them flagged partial, never as complete.
+        """
         if answer.degraded:
             return False
         normalized = replace(answer, cost=0.0, climbed=False, cached=True)
-        self._table.put(self._key(query, database), normalized)
+        complete = answer.completeness.complete
+        if complete:
+            self._table.put(self._key(query, database), normalized)
         with self._stale_lock:
             key = self._stale_key(query, database)
-            self._stale[key] = normalized
-            self._stale.move_to_end(key)
-            while len(self._stale) > self._table.capacity:
-                self._stale.popitem(last=False)
-        return True
+            existing = self._stale.get(key)
+            # A partial answer never displaces a complete stale entry:
+            # under shedding, an older complete answer beats a fresher
+            # partial one.
+            if complete or existing is None or existing.completeness.partial:
+                self._stale[key] = normalized
+                self._stale.move_to_end(key)
+                while len(self._stale) > self._table.capacity:
+                    self._stale.popitem(last=False)
+        return complete
 
     def lookup_stale(
         self, query: Atom, database: "Database"

@@ -32,6 +32,7 @@ from ..datalog.rules import RuleBase
 from ..datalog.terms import Atom
 from ..errors import ReproError
 from ..observability.recorder import Recorder
+from ..storage.interface import FactStore
 from ..system import SelfOptimizingQueryProcessor, SystemAnswer
 from .admission import Request, RequestOutcome
 from .config import CacheConfig, ServingConfig, SessionConfig
@@ -68,7 +69,7 @@ def _coerce_rules(rules: Union[RuleBase, str, os.PathLike]) -> RuleBase:
 def _coerce_database(
     database: Union[Database, str, os.PathLike, None],
 ) -> Optional[Database]:
-    if database is None or isinstance(database, Database):
+    if database is None or isinstance(database, FactStore):
         return database
     with open(database, encoding="utf-8") as handle:
         return Database.from_program(handle.read())

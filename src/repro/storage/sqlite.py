@@ -1,0 +1,318 @@
+"""A SQLite-backed :class:`~repro.storage.interface.FactStore`.
+
+Each relation gets its own table (``r1``, ``r2``, …, mapped through a
+python-side catalog since predicate names are not valid SQL
+identifiers) with one TEXT column per argument position, a UNIQUE
+index over the full row (duplicate-fact detection) and a secondary
+index per argument column (the access-path analogue of the in-memory
+store's per-argument hash indexes).
+
+**Enumeration order.**  SQLite's implicit ``rowid`` is monotonically
+assigned per insert, so ``ORDER BY rowid`` reproduces fact insertion
+order exactly — including the removed-then-re-added-goes-last rule,
+because a re-insert allocates a fresh, larger rowid.  Relation order
+for ``__iter__`` is tracked python-side in first-insertion order.
+Together these make every enumeration byte-identical to
+:class:`~repro.datalog.database.Database` on the same mutation
+history, which is what keeps the BENCH metrics backend-independent.
+
+**Value encoding.**  :class:`~repro.datalog.terms.Constant` values may
+be uninterpreted symbols *or* interpreted literals (``42`` and ``"42"``
+are distinct constants).  Arguments are therefore stored as
+``"<typename>:<repr>"`` strings — injective for every type the parser
+produces — and decoded through a python-side table that remembers the
+exact :class:`Constant` each encoding came from, so round-trips are
+identity-exact even for exotic hashable values.
+
+Matching semantics (bound positions, repeated variables) reuse the
+same python matching loop as the in-memory store: SQL ``WHERE``
+clauses on bound columns only *prune* the scan, exactly like
+``Database._candidates`` picking the tightest index bucket.
+"""
+
+from __future__ import annotations
+
+import sqlite3
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from ..datalog.terms import (
+    EMPTY_SUBSTITUTION,
+    Atom,
+    Constant,
+    Substitution,
+    Variable,
+)
+from ..errors import DatalogError
+from .interface import FactStore, next_store_id
+
+__all__ = ["SQLiteFactStore"]
+
+
+def _encode(constant: Constant) -> str:
+    value = constant.value
+    return f"{type(value).__name__}:{value!r}"
+
+
+class SQLiteFactStore(FactStore):
+    """Ground facts in SQLite, one indexed table per relation.
+
+    ``path`` defaults to ``":memory:"``; pass a filename for an
+    on-disk store.  The connection is private to the store and opened
+    with ``check_same_thread=False`` guarded by SQLite's own
+    serialized mode, matching the serving layer's thread-pool use.
+    """
+
+    def __init__(self, facts: Iterable[Atom] = (), path: str = ":memory:"):
+        self._conn = sqlite3.connect(
+            path, check_same_thread=False, isolation_level=None
+        )
+        self._conn.execute("PRAGMA synchronous=OFF")
+        self._tables: Dict[Tuple[str, int], str] = {}
+        #: Relation signatures in first-insertion order (``__iter__``).
+        self._relation_order: List[Tuple[str, int]] = []
+        self._signatures: Set[Tuple[str, int]] = set()
+        self._counts: Dict[Tuple[str, int], int] = {}
+        #: encoding -> the exact Constant it came from.
+        self._constants: Dict[str, Constant] = {}
+        self._size = 0
+        self._id = next_store_id()
+        self._generation = 0
+        for fact in facts:
+            self.add(fact)
+
+    # ------------------------------------------------------------------
+    # Identity & coherence
+    # ------------------------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        return self._generation
+
+    @property
+    def cache_key(self) -> Tuple[int, int]:
+        return (self._id, self._generation)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_program(cls, text: str) -> "SQLiteFactStore":
+        """Build a store from Datalog source containing only facts."""
+        from ..datalog.parser import parse_program
+
+        store = cls()
+        for rule in parse_program(text):
+            if not rule.is_fact:
+                raise DatalogError(f"not a fact: {rule}")
+            store.add(rule.head)
+        return store
+
+    def copy(self) -> "SQLiteFactStore":
+        """An independent in-memory copy, preserving enumeration order."""
+        return SQLiteFactStore(self)
+
+    def close(self) -> None:
+        self._conn.close()
+
+    # ------------------------------------------------------------------
+    # Schema
+    # ------------------------------------------------------------------
+
+    def _table_for(self, signature: Tuple[str, int]) -> str:
+        table = self._tables.get(signature)
+        if table is None:
+            table = f"r{len(self._tables) + 1}"
+            _predicate, arity = signature
+            if arity:
+                columns = ", ".join(f"c{i} TEXT" for i in range(arity))
+                unique = ", ".join(f"c{i}" for i in range(arity))
+            else:
+                # SQL needs at least one column; arity-0 relations hold
+                # a single sentinel row.
+                columns, unique = "c0 TEXT", "c0"
+            self._conn.execute(f"CREATE TABLE {table} ({columns})")
+            self._conn.execute(
+                f"CREATE UNIQUE INDEX {table}_uq ON {table} ({unique})"
+            )
+            for i in range(arity):
+                self._conn.execute(
+                    f"CREATE INDEX {table}_i{i} ON {table} (c{i})"
+                )
+            self._tables[signature] = table
+            self._relation_order.append(signature)
+        return table
+
+    def _row_for(self, fact: Atom) -> Tuple[str, ...]:
+        if not fact.args:
+            return ("()",)
+        row = []
+        for arg in fact.args:
+            encoded = _encode(arg)
+            self._constants.setdefault(encoded, arg)
+            row.append(encoded)
+        return tuple(row)
+
+    def _fact_from(self, predicate: str, row: Tuple[str, ...]) -> Atom:
+        return Atom._make(
+            predicate, tuple(self._constants[cell] for cell in row)
+        )
+
+    # ------------------------------------------------------------------
+    # Mutation
+    # ------------------------------------------------------------------
+
+    def add(self, fact: Atom) -> bool:
+        if not isinstance(fact, Atom):
+            raise TypeError("facts must be Atoms")
+        if not fact.is_ground:
+            raise DatalogError(f"facts must be ground, got {fact}")
+        signature = fact.signature
+        table = self._table_for(signature)
+        row = self._row_for(fact)
+        placeholders = ", ".join("?" for _ in row)
+        cursor = self._conn.execute(
+            f"INSERT OR IGNORE INTO {table} VALUES ({placeholders})", row
+        )
+        if cursor.rowcount == 0:
+            return False
+        self._signatures.add(signature)
+        self._counts[signature] = self._counts.get(signature, 0) + 1
+        self._size += 1
+        self._generation += 1
+        return True
+
+    def remove(self, fact: Atom) -> bool:
+        signature = fact.signature
+        table = self._tables.get(signature)
+        if table is None or not fact.is_ground:
+            return False
+        row = self._row_for(fact)
+        where = " AND ".join(f"c{i} = ?" for i in range(len(row)))
+        cursor = self._conn.execute(
+            f"DELETE FROM {table} WHERE {where}", row
+        )
+        if cursor.rowcount == 0:
+            return False
+        count = self._counts[signature] - 1
+        self._counts[signature] = count
+        if count == 0:
+            self._signatures.discard(signature)
+        self._size -= 1
+        self._generation += 1
+        return True
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+
+    def __contains__(self, fact: Atom) -> bool:
+        if not isinstance(fact, Atom) or not fact.is_ground:
+            return False
+        table = self._tables.get(fact.signature)
+        if table is None:
+            return False
+        row = self._row_for(fact)
+        where = " AND ".join(f"c{i} = ?" for i in range(len(row)))
+        cursor = self._conn.execute(
+            f"SELECT 1 FROM {table} WHERE {where} LIMIT 1", row
+        )
+        return cursor.fetchone() is not None
+
+    def __len__(self) -> int:
+        return self._size
+
+    def __iter__(self) -> Iterator[Atom]:
+        for signature in self._relation_order:
+            yield from self._scan(signature)
+
+    def _scan(
+        self, signature: Tuple[str, int], pattern: Optional[Atom] = None
+    ) -> Iterator[Atom]:
+        """Facts of one relation in insertion (rowid) order, pruned by
+        the bound positions of ``pattern`` when given."""
+        table = self._tables.get(signature)
+        if table is None:
+            return
+        predicate, arity = signature
+        clauses: List[str] = []
+        params: List[str] = []
+        if pattern is not None:
+            for i, arg in enumerate(pattern.args):
+                if type(arg) is not Variable:
+                    clauses.append(f"c{i} = ?")
+                    params.append(_encode(arg))
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        columns = ", ".join(f"c{i}" for i in range(max(arity, 1)))
+        cursor = self._conn.execute(
+            f"SELECT {columns} FROM {table}{where} ORDER BY rowid", params
+        )
+        if arity == 0:
+            for _row in cursor:
+                yield Atom._make(predicate, ())
+            return
+        for row in cursor:
+            yield self._fact_from(predicate, row)
+
+    def relation(self, predicate: str, arity: int) -> List[Atom]:
+        return list(self._scan((predicate, arity)))
+
+    def count(self, predicate: str, arity: Optional[int] = None) -> int:
+        if arity is not None:
+            return self._counts.get((predicate, arity), 0)
+        return sum(
+            count
+            for (name, _arity), count in self._counts.items()
+            if name == predicate
+        )
+
+    def signatures(self) -> Set[Tuple[str, int]]:
+        return self._signatures
+
+    def retrieve(self, pattern: Atom) -> Iterator[Substitution]:
+        if pattern.is_ground:
+            if pattern in self:
+                yield EMPTY_SUBSTITUTION
+            return
+        pattern_args = pattern.args
+        for fact in self._scan(pattern.signature, pattern):
+            bindings = {}
+            for p_arg, f_arg in zip(pattern_args, fact.args):
+                if type(p_arg) is Variable:
+                    bound = bindings.get(p_arg)
+                    if bound is None:
+                        bindings[p_arg] = f_arg
+                    elif bound != f_arg:
+                        break
+                elif p_arg != f_arg:
+                    break
+            else:
+                yield Substitution._resolved(bindings)
+
+    def facts_matching(self, pattern: Atom) -> Iterator[Atom]:
+        if pattern.is_ground:
+            if pattern in self:
+                yield pattern
+            return
+        pattern_args = pattern.args
+        for fact in self._scan(pattern.signature, pattern):
+            bindings = {}
+            for p_arg, f_arg in zip(pattern_args, fact.args):
+                if type(p_arg) is Variable:
+                    bound = bindings.get(p_arg)
+                    if bound is None:
+                        bindings[p_arg] = f_arg
+                    elif bound != f_arg:
+                        break
+                elif p_arg != f_arg:
+                    break
+            else:
+                yield fact
+
+    def succeeds(self, pattern: Atom) -> bool:
+        for _ in self.retrieve(pattern):
+            return True
+        return False
+
+    def __repr__(self) -> str:
+        return f"SQLiteFactStore({self._size} facts)"

@@ -37,6 +37,7 @@ from ..errors import RetrievalFaultError
 from ..graphs.contexts import Context, PartialContext
 from ..graphs.inference_graph import Arc, ArcKind
 from ..observability.recorder import NULL_RECORDER, Recorder
+from ..storage.interface import COMPLETE, Completeness
 from .strategy import Strategy
 
 if TYPE_CHECKING:
@@ -74,6 +75,9 @@ class ExecutionOutcome(Protocol):
     success_arc: Optional[Arc]
     attempted: List[Arc]
     observations: Dict[str, bool]
+    #: Whether the run's retrievals saw the whole fact base, or a
+    #: federated backend degraded to a partial view (missing shards).
+    completeness: Completeness
 
     @property
     def degraded(self) -> bool: ...
@@ -100,6 +104,9 @@ class ExecutionResult:
     success_arc: Optional[Arc]
     attempted: List[Arc] = field(default_factory=list)
     observations: Dict[str, bool] = field(default_factory=dict)
+    #: Attached post-hoc by the query processor when the backing store
+    #: reports a probe window; in-memory runs are trivially complete.
+    completeness: Completeness = COMPLETE
 
     @property
     def degraded(self) -> bool:
@@ -255,6 +262,7 @@ class ResilientExecutionResult:
     deadline_expired: bool = False
     skipped_open: List[str] = field(default_factory=list)
     unsettled: List[str] = field(default_factory=list)
+    completeness: Completeness = COMPLETE
 
     @property
     def degraded(self) -> bool:
@@ -277,6 +285,7 @@ class ResilientExecutionResult:
             self.success_arc,
             list(self.attempted),
             dict(self.observations),
+            completeness=self.completeness,
         )
 
     def partial_context(self) -> PartialContext:

@@ -25,7 +25,7 @@ from __future__ import annotations
 
 import os
 import warnings
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from .datalog.database import Database
@@ -50,7 +50,8 @@ from .learning.pib import ClimbRecord, PIB
 from .observability.recorder import NULL_RECORDER, Recorder
 from .persistence import load_pib, save_pib
 from .serving.config import SessionConfig
-from .strategies.execution import execute_resilient
+from .storage.interface import COMPLETE, Completeness
+from .strategies.execution import execute, execute_resilient
 from .strategies.strategy import Strategy
 from .strategies.transformations import all_sibling_swaps
 
@@ -85,6 +86,12 @@ class SystemAnswer:
     #: True when the serving layer answered from its ground-answer
     #: cache: no strategy ran, no cost was charged, no PIB sample.
     cached: bool = False
+    #: Whether the answer reflects the whole fact base.  A *partial*
+    #: verdict (federated backend, shards dark past their retry/hedge
+    #: budget) carries the missing shard names: the bindings are a
+    #: sound subset of the complete answer set, but a "no" is not
+    #: trustworthy, and the learner saw no sample from this run.
+    completeness: Completeness = COMPLETE
 
 
 @dataclass
@@ -366,7 +373,38 @@ class SelfOptimizingQueryProcessor:
     # ------------------------------------------------------------------
 
     def query(self, query: Atom, database: Database) -> SystemAnswer:
-        """Answer one query, learning from the execution as a side effect."""
+        """Answer one query, learning from the execution as a side effect.
+
+        When ``database`` speaks the probe-window protocol (the
+        federated backend), the whole query is bracketed in one window:
+        the collected :class:`~repro.storage.interface.Completeness`
+        verdict and the billed remote latency are threaded onto the
+        returned answer, and a partial run contributes **no** sample to
+        the learner — Δ̃ must only accumulate over the stationary,
+        fully-observed context distribution.
+        """
+        begin = getattr(database, "begin_probe_window", None)
+        if begin is None:
+            return self._query_inner(query, database)
+        begin()
+        try:
+            answer = self._query_inner(query, database)
+        finally:
+            window = database.end_probe_window()
+        return replace(
+            answer,
+            completeness=window.completeness,
+            cost=answer.cost + window.billed_cost,
+        )
+
+    def _complete_so_far(self, database: Database) -> Completeness:
+        """Peek at the current probe window (COMPLETE for plain stores)."""
+        peek = getattr(database, "probe_window_missing", None)
+        if peek is None:
+            return COMPLETE
+        return Completeness.missing(peek())
+
+    def _query_inner(self, query: Atom, database: Database) -> SystemAnswer:
         form = QueryForm.of(query)
         state = self._state_for(form)
         if state is None:
@@ -394,7 +432,20 @@ class SelfOptimizingQueryProcessor:
             return self._query_resilient(state, query, database)
         climbs_before = state.learner.climbs
         context = self._make_context(state.graph, query, database)
-        result = state.learner.process(context)
+        # `learner.process` is execute-then-record; running the two
+        # halves here lets a partial run (dark shards) skip the record:
+        # a censored cost is not a sample of c(Θ, I).
+        result = execute(
+            state.learner.strategy, context, recorder=state.learner.recorder
+        )
+        result.completeness = self._complete_so_far(database)
+        if result.completeness.complete:
+            state.learner.record(result)
+        else:
+            self._note_incident(
+                state,
+                f"partial execution: {result.completeness.describe()}",
+            )
         climbed = state.learner.climbs > climbs_before
         substitution = Substitution()
         if result.succeeded and result.success_arc is not None:
@@ -442,7 +493,15 @@ class SelfOptimizingQueryProcessor:
             )
             return self._degraded_answer(state, query, database, result.cost)
 
-        state.learner.record(result.settled_result())
+        result.completeness = self._complete_so_far(database)
+        if result.completeness.complete:
+            # Settled *and* complete: the only outcomes PIB trains on.
+            state.learner.record(result.settled_result())
+        else:
+            self._note_incident(
+                state,
+                f"partial execution: {result.completeness.describe()}",
+            )
         climbed = state.learner.climbs > climbs_before
         self._maybe_checkpoint(state, climbed)
 

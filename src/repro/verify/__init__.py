@@ -23,9 +23,12 @@ brute-force oracles in :mod:`repro.optimal`:
 * :mod:`repro.verify.overload` — seeded burst worlds through the real
   admission-controlled server: outcome byte-determinism, worker-count
   parity, learner isolation, no-starvation and quota ceilings;
+* :mod:`repro.verify.federation` — cross-backend answer equivalence
+  (memory vs SQLite vs healthy-federated), partial-answer soundness
+  under shard faults, and faulty-replay byte-determinism;
 * :mod:`repro.verify.runner` — the profile runner behind
   ``repro verify --seeds N --profile
-  {engine,pib,pao,serving,chaos,overload}``.
+  {engine,pib,pao,serving,chaos,overload,federation}``.
 """
 
 from .invariants import (
@@ -43,6 +46,11 @@ from .oracles import (
     clopper_pearson,
     pao_contract,
     pib_contract,
+)
+from .federation import (
+    check_federation_determinism,
+    check_federation_equivalence,
+    check_federation_partial,
 )
 from .overload import OverloadRun, simulate_overload
 from .runner import PROFILES, VerifyReport, replay_spec, run_verify
@@ -67,6 +75,9 @@ __all__ = [
     "check_answer_equivalence",
     "check_cache_generation_coherence",
     "check_cost_oracle",
+    "check_federation_determinism",
+    "check_federation_equivalence",
+    "check_federation_partial",
     "clopper_pearson",
     "pao_contract",
     "pib_contract",

@@ -25,6 +25,11 @@ overload   seeded burst worlds through admission control: outcome and
            conservation, learner isolation (shed requests feed no PIB
            sample), no-starvation and quota ceilings under
            reject-over-quota
+federation cross-backend answer equivalence (memory vs SQLite vs
+           healthy-federated, same answers in the same order), partial
+           answers under shard faults are sound subsets with
+           correctly-attributed missing shards, and faulty federated
+           replays are byte-deterministic
 =========  ==========================================================
 
 Deterministic failures are shrunk (``worldgen.shrink``) before being
@@ -44,6 +49,11 @@ from ..resilience.policy import ResiliencePolicy
 from ..resilience.retry import RetryPolicy
 from ..strategies.execution import execute_resilient
 from ..strategies.strategy import Strategy
+from .federation import (
+    check_federation_determinism,
+    check_federation_equivalence,
+    check_federation_partial,
+)
 from .invariants import InvariantMonitor
 from .oracles import (
     OracleFailure,
@@ -77,7 +87,9 @@ from .worldgen import (
 __all__ = ["PROFILES", "VerifyReport", "specs_for", "run_profile",
            "run_verify", "replay_spec"]
 
-PROFILES = ("engine", "pib", "pao", "serving", "chaos", "overload")
+PROFILES = (
+    "engine", "pib", "pao", "serving", "chaos", "overload", "federation",
+)
 
 #: Coverage floor (percent) enforced by ``make coverage`` and CI's
 #: coverage job.  Calibrated against the 88.0% line coverage measured
@@ -200,6 +212,19 @@ def specs_for(
                     ),
                     request_deadline=40.0 if seed % 5 == 4 else None,
                     answer_cache=32 if seed % 3 == 2 else 0,
+                )
+            )
+        elif profile == "federation":
+            specs.append(
+                WorldSpec(
+                    seed=seed,
+                    profile="federation",
+                    n_queries=10,
+                    n_shards=2 + seed % 3,
+                    shard_replicas=bool(seed % 2),
+                    fault_rate=0.2,
+                    timeout_rate=0.05,
+                    retries=2,
                 )
             )
         else:
@@ -389,6 +414,15 @@ def run_profile(
             verify.reports.append(
                 _run_deterministic(name, family, check, shrink_failures)
             )
+    elif profile == "federation":
+        for name, check in (
+            ("federation-backend-equivalence", check_federation_equivalence),
+            ("federation-partial-soundness", check_federation_partial),
+            ("federation-byte-determinism", check_federation_determinism),
+        ):
+            verify.reports.append(
+                _run_deterministic(name, family, check, shrink_failures)
+            )
     return verify
 
 
@@ -463,5 +497,10 @@ PROFILE_CHECKS: Dict[str, List[str]] = {
         "overload-conservation",
         "overload-learner-isolation",
         "overload-fairness",
+    ],
+    "federation": [
+        "federation-backend-equivalence",
+        "federation-partial-soundness",
+        "federation-byte-determinism",
     ],
 }

@@ -48,7 +48,9 @@ __all__ = [
 ]
 
 #: The verification profiles a spec can target.
-PROFILE_NAMES = ("engine", "pib", "pao", "serving", "chaos", "overload")
+PROFILE_NAMES = (
+    "engine", "pib", "pao", "serving", "chaos", "overload", "federation",
+)
 
 
 @dataclass(frozen=True)
@@ -106,6 +108,12 @@ class WorldSpec:
     tenant_rate: float = 0.0
     shed_policy: str = "reject-newest"
     request_deadline: Optional[float] = None
+    # --- federation ----------------------------------------------------
+    #: Shard count for federation worlds (the shard fault streams reuse
+    #: ``fault_rate``/``timeout_rate``; ``retries`` maps to the store's
+    #: retry budget).
+    n_shards: int = 3
+    shard_replicas: bool = False
     # --- explicit overrides (installed by the shrinker) ---------------
     kb_rules: Optional[Tuple[str, ...]] = None
     kb_facts: Optional[Tuple[str, ...]] = None
@@ -466,7 +474,8 @@ def shrink(
         raise ReproError("shrink() called with a spec that does not fail")
 
     spec = (materialize(spec)
-            if spec.profile in ("engine", "serving", "overload") else spec)
+            if spec.profile in ("engine", "serving", "overload", "federation")
+            else spec)
     if spec.kb_rules is not None:
         for field in ("kb_facts", "kb_queries", "kb_rules"):
             value = getattr(spec, field) or ()

@@ -389,3 +389,51 @@ class TestAdmissionBackcompat:
         server.run_batch([parse_query("instructor(russ)")], make_db())
         assert "admission" not in server.snapshot()
         assert server.health is ServerHealth.HEALTHY
+
+
+class TestDegradeToCachedPartialAnswers:
+    """A stale entry warmed by a *partial* answer (dark federated
+    shard) may be served under shedding — but always flagged partial
+    and degraded, never laundered into a complete answer."""
+
+    def dark_grad_store(self):
+        from repro.resilience.faults import FaultSpec
+        from repro.storage import FederatedStore
+
+        probe = FederatedStore(make_db(), shards=2, seed=0)
+        owner = probe.shard_for(("grad", 1)).name
+        return owner, FederatedStore(
+            make_db(), shards=2, seed=0,
+            per_shard={owner: FaultSpec(fault_rate=1.0)},
+        )
+
+    def test_stale_partial_served_flagged_never_complete(self):
+        owner, store = self.dark_grad_store()
+        admission = AdmissionConfig(queue_capacity=1,
+                                    shed_policy="degrade-to-cached")
+        server = make_server(admission,
+                             cache=CacheConfig(answer_capacity=8))
+        warm = server.run_requests(burst(1), store)
+        assert warm[0].served
+        assert warm[0].completeness is not None
+        assert warm[0].completeness.partial
+        stormy = server.run_requests(burst(4), store)
+        degraded = [o for o in stormy if o.degraded]
+        assert degraded, "overflow should salvage the stale answer"
+        for outcome in degraded:
+            assert outcome.answer.degraded
+            assert outcome.completeness.partial
+            assert owner in outcome.completeness.missing_shards
+
+    def test_partial_warm_never_feeds_coherent_cache(self):
+        _, store = self.dark_grad_store()
+        admission = AdmissionConfig(queue_capacity=4,
+                                    shed_policy="degrade-to-cached")
+        server = make_server(admission,
+                             cache=CacheConfig(answer_capacity=8))
+        first = server.run_requests(burst(1), store)
+        second = server.run_requests(burst(1), store)
+        # Same query, same generation: a complete answer would have
+        # been a coherent hit; the partial one must re-execute.
+        assert first[0].served and second[0].served
+        assert not second[0].answer.cached

@@ -199,3 +199,63 @@ class TestMalformedPayloads:
         payload["version"] = 99
         with pytest.raises(LearningError):
             pib_from_dict(g_a(), payload)
+
+
+class TestMidWriteDeath:
+    """The temp write dies mid-stream (full disk, ``kill -9`` during
+    ``json.dump``): the live checkpoint and its backup must be
+    untouched, the torn temp file must be removed, and both recovery
+    paths must still load."""
+
+    def test_torn_tmp_write_preserves_checkpoint_and_backup(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.persistence as persistence
+
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        older = trained_pib(graph, contexts=100)
+        good = trained_pib(graph, contexts=200)
+        save_pib(older, path)
+        save_pib(good, path)  # the backup now holds `older`
+        newer = trained_pib(graph, contexts=300)
+
+        def torn_dump(payload, handle, **kwargs):
+            # A truncated prefix reaches the disk, then the write dies.
+            handle.write('{"version": 1, "strategy": ["Rg", ')
+            raise OSError(28, "No space left on device")
+
+        monkeypatch.setattr(persistence.json, "dump", torn_dump)
+        with pytest.raises(OSError):
+            save_pib(newer, path)
+        monkeypatch.undo()
+
+        assert not os.path.exists(path + ".tmp")
+        restored = load_pib(graph, path)
+        assert state_fingerprint(restored) == state_fingerprint(good)
+        restored_backup = load_pib(graph, backup_path(path))
+        assert state_fingerprint(restored_backup) == state_fingerprint(older)
+
+    def test_fsync_death_also_cleans_torn_tmp(
+        self, tmp_path, monkeypatch
+    ):
+        import repro.persistence as persistence
+
+        graph = g_a()
+        path = str(tmp_path / "pib.json")
+        good = trained_pib(graph, contexts=100)
+        save_pib(good, path)
+
+        real_fsync = os.fsync
+
+        def dying_fsync(fd):
+            raise OSError(5, "I/O error")
+
+        monkeypatch.setattr(persistence.os, "fsync", dying_fsync)
+        with pytest.raises(OSError):
+            save_pib(trained_pib(graph, contexts=300), path)
+        monkeypatch.setattr(persistence.os, "fsync", real_fsync)
+
+        assert not os.path.exists(path + ".tmp")
+        restored = load_pib(graph, path)
+        assert state_fingerprint(restored) == state_fingerprint(good)

@@ -1,0 +1,139 @@
+"""Fault-accounting parity for :class:`FlakyDatabase`.
+
+Two contracts, both load-bearing for the chaos profile's determinism:
+
+* **Entry-point parity** — ``retrieve``, ``facts_matching`` and
+  ``succeeds`` draw from the same predicate-keyed injection stream and
+  bill identically: replaying the same pattern sequence through any of
+  them produces the same injection sequence and the same billed
+  non-fault cost.  (Before the shared ``_inject`` seam,
+  ``facts_matching`` neither injected nor billed.)
+* **Transparency with an empty plan** — a :class:`FlakyDatabase` with
+  no configured faults is byte-identical to the plain
+  :class:`Database` it wraps, for both entry points, including
+  enumeration order.
+"""
+
+import random
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_query
+from repro.datalog.terms import Atom
+from repro.errors import RetrievalFaultError
+from repro.resilience.faults import FaultPlan, FaultSpec, FlakyDatabase
+
+
+def seeded_db(seed=0, size=12):
+    rng = random.Random(seed)
+    database = Database()
+    for index in range(size):
+        database.add(Atom("p", [f"c{rng.randrange(size)}", f"c{index}"]))
+        if rng.random() < 0.5:
+            database.add(Atom("q", [f"c{index}"]))
+    return database
+
+
+def pattern_stream(seed=0, length=40):
+    rng = random.Random(seed + 17)
+    patterns = [
+        "p(X, Y)", "p(c0, Y)", "p(X, c3)", "q(X)", "q(c1)", "p(X, X)",
+    ]
+    return [parse_query(rng.choice(patterns)) for _ in range(length)]
+
+
+def flaky(seed=3):
+    plan = FaultPlan(
+        seed=seed,
+        default=FaultSpec(
+            fault_rate=0.25, timeout_rate=0.1,
+            latency_rate=0.2, latency_factor=4.0,
+        ),
+    )
+    database = FlakyDatabase(seeded_db(), plan)
+    database.probe_log = []
+    return database
+
+
+def drive(database, entry_point, patterns):
+    """Push a pattern sequence through one probing entry point,
+    swallowing (but counting) injected faults."""
+    faults = 0
+    for pattern in patterns:
+        try:
+            if entry_point == "retrieve":
+                list(database.retrieve(pattern))
+            elif entry_point == "facts_matching":
+                list(database.facts_matching(pattern))
+            else:
+                database.succeeds(pattern)
+        except RetrievalFaultError:
+            faults += 1
+    return faults
+
+
+class TestEntryPointParity:
+    """Satellite: retrieve and facts_matching inject and bill alike."""
+
+    @pytest.mark.parametrize("other", ["facts_matching", "succeeds"])
+    def test_same_injections_and_billed_cost(self, other):
+        patterns = pattern_stream()
+        left = flaky()
+        right = flaky()
+        faults_left = drive(left, "retrieve", patterns)
+        faults_right = drive(right, other, patterns)
+        assert left.probe_log == right.probe_log
+        assert left.billed_probe_cost == right.billed_probe_cost
+        assert faults_left == faults_right
+
+    def test_billed_cost_covers_spikes_not_faults(self):
+        database = flaky()
+        drive(database, "retrieve", pattern_stream())
+        billed = sum(
+            multiplier
+            for _, faulted, _, multiplier in database.probe_log
+            if not faulted
+        )
+        assert database.billed_probe_cost == billed
+        assert billed > 0
+
+    def test_log_records_every_probe(self):
+        patterns = pattern_stream(length=25)
+        database = flaky()
+        drive(database, "facts_matching", patterns)
+        assert len(database.probe_log) == len(patterns)
+
+
+class TestEmptyPlanTransparency:
+    """Satellite: an injection-free FlakyDatabase is invisible."""
+
+    @pytest.mark.parametrize("seed", [0, 1, 2, 3, 4])
+    def test_enumeration_byte_identical(self, seed):
+        plain = seeded_db(seed)
+        wrapped = FlakyDatabase(plain, FaultPlan(seed=seed))
+        for pattern in pattern_stream(seed):
+            assert (
+                list(wrapped.retrieve(pattern))
+                == list(plain.retrieve(pattern))
+            )
+            assert (
+                list(wrapped.facts_matching(pattern))
+                == list(plain.facts_matching(pattern))
+            )
+            assert wrapped.succeeds(pattern) == plain.succeeds(pattern)
+
+    def test_no_cost_billed_without_spikes(self):
+        wrapped = FlakyDatabase(seeded_db(), FaultPlan(seed=0))
+        patterns = pattern_stream()
+        drive(wrapped, "retrieve", patterns)
+        # Clean probes bill exactly 1.0 each — the executor's unit cost
+        # accounting is unchanged by the wrapper.
+        assert wrapped.billed_probe_cost == float(len(patterns))
+
+    def test_iteration_and_catalog_pass_through(self):
+        plain = seeded_db()
+        wrapped = FlakyDatabase(plain, FaultPlan(seed=0))
+        assert list(wrapped) == list(plain)
+        assert wrapped.signatures() == plain.signatures()
+        assert len(wrapped) == len(plain)

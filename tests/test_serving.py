@@ -465,3 +465,66 @@ class TestDeterminism:
                 sequential_answers = answers
             else:
                 assert answers == sequential_answers
+
+
+class TestStalePartialCache:
+    """Partial answers (dark federated shards) in the answer cache:
+    never coherent, stale-only, verdict preserved, and never allowed
+    to displace a complete stale entry."""
+
+    @staticmethod
+    def partial_answer(cost=2.0, shard="shard1"):
+        from repro.datalog.terms import Substitution
+        from repro.storage import Completeness
+        from repro.system import SystemAnswer
+
+        return SystemAnswer(
+            proved=True, substitution=Substitution(), cost=cost,
+            learned=True, completeness=Completeness.missing([shard]),
+        )
+
+    @staticmethod
+    def complete_answer(cost=3.0):
+        from repro.datalog.terms import Substitution
+        from repro.system import SystemAnswer
+
+        return SystemAnswer(
+            proved=True, substitution=Substitution(), cost=cost,
+            learned=True,
+        )
+
+    def test_partial_never_enters_coherent_table(self):
+        cache = AnswerCache(8)
+        query = parse_query("instructor(lena)")
+        database = make_db()
+        assert not cache.store(query, database, self.partial_answer())
+        assert cache.lookup(query, database) is None
+
+    def test_partial_lands_in_stale_with_verdict_preserved(self):
+        cache = AnswerCache(8)
+        query = parse_query("instructor(lena)")
+        database = make_db()
+        cache.store(query, database, self.partial_answer())
+        stale = cache.lookup_stale(query, database)
+        assert stale is not None
+        assert stale.completeness.partial
+        assert stale.completeness.missing_shards == ("shard1",)
+        assert stale.cached and stale.cost == 0.0
+
+    def test_partial_never_displaces_complete_stale_entry(self):
+        cache = AnswerCache(8)
+        query = parse_query("instructor(lena)")
+        database = make_db()
+        cache.store(query, database, self.complete_answer())
+        cache.store(query, database, self.partial_answer())
+        stale = cache.lookup_stale(query, database)
+        assert stale.completeness.complete
+
+    def test_complete_displaces_partial_stale_entry(self):
+        cache = AnswerCache(8)
+        query = parse_query("instructor(lena)")
+        database = make_db()
+        cache.store(query, database, self.partial_answer())
+        cache.store(query, database, self.complete_answer())
+        stale = cache.lookup_stale(query, database)
+        assert stale.completeness.complete

@@ -1,0 +1,345 @@
+"""Storage backends: the FactStore contract, SQLite, and federation.
+
+Every backend must be observationally identical to the in-memory
+:class:`Database` on healthy paths — same answers, same enumeration
+order, same catalog — and the federated backend must degrade to
+*partial* answers (never raise, never invent facts) when shards go
+dark.  The completeness verdict must thread through the system layer
+and gate the learner.
+"""
+
+import pytest
+
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_query
+from repro.datalog.rules import QueryForm
+from repro.datalog.terms import Atom
+from repro.resilience.faults import FaultSpec
+from repro.storage import (
+    COMPLETE,
+    Completeness,
+    FactStore,
+    FederatedStore,
+    ShardSpec,
+    SQLiteFactStore,
+)
+from repro.system import SelfOptimizingQueryProcessor
+from repro.workloads import db1, university_rule_base
+
+
+def base_facts():
+    return [
+        Atom("e1", ["a"]),
+        Atom("e1", ["b"]),
+        Atom("e2", ["a", "b"]),
+        Atom("e2", ["b", "c"]),
+        Atom("e2", ["c", "c"]),
+        Atom("flag", []),
+    ]
+
+
+PATTERNS = [
+    "e1(X)", "e1(a)", "e1(c)", "e2(X, Y)", "e2(X, X)", "e2(a, Y)",
+    "e2(X, c)", "e2(b, c)", "missing(X)",
+]
+
+
+def all_backends():
+    facts = base_facts()
+    return [
+        ("memory", Database(facts)),
+        ("sqlite", SQLiteFactStore(facts)),
+        ("federated", FederatedStore(facts, shards=3, seed=5)),
+        ("federated-replicated",
+         FederatedStore(facts, shards=2, seed=5, replicas=True)),
+    ]
+
+
+class TestBackendParity:
+    """All backends are observationally identical to Database."""
+
+    def test_all_are_fact_stores(self):
+        for _, store in all_backends():
+            assert isinstance(store, FactStore)
+
+    def test_enumeration_order(self):
+        reference = list(Database(base_facts()))
+        for name, store in all_backends():
+            assert list(store) == reference, name
+
+    def test_retrieve_parity(self):
+        reference = Database(base_facts())
+        for text in PATTERNS:
+            pattern = parse_query(text)
+            expected = list(reference.retrieve(pattern))
+            for name, store in all_backends():
+                assert list(store.retrieve(pattern)) == expected, (
+                    name, text,
+                )
+
+    def test_facts_matching_parity(self):
+        reference = Database(base_facts())
+        for text in PATTERNS:
+            pattern = parse_query(text)
+            expected = list(reference.facts_matching(pattern))
+            for name, store in all_backends():
+                assert list(store.facts_matching(pattern)) == expected, (
+                    name, text,
+                )
+
+    def test_succeeds_parity(self):
+        reference = Database(base_facts())
+        for text in PATTERNS:
+            pattern = parse_query(text)
+            for name, store in all_backends():
+                assert store.succeeds(pattern) == reference.succeeds(
+                    pattern
+                ), (name, text)
+
+    def test_removed_then_readded_enumerates_last(self):
+        fact = Atom("e1", ["a"])
+        for name, store in all_backends():
+            assert store.remove(fact)
+            assert store.add(fact)
+            bucket = list(store.facts_matching(parse_query("e1(X)")))
+            assert bucket == [Atom("e1", ["b"]), fact], name
+
+    def test_duplicate_add_rejected_everywhere(self):
+        for name, store in all_backends():
+            generation = store.generation
+            assert not store.add(Atom("e1", ["a"])), name
+            assert store.generation == generation, name
+
+    def test_catalog_parity(self):
+        reference = Database(base_facts())
+        for name, store in all_backends():
+            assert store.signatures() == reference.signatures(), name
+            assert len(store) == len(reference), name
+            for predicate, arity in reference.signatures():
+                assert store.count(predicate, arity) == reference.count(
+                    predicate, arity
+                ), name
+                assert store.relation(predicate, arity) == (
+                    reference.relation(predicate, arity)
+                ), name
+
+    def test_contains(self):
+        for name, store in all_backends():
+            assert Atom("e2", ["b", "c"]) in store, name
+            assert Atom("e2", ["c", "b"]) not in store, name
+
+    def test_copy_is_independent(self):
+        for name, store in all_backends():
+            clone = store.copy()
+            assert list(clone) == list(store), name
+            clone.add(Atom("e1", ["z"]))
+            assert Atom("e1", ["z"]) not in store, name
+
+    def test_cache_keys_distinct_across_backends(self):
+        keys = [store.cache_key for _, store in all_backends()]
+        assert len(set(keys)) == len(keys)
+
+    def test_generation_bumps_on_effective_mutations_only(self):
+        for name, store in all_backends():
+            generation = store.generation
+            store.add(Atom("e1", ["q"]))
+            assert store.generation == generation + 1, name
+            store.remove(Atom("e1", ["nope"]))
+            assert store.generation == generation + 1, name
+
+
+class TestSQLiteEncoding:
+    def test_int_and_string_constants_stay_distinct(self):
+        store = SQLiteFactStore()
+        store.add(Atom("n", [1]))
+        store.add(Atom("n", ["1"]))
+        assert len(store) == 2
+        facts = list(store.facts_matching(parse_query("n(X)")))
+        assert facts == [Atom("n", [1]), Atom("n", ["1"])]
+
+    def test_close_is_idempotent(self):
+        store = SQLiteFactStore(base_facts())
+        store.close()
+        store.close()
+
+
+class TestCompleteness:
+    def test_complete_singleton(self):
+        assert COMPLETE.complete and not COMPLETE.partial
+        assert COMPLETE.describe() == "complete"
+
+    def test_missing_is_sorted_and_deduplicated(self):
+        verdict = Completeness.missing(["s2", "s0", "s2"])
+        assert verdict.partial
+        assert verdict.missing_shards == ("s0", "s2")
+        assert "s0" in verdict.describe()
+
+    def test_missing_of_nothing_is_complete(self):
+        assert Completeness.missing([]) is COMPLETE
+
+    def test_complete_cannot_name_missing_shards(self):
+        with pytest.raises(ValueError):
+            Completeness(complete=True, missing_shards=("s0",))
+
+
+def dark_store(signature, **kwargs):
+    """A federated store whose shard owning ``signature`` always faults."""
+    probe = FederatedStore(base_facts(), shards=2, seed=0)
+    owner = probe.shard_for(signature).name
+    return owner, FederatedStore(
+        base_facts(),
+        shards=2,
+        seed=0,
+        per_shard={owner: FaultSpec(fault_rate=1.0)},
+        **kwargs,
+    )
+
+
+class TestFederation:
+    def test_healthy_window_is_complete_and_billed(self):
+        store = FederatedStore(base_facts(), shards=3, seed=1, latency=2.0)
+        store.begin_probe_window()
+        assert list(store.retrieve(parse_query("e1(X)")))
+        window = store.end_probe_window()
+        assert window.completeness is COMPLETE
+        assert window.probes == 1
+        assert window.billed_cost == 2.0
+
+    def test_dark_shard_degrades_to_partial_without_raising(self):
+        owner, store = dark_store(("e1", 1))
+        store.begin_probe_window()
+        assert list(store.retrieve(parse_query("e1(X)"))) == []
+        assert not store.succeeds(parse_query("e1(a)"))
+        window = store.end_probe_window()
+        assert window.completeness.partial
+        assert window.completeness.missing_shards == (owner,)
+        assert store.dark_probes == 2
+
+    def test_dark_shard_hides_only_its_relations(self):
+        owner, store = dark_store(("e1", 1))
+        other = store.shard_for(("e2", 2)).name
+        if other == owner:
+            pytest.skip("both relations landed on one shard")
+        store.begin_probe_window()
+        assert list(store.facts_matching(parse_query("e2(X, Y)"))) == [
+            Atom("e2", ["a", "b"]),
+            Atom("e2", ["b", "c"]),
+            Atom("e2", ["c", "c"]),
+        ]
+        assert store.end_probe_window().completeness is COMPLETE
+
+    def test_hedged_read_rescues_through_clean_replica(self):
+        owner, store = dark_store(("e1", 1), replicas=True)
+        store.begin_probe_window()
+        facts = list(store.facts_matching(parse_query("e1(X)")))
+        window = store.end_probe_window()
+        assert facts == [Atom("e1", ["a"]), Atom("e1", ["b"])]
+        assert window.completeness is COMPLETE
+        assert store.hedged_reads == 1
+        assert store.dark_probes == 0
+
+    def test_breaker_opens_on_consecutive_faults(self):
+        owner, store = dark_store(
+            ("e1", 1), failure_threshold=3, cooldown=100,
+        )
+        for _ in range(5):
+            store.succeeds(parse_query("e1(a)"))
+        assert store.breaker_states()[owner] == "open"
+
+    def test_same_seed_same_injections(self):
+        def run(seed):
+            store = FederatedStore(
+                base_facts(), shards=3, seed=seed,
+                fault=FaultSpec(fault_rate=0.4, timeout_rate=0.1),
+            )
+            outcomes = []
+            for _ in range(30):
+                store.begin_probe_window()
+                outcomes.append(
+                    (
+                        len(list(store.retrieve(parse_query("e2(X, Y)")))),
+                        store.end_probe_window().completeness.missing_shards,
+                    )
+                )
+            return outcomes, round(store.billed_cost, 9)
+
+        assert run(3) == run(3)
+
+    def test_copy_gets_fresh_fault_streams(self):
+        store = FederatedStore(
+            base_facts(), shards=2, seed=9,
+            fault=FaultSpec(fault_rate=0.5),
+        )
+        for _ in range(10):
+            store.succeeds(parse_query("e1(a)"))
+        clone = store.copy()
+        assert list(clone) == list(store)
+        assert clone.probes == 0 and clone.billed_cost == 0.0
+        assert all(
+            state == "closed" for state in clone.breaker_states().values()
+        )
+
+    def test_mutations_are_administrative(self):
+        _, store = dark_store(("e1", 1))
+        assert store.add(Atom("e1", ["new"]))
+        assert store.remove(Atom("e1", ["new"]))
+        assert store.billed_cost == 0.0 and store.probes == 0
+
+    def test_window_peek_tracks_missing_so_far(self):
+        owner, store = dark_store(("e1", 1))
+        store.begin_probe_window()
+        assert store.probe_window_missing() == frozenset()
+        store.succeeds(parse_query("e1(a)"))
+        assert store.probe_window_missing() == frozenset({owner})
+        store.end_probe_window()
+        assert store.probe_window_missing() == frozenset()
+
+
+class TestSystemCompleteness:
+    """The verdict threads through the processor and gates the learner."""
+
+    def learner_of(self, processor):
+        return processor._states[QueryForm("instructor", "b")].learner
+
+    def test_healthy_federated_answer_is_complete_and_recorded(self):
+        processor = SelfOptimizingQueryProcessor(university_rule_base())
+        store = FederatedStore(db1(), shards=2, seed=0)
+        plain_cost = SelfOptimizingQueryProcessor(
+            university_rule_base()
+        ).query(parse_query("instructor(manolis)"), db1()).cost
+        answer = processor.query(parse_query("instructor(manolis)"), store)
+        assert answer.proved
+        assert answer.completeness is COMPLETE
+        # Remote latency is billed on top of the strategy cost.
+        assert answer.cost > plain_cost
+        assert self.learner_of(processor).total_tests > 0
+
+    def test_dark_shard_yields_partial_and_no_learner_sample(self):
+        probe = FederatedStore(db1(), shards=2, seed=0)
+        owner = probe.shard_for(("grad", 1)).name
+        store = FederatedStore(
+            db1(), shards=2, seed=0,
+            per_shard={owner: FaultSpec(fault_rate=1.0)},
+        )
+        processor = SelfOptimizingQueryProcessor(university_rule_base())
+        answer = processor.query(parse_query("instructor(manolis)"), store)
+        assert answer.completeness.partial
+        assert owner in answer.completeness.missing_shards
+        assert self.learner_of(processor).total_tests == 0
+
+    def test_partial_answers_never_invent_bindings(self):
+        probe = FederatedStore(db1(), shards=2, seed=0)
+        owner = probe.shard_for(("grad", 1)).name
+        store = FederatedStore(
+            db1(), shards=2, seed=0,
+            per_shard={owner: FaultSpec(fault_rate=1.0)},
+        )
+        processor = SelfOptimizingQueryProcessor(university_rule_base())
+        # instructor(fred) is false in the complete world; hiding facts
+        # can only keep it false (shards hide facts, never invent them).
+        complete = SelfOptimizingQueryProcessor(university_rule_base()).query(
+            parse_query("instructor(fred)"), db1()
+        )
+        assert not complete.proved
+        answer = processor.query(parse_query("instructor(fred)"), store)
+        assert not answer.proved

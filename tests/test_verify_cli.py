@@ -38,6 +38,16 @@ class TestVerifyCommand:
         for profile in ("engine", "pib", "pao", "serving", "chaos"):
             assert f"profile {profile}:" in output
 
+    def test_federation_profile(self):
+        code, output = run_cli(
+            "verify", "--seeds", "2", "--profile", "federation"
+        )
+        assert code == 0
+        assert "profile federation:" in output
+        assert "federation-backend-equivalence" in output
+        assert "federation-partial-soundness" in output
+        assert "federation-byte-determinism" in output
+
     def test_base_seed_shifts_the_family(self):
         code, output = run_cli(
             "verify", "--seeds", "2", "--base-seed", "40",

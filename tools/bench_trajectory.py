@@ -42,6 +42,7 @@ from repro.bench import (  # noqa: E402
     experiment_distributed,
     experiment_drift,
     experiment_engine,
+    experiment_federation,
     experiment_figure1,
     experiment_overload,
     experiment_serving,
@@ -78,6 +79,19 @@ def _suite() -> List[Tuple[str, Callable, List[str]]]:
             "drift",
             experiment_drift,
             ["cost_vanilla", "cost_aware", "alarms", "epoch", "rollbacks"],
+        ),
+        (
+            # Storage backends head-to-head: the deterministic metrics
+            # pin cross-backend parity (answers/prove cost must never
+            # drift between memory, SQLite, and federated) and the
+            # seeded faulty leg's partial/dark/hedge/billed telemetry;
+            # wall_seconds is each backend's speed trend.
+            "federation",
+            lambda: experiment_federation(nodes=48, queries=120),
+            [
+                "answers", "prove_cost", "faulty_partials", "faulty_lost",
+                "faulty_dark_probes", "faulty_hedged_reads", "faulty_billed",
+            ],
         ),
         (
             "overload",
