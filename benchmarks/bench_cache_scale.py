@@ -1,0 +1,73 @@
+"""Cache-tier microbenchmarks at serving scale.
+
+The serving caches sit on every query's hot path, so their per-op cost
+is a first-order term in end-to-end latency.  These benches time the
+:class:`~repro.serving.cache.LRUTable` primitives at 100k entries —
+steady-state churn (every put evicts), the hit path, and the miss
+path — plus the full :class:`~repro.serving.cache.AnswerCache` store
+round-trip.  ``tests/test_cache_scale.py`` asserts the correctness
+side (bound, order) of the same regime.
+"""
+
+import itertools
+
+from repro.datalog.parser import parse_atom
+from repro.datalog.terms import Substitution
+from repro.serving.cache import AnswerCache, LRUTable
+from repro.system import SystemAnswer
+
+CAPACITY = 100_000
+
+
+def full_table() -> LRUTable:
+    table = LRUTable(CAPACITY, "answer")
+    for i in range(CAPACITY):
+        table.put(i, i)
+    return table
+
+
+def test_lru_churn_at_capacity(benchmark):
+    table = full_table()
+    fresh = itertools.count(CAPACITY)
+
+    def churn():
+        table.put(next(fresh), 0)  # every put evicts the LRU entry
+
+    benchmark(churn)
+    assert len(table) == CAPACITY
+
+
+def test_lru_hit_at_capacity(benchmark):
+    table = full_table()
+    keys = itertools.cycle(range(CAPACITY - 1000, CAPACITY))
+    benchmark(lambda: table.get(next(keys)))
+    assert table.stats.hits > 0
+
+
+def test_lru_miss_at_capacity(benchmark):
+    table = full_table()
+    missing = itertools.count(10 * CAPACITY)
+    benchmark(lambda: table.get(next(missing)))
+    assert table.stats.misses > 0
+
+
+def test_answer_cache_store_roundtrip(benchmark):
+    class _Database:
+        cache_key = (1, 0)
+
+    cache = AnswerCache(CAPACITY)
+    database = _Database()
+    answer = SystemAnswer(
+        proved=True, substitution=Substitution(), cost=1.0, learned=True
+    )
+    queries = itertools.cycle(
+        parse_atom(f"q{i}(a)") for i in range(4096)
+    )
+
+    def store_then_hit():
+        query = next(queries)
+        cache.store(query, database, answer)
+        return cache.lookup(query, database)
+
+    hit = benchmark(store_then_hit)
+    assert hit is not None and hit.cached

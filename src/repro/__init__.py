@@ -23,6 +23,10 @@ The package is layered bottom-up:
   segmented-scan and negation-as-failure applications);
 * :mod:`repro.serving` — the deployment surface: query sessions,
   form-sharded parallel batch serving, and the two-tier result cache;
+* :mod:`repro.experience` — the cross-session experience store:
+  structural form fingerprints, settled-outcome records, and the
+  priors-only warm-start that seeds a new learner's Θ₀ from its
+  nearest structural neighbours;
 * :mod:`repro.bench` — the experiment harness behind ``benchmarks/``.
 
 Quickstart (serving)::
@@ -64,10 +68,21 @@ from .observability import (
     Tracer,
 )
 from .system import SelfOptimizingQueryProcessor, SystemAnswer
+from . import experience
+from .experience import (
+    ExperienceRecord,
+    ExperienceStore,
+    FormProfile,
+    WarmStart,
+    form_fingerprint,
+    form_profile,
+    warm_start,
+)
 from . import serving
 from .serving import (
     AdmissionConfig,
     CacheConfig,
+    ExperienceConfig,
     QueryServer,
     QuerySession,
     Request,
@@ -146,6 +161,15 @@ __all__ = [
     "AdmissionConfig",
     "CacheConfig",
     "ExecutionOutcome",
+    "ExperienceConfig",
+    "ExperienceRecord",
+    "ExperienceStore",
+    "FormProfile",
+    "WarmStart",
+    "experience",
+    "form_fingerprint",
+    "form_profile",
+    "warm_start",
     "QueryServer",
     "QuerySession",
     "Request",

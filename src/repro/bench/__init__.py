@@ -15,6 +15,7 @@ from .experiments import (
     experiment_distributed_faulty,
     experiment_drift,
     experiment_engine,
+    experiment_experience_warmstart,
     experiment_federation,
     experiment_figure1,
     experiment_figure2_pib,
@@ -46,6 +47,7 @@ __all__ = [
     "experiment_distributed_faulty",
     "experiment_drift",
     "experiment_engine",
+    "experiment_experience_warmstart",
     "experiment_federation",
     "experiment_figure1",
     "experiment_figure2_pib",

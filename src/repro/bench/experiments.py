@@ -82,6 +82,7 @@ __all__ = [
     "experiment_distributed",
     "experiment_distributed_faulty",
     "experiment_drift",
+    "experiment_experience_warmstart",
     "experiment_federation",
     "experiment_naf",
     "experiment_overload",
@@ -1855,5 +1856,125 @@ def experiment_federation(
     result.check(
         "faulty federated replay is byte-deterministic",
         first == second,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
+# XP1: experience warm-start — repeated forms converge with fewer samples
+# ----------------------------------------------------------------------
+
+def experiment_experience_warmstart(
+    seeds: Sequence[int] = (7, 11, 23),
+    contexts: int = 400,
+    delta: float = 0.2,
+) -> ExperimentResult:
+    """Cross-session warm-start on the paper's university workload.
+
+    Session one starts from the DBA's ``Θ₁`` and hill-climbs under the
+    intended distribution; its settled outcome is contributed to an
+    experience store.  Session two faces the *same form* and
+    warm-starts from the store.  Measured per seed:
+
+    * samples-to-convergence — the context number of the last climb
+      (0 when the run never needs to climb): the cost of re-learning
+      what a previous session already knew;
+    * answer parity — the warm run must prove exactly the contexts the
+      cold run proved (priors-only: warm-start changes no answers);
+    * strategy parity — both sessions settle on the same strategy.
+
+    The acceptance bar is the ISSUE's: ≥30% fewer samples to
+    convergence on repeated forms, with byte-identical answers.
+    """
+    from ..experience import (
+        ExperienceStore,
+        form_profile,
+        record_from_learner,
+        warm_start,
+    )
+
+    graph = university.g_a()
+    probs = university.intended_probabilities()
+    rows: List[List[str]] = []
+    reductions: List[float] = []
+    parity = True
+    strategy_parity = True
+    warm_hits = True
+    result = ExperimentResult("XP1: experience warm-start (university G_A)")
+
+    for seed in seeds:
+        distribution = IndependentDistribution(graph, probs)
+
+        def run(initial: Optional[Strategy]) -> Tuple[PIB, List[bool], int]:
+            learner = PIB(
+                graph, delta=delta,
+                initial_strategy=initial or university.theta_1(graph),
+            )
+            rng = random.Random(seed)
+            proved: List[bool] = []
+            for _ in range(contexts):
+                proved.append(
+                    learner.process(distribution.sample(rng)).succeeded
+                )
+            settled_at = (
+                learner.history[-1].context_number if learner.history else 0
+            )
+            return learner, proved, settled_at
+
+        cold, cold_proved, cold_settled = run(None)
+        store = ExperienceStore()
+        profile = form_profile(graph)
+        record = record_from_learner(profile, "instructor/1", cold)
+        assert record is not None
+        store.add(record)
+        warm = warm_start(store, profile, graph)
+        warm_hits = warm_hits and warm is not None and warm.exact
+        warm_learner, warm_proved, warm_settled = run(
+            warm.strategy if warm is not None else None
+        )
+        parity = parity and warm_proved == cold_proved
+        strategy_parity = strategy_parity and (
+            warm_learner.strategy.arc_names() == cold.strategy.arc_names()
+        )
+        reduction = (
+            1.0 - warm_settled / cold_settled if cold_settled else 1.0
+        )
+        reductions.append(reduction)
+        rows.append([
+            str(seed), str(cold_settled), str(warm_settled),
+            f"{reduction:.0%}", str(cold.climbs), str(warm_learner.climbs),
+        ])
+
+    mean_reduction = sum(reductions) / len(reductions)
+    result.data.update(
+        seeds=list(seeds),
+        contexts=contexts,
+        mean_reduction=round(mean_reduction, 4),
+        reductions=[round(r, 4) for r in reductions],
+        answer_parity=parity,
+        strategy_parity=strategy_parity,
+    )
+    result.tables.append(format_table(
+        "samples to convergence, cold vs warm-started",
+        ["seed", "cold settles at", "warm settles at", "reduction",
+         "cold climbs", "warm climbs"],
+        rows,
+        footer=f"mean samples-to-convergence reduction: {mean_reduction:.0%}",
+    ))
+    result.check(
+        "warm-start always finds the prior session's record (exact hit)",
+        warm_hits,
+    )
+    result.check(
+        "priors only: warm run proves exactly the cold run's contexts",
+        parity,
+    )
+    result.check(
+        "both sessions settle on the same strategy",
+        strategy_parity,
+    )
+    result.check(
+        ">=30% fewer samples to convergence on the repeated form",
+        mean_reduction >= 0.30,
     )
     return result

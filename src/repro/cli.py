@@ -33,7 +33,8 @@ Seven subcommands::
 * ``verify`` runs the deterministic-simulation / differential-oracle
   battery (:mod:`repro.verify`) over seeded random worlds, per
   profile (``engine``, ``pib``, ``pao``, ``serving``, ``chaos``,
-  ``overload``, ``federation`` or ``all``); ``--replay world.json``
+  ``overload``, ``federation``, ``experience`` or ``all``);
+  ``--replay world.json``
   re-checks one saved
   :class:`~repro.verify.worldgen.WorldSpec`, ``--artifacts DIR``
   saves failing specs for replay, and ``--coverage`` runs the test
@@ -42,8 +43,10 @@ Seven subcommands::
 All file formats are plain Datalog (the ``--facts`` file holds ground
 facts only); traces are JSON Lines.
 
-Every learning/serving subcommand builds its configuration with
-:meth:`~repro.serving.config.SessionConfig.from_options` and runs
+Every flag family (session, cache, admission, store, experience) is a
+declarative :class:`~repro.cliflags.FlagAdapter`: the flags and the
+namespace→typed-config fold live together in :mod:`repro.cliflags`,
+every subcommand builds its configs the same way, and everything runs
 through :func:`repro.open_session` — the CLI owns no replay or policy
 logic of its own.
 """
@@ -54,6 +57,13 @@ import argparse
 import sys
 from typing import Dict, List, Optional, Sequence
 
+from .cliflags import (
+    ADMISSION_FLAGS,
+    CACHE_FLAGS,
+    EXPERIENCE_FLAGS,
+    SESSION_FLAGS,
+    STORE_FLAGS,
+)
 from .datalog.database import Database
 from .datalog.engine import TopDownEngine
 from .datalog.parser import parse_program, parse_query
@@ -68,44 +78,10 @@ from .observability import (
     summarize_trace,
 )
 from .optimal.upsilon import upsilon_aot
-from .serving import (
-    AdmissionConfig,
-    CacheConfig,
-    ServingConfig,
-    SessionConfig,
-    open_session,
-)
+from .serving import ServingConfig, open_session
 from .serving.admission import coerce_requests
-from .serving.config import SHED_POLICIES
 
 __all__ = ["main", "build_parser"]
-
-
-def _build_store(args: argparse.Namespace):
-    """The ``--facts`` database on the backend ``--store`` names."""
-    facts = getattr(args, "facts", None)
-    store = getattr(args, "store", "memory")
-    if store == "memory" or facts is None:
-        return facts  # open_session coerces a path to a Database
-    with open(facts, encoding="utf-8") as handle:
-        text = handle.read()
-    if store == "sqlite":
-        from .storage.sqlite import SQLiteFactStore
-
-        return SQLiteFactStore.from_program(text)
-    from .resilience.faults import FaultSpec
-    from .storage.federation import FederatedStore
-
-    return FederatedStore.from_program(
-        text,
-        shards=args.store_shards,
-        seed=args.store_seed,
-        fault=FaultSpec(
-            fault_rate=args.store_fault_rate,
-            timeout_rate=args.store_timeout_rate,
-        ),
-        replicas=args.store_replicas,
-    )
 
 
 def _load_rules(path: str):
@@ -156,21 +132,6 @@ def cmd_query(args: argparse.Namespace, out) -> int:
     return 0 if answer.proved else 1
 
 
-def _config_from_args(args: argparse.Namespace) -> SessionConfig:
-    """The CLI flag set, folded into a :class:`SessionConfig`."""
-    return SessionConfig.from_options(
-        delta=args.delta,
-        max_depth=args.max_depth,
-        retries=args.retries,
-        deadline=args.deadline,
-        checkpoint_dir=args.checkpoint_dir,
-        checkpoint_every=args.checkpoint_every,
-        drift=args.drift,
-        drift_delta=args.drift_delta,
-        drift_detector=args.drift_detector,
-    )
-
-
 def _echo_progress(args: argparse.Namespace, out):
     """The ``on_answer`` callback echoing climbs and degradations."""
 
@@ -201,7 +162,7 @@ def _print_form_report(summary, out) -> None:
 
 def cmd_learn(args: argparse.Namespace, out) -> int:
     with open_session(
-        args.rules, args.facts, config=_config_from_args(args)
+        args.rules, args.facts, config=SESSION_FLAGS.build(args)
     ) as session:
         report = session.learn_from_stream(
             args.queries, on_answer=_echo_progress(args, out)
@@ -218,7 +179,7 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     tracer = Tracer(margin_events=not args.no_margins)
     with open_session(
         args.rules, args.facts,
-        config=_config_from_args(args), recorder=tracer,
+        config=SESSION_FLAGS.build(args), recorder=tracer,
     ) as session:
         report = session.learn_from_stream(
             args.queries, on_answer=_echo_progress(args, out)
@@ -241,23 +202,6 @@ def cmd_trace(args: argparse.Namespace, out) -> int:
     return 0
 
 
-def _cache_from_args(args: argparse.Namespace) -> CacheConfig:
-    """``--cache`` turns both tiers on at their defaults; explicit
-    ``--cache-answers`` / ``--cache-subgoals`` capacities win."""
-    base = (
-        CacheConfig.default_enabled() if args.cache else CacheConfig()
-    )
-    answers = (
-        args.cache_answers if args.cache_answers is not None
-        else base.answer_capacity
-    )
-    subgoals = (
-        args.cache_subgoals if args.cache_subgoals is not None
-        else base.subgoal_capacity
-    )
-    return CacheConfig(answer_capacity=answers, subgoal_capacity=subgoals)
-
-
 def _load_query_lines(path: str) -> List[str]:
     """The stream format (one query per line, ``%`` comments) as a list."""
     queries: List[str] = []
@@ -269,33 +213,17 @@ def _load_query_lines(path: str) -> List[str]:
     return queries
 
 
-def _admission_from_args(
-    args: argparse.Namespace,
-) -> Optional[AdmissionConfig]:
-    """Admission control turns on when any overload flag is set."""
-    wanted = (args.queue_cap is not None or args.tenants > 0
-              or args.quota > 0 or args.request_deadline is not None)
-    if not wanted:
-        return None
-    return AdmissionConfig(
-        queue_capacity=args.queue_cap if args.queue_cap is not None else 64,
-        tenant_rate=args.quota,
-        shed_policy=args.shed_policy,
-        deadline=args.request_deadline,
-    )
-
-
 def cmd_serve(args: argparse.Namespace, out) -> int:
     queries = _load_query_lines(args.queries)
     if not queries:
         print("no queries in the stream", file=out)
         return 1
-    admission = _admission_from_args(args)
-    store = _build_store(args)
+    admission = ADMISSION_FLAGS.build(args)
+    store = STORE_FLAGS.build(args).open(args.facts)
     with open_session(
         args.rules, store,
-        config=_config_from_args(args),
-        cache=_cache_from_args(args),
+        config=SESSION_FLAGS.build(args),
+        cache=CACHE_FLAGS.build(args),
         serving=ServingConfig(workers=args.workers, admission=admission),
     ) as session:
         for pass_number in range(1, args.repeat + 1):
@@ -352,6 +280,14 @@ def cmd_serve(args: argparse.Namespace, out) -> int:
                   f"misses={stats['misses']} "
                   f"evictions={stats['evictions']} "
                   f"(hit rate {stats['hit_rate']:.1%})", file=out)
+        if session.processor.experience_store is not None:
+            session.contribute_experience()
+            exp = session.processor.report()["experience"]
+            print(f"experience: records={exp['records']} "
+                  f"warmstarts={exp['warmstarts']} "
+                  f"writes={exp['writes']}"
+                  + (" (recovered from corrupt store)"
+                     if exp["recovered"] else ""), file=out)
         if admission is not None:
             info = snapshot["admission"]
             print(f"health: {info['health']['state']}", file=out)
@@ -418,6 +354,12 @@ def cmd_stats(args: argparse.Namespace, out) -> int:
         print(f"  epoch {rollback['epoch']} after context "
               f"{rollback['context_number']}: rolled back to "
               f"{' '.join(rollback['to'] or [])}", file=out)
+    experience = summary.get("experience")
+    if experience:
+        print(f"experience: warmstarts={experience['warmstart_hits']} "
+              f"(exact {experience['exact_hits']}, mean distance "
+              f"{experience['mean_distance']:.3f}) "
+              f"writes={experience['writes']}", file=out)
     return 0
 
 
@@ -505,6 +447,7 @@ def cmd_verify(args: argparse.Namespace, out) -> int:
         artifact_dir=args.artifacts,
         out=out,
         shrink_failures=not args.no_shrink,
+        experience=EXPERIENCE_FLAGS.build(args),
     )
 
 
@@ -531,30 +474,9 @@ def build_parser() -> argparse.ArgumentParser:
         command.add_argument("--queries", required=True,
                              help="file with one query per line "
                                   "(%% comments)")
-        command.add_argument("--delta", type=float, default=0.05,
-                             help="PIB mistake budget (Theorem 1)")
-        command.add_argument("--max-depth", type=int, default=None)
         command.add_argument("--quiet", action="store_true")
-        command.add_argument("--retries", type=int, default=0,
-                             help="retry faulted retrievals up to N attempts "
-                                  "(enables the resilience layer)")
-        command.add_argument("--deadline", type=float, default=None,
-                             help="per-query cost budget; over-budget "
-                                  "queries degrade to the SLD fallback")
-        command.add_argument("--checkpoint-dir", default=None,
-                             help="directory for crash-safe per-form PIB "
-                                  "checkpoints (resumes automatically)")
-        command.add_argument("--checkpoint-every", type=int, default=25,
-                             help="checkpoint each form every N queries")
-        command.add_argument("--drift", action="store_true",
-                             help="drift-aware learning: detect distribution "
-                                  "shifts and restart the guarantee per epoch")
-        command.add_argument("--drift-delta", type=float, default=0.05,
-                             help="detector false-alarm budget")
-        command.add_argument("--drift-detector", default="window",
-                             choices=("window", "page-hinkley"),
-                             help="change detector (adaptive window or "
-                                  "Page-Hinkley)")
+        SESSION_FLAGS.install(command)
+        EXPERIENCE_FLAGS.install(command)
 
     learn = sub.add_parser(
         "learn", help="replay a query stream through the learning processor"
@@ -583,43 +505,11 @@ def build_parser() -> argparse.ArgumentParser:
     add_learning_flags(serve)
     serve.add_argument("--workers", type=int, default=1,
                        help="worker threads; batches shard by query form")
-    serve.add_argument("--cache", action="store_true",
-                       help="enable both cache tiers at default capacities")
-    serve.add_argument("--cache-answers", type=int, default=None,
-                       help="ground-answer cache capacity (0 disables)")
-    serve.add_argument("--cache-subgoals", type=int, default=None,
-                       help="subgoal memo capacity (0 disables)")
     serve.add_argument("--repeat", type=int, default=1,
                        help="run the batch N times (warms the caches)")
-    serve.add_argument("--tenants", type=int, default=0,
-                       help="model N synthetic tenants (round-robin over "
-                            "the stream); implies admission control")
-    serve.add_argument("--quota", type=float, default=0.0,
-                       help="per-tenant token-bucket rate "
-                            "(tokens per arrival; 0 = unlimited)")
-    serve.add_argument("--queue-cap", type=int, default=None,
-                       help="per-form admission queue capacity "
-                            "(setting it enables admission control)")
-    serve.add_argument("--shed-policy", default="reject-newest",
-                       choices=SHED_POLICIES,
-                       help="who loses under overload")
-    serve.add_argument("--request-deadline", type=float, default=None,
-                       help="per-request latency budget in cost units "
-                            "(queue wait + service on the form clock)")
-    serve.add_argument("--store", default="memory",
-                       choices=("memory", "sqlite", "federated"),
-                       help="fact-storage backend for --facts")
-    serve.add_argument("--store-shards", type=int, default=3,
-                       help="shard count for --store federated")
-    serve.add_argument("--store-seed", type=int, default=0,
-                       help="fault-plan seed for --store federated")
-    serve.add_argument("--store-fault-rate", type=float, default=0.0,
-                       help="per-shard fault rate for --store federated")
-    serve.add_argument("--store-timeout-rate", type=float, default=0.0,
-                       help="per-shard timeout rate for --store federated")
-    serve.add_argument("--store-replicas", action="store_true",
-                       help="give every federated shard a clean replica "
-                            "for hedged reads")
+    CACHE_FLAGS.install(serve)
+    ADMISSION_FLAGS.install(serve)
+    STORE_FLAGS.install(serve)
     serve.set_defaults(handler=cmd_serve)
 
     stats = sub.add_parser(
@@ -650,9 +540,11 @@ def build_parser() -> argparse.ArgumentParser:
                         help="first seed of the family")
     verify.add_argument("--profile", action="append",
                         choices=("engine", "pib", "pao", "serving",
-                                 "chaos", "overload", "federation", "all"),
+                                 "chaos", "overload", "federation",
+                                 "experience", "all"),
                         default=None,
                         help="profile to run (repeatable; default all)")
+    EXPERIENCE_FLAGS.install(verify)
     verify.add_argument("--artifacts", default=None, metavar="DIR",
                         help="write failing WorldSpecs as JSON here "
                              "for --replay")

@@ -202,6 +202,19 @@ class Recorder:
         (healthy/shedding/draining)."""
 
     # ------------------------------------------------------------------
+    # Experience events
+    # ------------------------------------------------------------------
+
+    def warmstart(
+        self, form: str, source: str, distance: float, exact: bool
+    ) -> None:
+        """A fresh learner was started from a stored prior: ``source``
+        is the contributing form, ``distance`` is ``1 - similarity``."""
+
+    def experience_write(self, fingerprint: str, samples: int) -> None:
+        """A settled outcome was contributed to the experience store."""
+
+    # ------------------------------------------------------------------
     # System events
     # ------------------------------------------------------------------
 

@@ -76,6 +76,8 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
     shed_reasons: Dict[str, int] = {}
     latency: Optional[Histogram] = None
     health_transitions: List[str] = []
+    warmstarts: List[Dict[str, Any]] = []
+    experience_writes = 0
     for event in events:
         type_ = event["type"]
         event_counts[type_] = event_counts.get(type_, 0) + 1
@@ -126,6 +128,10 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
             health_transitions.append(
                 f"{event.get('from', '?')}->{event.get('to', '?')}"
             )
+        elif type_ == "warmstart":
+            warmstarts.append(event)
+        elif type_ == "experience_write":
+            experience_writes += 1
     summary: Dict[str, Any] = {
         "events": sum(event_counts.values()),
         "event_counts": dict(sorted(event_counts.items())),
@@ -176,4 +182,16 @@ def summarize_trace(events: Iterable[Dict[str, Any]]) -> Dict[str, Any]:
                 "mean": latency.mean,
                 "max": latency.max,
             }
+    if warmstarts or experience_writes:
+        distances = [
+            float(event.get("distance", 0.0)) for event in warmstarts
+        ]
+        summary["experience"] = {
+            "warmstart_hits": len(warmstarts),
+            "exact_hits": sum(1 for e in warmstarts if e.get("exact")),
+            "mean_distance": (
+                sum(distances) / len(distances) if distances else 0.0
+            ),
+            "writes": experience_writes,
+        }
     return summary

@@ -50,6 +50,8 @@ Event types (the ``type`` field of each JSONL line):
                      ``degraded``), latency? (served/degraded), reason?
 ``queue_depth``      form, depth  (after an admission step)
 ``health``           from, to  (server overload state transition)
+``warmstart``        form, source, distance (1 − similarity), exact
+``experience_write`` fingerprint, samples
 =================== ====================================================
 
 Tracing is for *observing*, never for steering: no instrumented code
@@ -334,6 +336,23 @@ class Tracer(Recorder):
     def health_transition(self, old_state: str, new_state: str) -> None:
         self._emit("health", **{"from": old_state, "to": new_state})
         self.metrics.counter("health_transitions_total").inc()
+
+    # ------------------------------------------------------------------
+    # Experience events
+    # ------------------------------------------------------------------
+
+    def warmstart(
+        self, form: str, source: str, distance: float, exact: bool
+    ) -> None:
+        self._emit("warmstart", form=form, source=source,
+                   distance=distance, exact=exact)
+        self.metrics.counter("warmstart_hit").inc()
+        self.metrics.histogram("warmstart_distance").observe(distance)
+
+    def experience_write(self, fingerprint: str, samples: int) -> None:
+        self._emit("experience_write", fingerprint=fingerprint,
+                   samples=samples)
+        self.metrics.counter("experience_writes").inc()
 
     # ------------------------------------------------------------------
     # PAO + system events

@@ -10,7 +10,8 @@ Public surface:
 * :class:`~repro.serving.config.SessionConfig` /
   :class:`~repro.serving.config.CacheConfig` /
   :class:`~repro.serving.config.ServingConfig` /
-  :class:`~repro.serving.config.AdmissionConfig` — typed configuration;
+  :class:`~repro.serving.config.AdmissionConfig` /
+  :class:`~repro.serving.config.ExperienceConfig` — typed configuration;
 * :class:`~repro.serving.cache.AnswerCache` /
   :class:`~repro.serving.cache.SubgoalMemo` — the cache tiers;
 * :class:`~repro.serving.admission.Request` /
@@ -25,13 +26,20 @@ this package's config module), so they are loaded lazily via module
 
 from .admission import Request, RequestOutcome, ServerHealth
 from .cache import AnswerCache, CacheStats, SubgoalMemo
-from .config import AdmissionConfig, CacheConfig, ServingConfig, SessionConfig
+from .config import (
+    AdmissionConfig,
+    CacheConfig,
+    ExperienceConfig,
+    ServingConfig,
+    SessionConfig,
+)
 
 __all__ = [
     "AdmissionConfig",
     "AnswerCache",
     "CacheConfig",
     "CacheStats",
+    "ExperienceConfig",
     "QueryServer",
     "QuerySession",
     "Request",

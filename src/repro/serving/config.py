@@ -38,10 +38,63 @@ if TYPE_CHECKING:
     from ..graphs.inference_graph import InferenceGraph
     from ..strategies.transformations import Transformation
 
-__all__ = ["SessionConfig", "CacheConfig", "ServingConfig", "AdmissionConfig"]
+__all__ = [
+    "SessionConfig",
+    "CacheConfig",
+    "ServingConfig",
+    "AdmissionConfig",
+    "ExperienceConfig",
+]
 
 #: The load-shedding policies :class:`AdmissionConfig` accepts.
 SHED_POLICIES = ("reject-newest", "reject-over-quota", "degrade-to-cached")
+
+
+@dataclass(frozen=True)
+class ExperienceConfig:
+    """Cross-session experience store + warm-start knobs.
+
+    Experience is *priors only*: with ``enabled=False`` (the default)
+    nothing in the session touches the store and every output is
+    byte-identical to a build without the experience subsystem; with
+    it enabled, a new form's learner starts at its nearest structural
+    neighbour's settled strategy instead of depth-first — the Theorem 1
+    per-run schedule still starts cold either way.
+
+    The ranking blend follows querytorque's knowledge engine:
+    ``0.7 * pattern + 0.3 * similarity`` by default.
+    """
+
+    #: JSON store location (``None``: memory-only, dies with the
+    #: session — still useful for repeated forms within one session).
+    path: Optional[str] = None
+    #: Master switch; off means the store is never opened or written.
+    enabled: bool = False
+    #: How many nearest neighbours to consider per form.
+    neighbour_k: int = 3
+    #: Minimum blended similarity for a record to be used at all.
+    similarity_floor: float = 0.5
+    #: Weight of the structural-pattern component in the blend.
+    pattern_weight: float = 0.7
+    #: Weight of the feature-similarity component in the blend.
+    similarity_weight: float = 0.3
+
+    def __post_init__(self) -> None:
+        if self.neighbour_k < 1:
+            raise ValueError("neighbour_k must be at least 1")
+        if not 0.0 <= self.similarity_floor <= 1.0:
+            raise ValueError("similarity_floor must be in [0, 1]")
+        if self.pattern_weight < 0 or self.similarity_weight < 0:
+            raise ValueError("blend weights cannot be negative")
+        if self.pattern_weight + self.similarity_weight <= 0:
+            raise ValueError("blend weights cannot both be zero")
+
+    @classmethod
+    def default_enabled(
+        cls, path: Optional[str] = None
+    ) -> "ExperienceConfig":
+        """What the CLI's bare ``--experience`` flag turns on."""
+        return cls(path=path, enabled=True)
 
 
 @dataclass
@@ -62,6 +115,7 @@ class SessionConfig:
     ``checkpoint_dir``         :attr:`checkpoint_dir`
     ``checkpoint_every``       :attr:`checkpoint_every`
     ``drift``                  :attr:`drift`
+    ``experience``             :attr:`experience`
     =========================  =====================================
     """
 
@@ -83,6 +137,9 @@ class SessionConfig:
     checkpoint_every: int = 25
     #: Drift-aware learning configuration (``None``: stationary mode).
     drift: Optional[DriftConfig] = None
+    #: Cross-session warm-start configuration (``None``: off — the
+    #: byte-identical legacy path; see :class:`ExperienceConfig`).
+    experience: Optional[ExperienceConfig] = None
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
@@ -104,6 +161,9 @@ class SessionConfig:
         drift: bool = False,
         drift_delta: float = 0.05,
         drift_detector: str = "window",
+        experience: bool = False,
+        experience_path: Optional[str] = None,
+        experience_neighbours: int = 3,
     ) -> "SessionConfig":
         """Build a config from scalar options (the CLI's flag set).
 
@@ -126,6 +186,13 @@ class SessionConfig:
             if drift
             else None
         )
+        experience_config = None
+        if experience or experience_path is not None:
+            experience_config = ExperienceConfig(
+                path=experience_path,
+                enabled=True,
+                neighbour_k=experience_neighbours,
+            )
         return cls(
             delta=delta,
             test_every=test_every,
@@ -134,6 +201,7 @@ class SessionConfig:
             checkpoint_dir=checkpoint_dir,
             checkpoint_every=checkpoint_every,
             drift=drift_config,
+            experience=experience_config,
         )
 
     def with_overrides(self, **changes) -> "SessionConfig":

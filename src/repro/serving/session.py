@@ -116,11 +116,21 @@ class QuerySession:
         self.close()
 
     def close(self) -> None:
-        """Flush checkpoints (when configured) and refuse further work."""
+        """Flush checkpoints and experience (when configured), then
+        refuse further work.
+
+        Session close is when this session's settled outcomes become
+        *experience*: each form that processed at least one context
+        contributes its current winner to the configured store, where
+        the next session's :func:`open_session` can warm-start from
+        it.
+        """
         if self._closed:
             return
         if self.config.checkpoint_dir is not None:
             self.processor.checkpoint_now()
+        if self.processor.experience_store is not None:
+            self.processor.contribute_experience()
         self._closed = True
 
     @property
@@ -259,6 +269,13 @@ class QuerySession:
         """Force a checkpoint of every compiled form; returns how many."""
         self._require_open()
         return self.processor.checkpoint_now()
+
+    def contribute_experience(self) -> int:
+        """Flush settled outcomes to the experience store immediately
+        (``close`` also does this); returns how many records landed.
+        No-op (0) when experience is disabled."""
+        self._require_open()
+        return self.processor.contribute_experience()
 
 
 def open_session(

@@ -6,6 +6,7 @@ The interface is imported eagerly; the concrete backends load lazily
 itself builds on :class:`~repro.datalog.database.Database` shards.
 """
 
+from .config import STORE_BACKENDS, StoreConfig
 from .interface import COMPLETE, Completeness, FactStore, next_store_id
 
 __all__ = [
@@ -17,6 +18,8 @@ __all__ = [
     "FederatedStore",
     "ShardSpec",
     "ProbeWindow",
+    "StoreConfig",
+    "STORE_BACKENDS",
 ]
 
 _LAZY = {

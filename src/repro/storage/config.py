@@ -1,0 +1,84 @@
+"""Typed configuration for the fact-storage backend selection.
+
+The CLI's ``--store-*`` flag family used to be hand-rolled arg→kwarg
+plumbing inside ``cli.py``; :class:`StoreConfig` is its typed home —
+the same shape as the other config dataclasses
+(:class:`~repro.serving.config.CacheConfig` and friends): a frozen,
+validated value object plus one method that does the work.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["StoreConfig", "STORE_BACKENDS"]
+
+#: The fact-storage backends ``--store`` accepts.
+STORE_BACKENDS = ("memory", "sqlite", "federated")
+
+
+@dataclass(frozen=True)
+class StoreConfig:
+    """Which backend holds the ground facts, and how it is shaped.
+
+    ``memory`` (the default) leaves fact loading to the session layer
+    (a path coerces to a plain :class:`~repro.datalog.database.Database`);
+    ``sqlite`` and ``federated`` build their stores here.  The
+    federation knobs mirror
+    :meth:`~repro.storage.federation.FederatedStore.from_program`.
+    """
+
+    backend: str = "memory"
+    #: Shard count (federated only).
+    shards: int = 3
+    #: Fault-plan seed (federated only).
+    seed: int = 0
+    #: Per-shard transient fault rate (federated only).
+    fault_rate: float = 0.0
+    #: Per-shard timeout rate (federated only).
+    timeout_rate: float = 0.0
+    #: Give every shard a clean replica for hedged reads.
+    replicas: bool = False
+
+    def __post_init__(self) -> None:
+        if self.backend not in STORE_BACKENDS:
+            raise ValueError(
+                f"unknown store backend {self.backend!r}; expected one "
+                f"of {', '.join(STORE_BACKENDS)}"
+            )
+        if self.shards < 1:
+            raise ValueError("shards must be at least 1")
+        if not 0.0 <= self.fault_rate <= 1.0:
+            raise ValueError("fault_rate must be in [0, 1]")
+        if not 0.0 <= self.timeout_rate <= 1.0:
+            raise ValueError("timeout_rate must be in [0, 1]")
+
+    def open(self, facts):
+        """Materialise the configured backend for a ``--facts`` path.
+
+        ``facts`` may be ``None`` (no database) or a path.  For the
+        ``memory`` backend the path is returned untouched — the
+        session layer coerces it — so a plain config stays on the
+        byte-identical legacy loading path.
+        """
+        if facts is None or self.backend == "memory":
+            return facts
+        with open(facts, encoding="utf-8") as handle:
+            text = handle.read()
+        if self.backend == "sqlite":
+            from .sqlite import SQLiteFactStore
+
+            return SQLiteFactStore.from_program(text)
+        from ..resilience.faults import FaultSpec
+        from .federation import FederatedStore
+
+        return FederatedStore.from_program(
+            text,
+            shards=self.shards,
+            seed=self.seed,
+            fault=FaultSpec(
+                fault_rate=self.fault_rate,
+                timeout_rate=self.timeout_rate,
+            ),
+            replicas=self.replicas,
+        )

@@ -30,6 +30,13 @@ from typing import Any, Dict, List, Optional
 
 from .datalog.database import Database
 from .datalog.engine import TopDownEngine
+from .experience.fingerprint import FormProfile, form_profile
+from .experience.store import ExperienceStore
+from .experience.warmstart import (
+    WarmStart,
+    record_from_learner,
+    warm_start,
+)
 from .datalog.rules import QueryForm, RuleBase
 from .datalog.terms import Atom, Substitution
 from .errors import (
@@ -108,6 +115,11 @@ class FormState:
     restored: bool = False
     checkpoints_written: int = 0
     incidents: List[str] = field(default_factory=list)
+    #: Structural profile of the form's graph (set only when the
+    #: experience subsystem is enabled).
+    profile: Optional[FormProfile] = None
+    #: The prior this form's learner was started from, if any.
+    warmstart: Optional[WarmStart] = None
 
 
 class SelfOptimizingQueryProcessor:
@@ -176,6 +188,7 @@ class SelfOptimizingQueryProcessor:
         checkpoint_every: Any = _UNSET,
         recorder: Optional[Recorder] = None,
         drift: Any = _UNSET,
+        experience: Any = _UNSET,
         *,
         config: Optional[SessionConfig] = None,
     ):
@@ -190,6 +203,7 @@ class SelfOptimizingQueryProcessor:
                 ("checkpoint_dir", checkpoint_dir),
                 ("checkpoint_every", checkpoint_every),
                 ("drift", drift),
+                ("experience", experience),
             )
             if value is not _UNSET
         }
@@ -220,7 +234,25 @@ class SelfOptimizingQueryProcessor:
         self.checkpoint_dir = config.checkpoint_dir
         self.checkpoint_every = config.checkpoint_every
         self.drift = config.drift
+        self.experience = config.experience
+        #: The open cross-session store (``None``: experience off — no
+        #: store is ever opened and behaviour is byte-identical to a
+        #: build without the subsystem).
+        self.experience_store: Optional[ExperienceStore] = None
+        self.experience_writes = 0
+        if self.experience is not None and self.experience.enabled:
+            self.experience_store = ExperienceStore.open(
+                self.experience.path
+            )
         self.recorder = recorder if recorder is not None else NULL_RECORDER
+        if (
+            self.experience_store is not None
+            and self.experience_store.recovered
+            and self.recorder.enabled
+        ):
+            self.recorder.incident(
+                "experience store unreadable (and backup); starting empty"
+            )
         if self.resilience is not None and self.recorder.enabled:
             self.resilience.bind_recorder(self.recorder)
         self._transformations_factory = (
@@ -298,12 +330,85 @@ class SelfOptimizingQueryProcessor:
             test_every=self.test_every,
             recorder=self.recorder,
         )
+        warm = self._warm_start_for(state)
+        if warm is not None:
+            # Priors only: the neighbour's settled winner becomes Θ₀,
+            # nothing else — Δ̃ accumulators, total_tests, and the
+            # Theorem 1 δ-schedule start cold exactly as without it.
+            kwargs["initial_strategy"] = warm.strategy
+            state.warmstart = warm
+            if self.recorder.enabled:
+                self.recorder.warmstart(
+                    str(state.form),
+                    warm.source_form,
+                    warm.distance,
+                    warm.exact,
+                )
         if self.drift is not None:
             state.learner = DriftAwarePIB(
                 state.graph, drift=self.drift, **kwargs
             )
         else:
             state.learner = PIB(state.graph, **kwargs)
+
+    def _profile_for(self, state: FormState) -> FormProfile:
+        if state.profile is None:
+            state.profile = form_profile(state.graph, state.form)
+        return state.profile
+
+    def _warm_start_for(self, state: FormState) -> Optional[WarmStart]:
+        """The store's best prior for a *freshly initialised* learner.
+
+        Checkpoint-restored learners never reach here: a checkpoint is
+        this very form's own mid-run state and always outranks a
+        neighbour's prior.
+        """
+        if self.experience_store is None:
+            return None
+        cfg = self.experience
+        return warm_start(
+            self.experience_store,
+            self._profile_for(state),
+            state.graph,
+            k=cfg.neighbour_k,
+            floor=cfg.similarity_floor,
+            pattern_weight=cfg.pattern_weight,
+            similarity_weight=cfg.similarity_weight,
+        )
+
+    def contribute_experience(self) -> int:
+        """Distil every form's settled outcome into the store and save.
+
+        Called at session close (see
+        :meth:`repro.serving.session.QuerySession.close`).  Each form
+        that processed at least one context contributes one record;
+        the record's ``regime`` is the learner's current drift epoch,
+        so a regime reset automatically versions what was learned
+        under the old cost distribution (higher regimes supersede
+        lower ones at insert).  Returns how many records were written.
+        """
+        if self.experience_store is None:
+            return 0
+        written = 0
+        for state in self._states.values():
+            regime = getattr(state.learner, "epoch", 0)
+            record = record_from_learner(
+                self._profile_for(state),
+                str(state.form),
+                state.learner,
+                regime=regime,
+            )
+            if record is None:
+                continue
+            if self.experience_store.add(record):
+                written += 1
+                if self.recorder.enabled:
+                    self.recorder.experience_write(
+                        record.fingerprint, record.sample_count
+                    )
+        self.experience_store.save()
+        self.experience_writes += written
+        return written
 
     def _note_incident(self, state: FormState, description: str) -> None:
         state.incidents.append(description)
@@ -631,11 +736,29 @@ class SelfOptimizingQueryProcessor:
                     "restored": state.restored,
                     "written": state.checkpoints_written,
                 }
+            if state.warmstart is not None:
+                entry["warmstart"] = {
+                    "source": state.warmstart.source_form,
+                    "similarity": state.warmstart.similarity,
+                    "exact": state.warmstart.exact,
+                }
             summary[str(form)] = entry
         for form, reason in self._uncompilable.items():
             summary[str(form)] = {"fallback": reason}
         if self.resilience is not None:
             summary["resilience"] = self.resilience.snapshot()
+        if self.experience_store is not None:
+            summary["experience"] = {
+                "path": self.experience_store.path,
+                "records": len(self.experience_store),
+                "writes": self.experience_writes,
+                "warmstarts": sum(
+                    1
+                    for state in self._states.values()
+                    if state.warmstart is not None
+                ),
+                "recovered": self.experience_store.recovered,
+            }
         if self.recorder.metrics is not None:
             summary["metrics"] = self.recorder.metrics.snapshot()
         return summary

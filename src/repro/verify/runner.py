@@ -30,6 +30,11 @@ federation cross-backend answer equivalence (memory vs SQLite vs
            answers under shard faults are sound subsets with
            correctly-attributed missing shards, and faulty federated
            replays are byte-deterministic
+experience the warm-start priors-only contract: identical answers and
+           Equation 6 test schedule with/without warm-start, exact
+           self-matches, insertion-order/hash-seed-independent
+           nearest-neighbour rankings, and corrupt-store recovery
+           through the ``.bak`` ladder
 =========  ==========================================================
 
 Deterministic failures are shrunk (``worldgen.shrink``) before being
@@ -47,8 +52,14 @@ from typing import Callable, Dict, List, Optional, Sequence
 from ..resilience.faults import FlakyContext
 from ..resilience.policy import ResiliencePolicy
 from ..resilience.retry import RetryPolicy
+from ..serving.config import ExperienceConfig
 from ..strategies.execution import execute_resilient
 from ..strategies.strategy import Strategy
+from .experience import (
+    check_experience_determinism,
+    check_experience_priors,
+    check_experience_recovery,
+)
 from .federation import (
     check_federation_determinism,
     check_federation_equivalence,
@@ -89,6 +100,7 @@ __all__ = ["PROFILES", "VerifyReport", "specs_for", "run_profile",
 
 PROFILES = (
     "engine", "pib", "pao", "serving", "chaos", "overload", "federation",
+    "experience",
 )
 
 #: Coverage floor (percent) enforced by ``make coverage`` and CI's
@@ -227,6 +239,18 @@ def specs_for(
                     retries=2,
                 )
             )
+        elif profile == "experience":
+            # PIB-style worlds with varied skeletons so the structural
+            # fingerprints genuinely differ across the family.
+            specs.append(
+                WorldSpec(
+                    seed=seed,
+                    profile="experience",
+                    n_internal=2 + seed % 2,
+                    n_retrievals=3 + seed % 3,
+                    blockable_reduction_rate=0.3 if seed % 3 == 2 else 0.0,
+                )
+            )
         else:
             raise ValueError(f"unknown profile {profile!r}")
     return specs
@@ -357,8 +381,13 @@ def run_profile(
     base_seed: int = 0,
     specs: Optional[Sequence[WorldSpec]] = None,
     shrink_failures: bool = True,
+    experience: Optional[ExperienceConfig] = None,
 ) -> VerifyReport:
-    """Run one profile's full oracle battery."""
+    """Run one profile's full oracle battery.
+
+    ``experience`` carries the CLI's ``--experience-*`` knobs into the
+    experience profile's checks; other profiles ignore it.
+    """
     if profile not in PROFILES:
         raise ValueError(
             f"unknown profile {profile!r}; expected one of {PROFILES}"
@@ -423,6 +452,20 @@ def run_profile(
             verify.reports.append(
                 _run_deterministic(name, family, check, shrink_failures)
             )
+    elif profile == "experience":
+        for name, check in (
+            ("experience-priors-only", check_experience_priors),
+            ("experience-nn-determinism", check_experience_determinism),
+            ("experience-store-recovery", check_experience_recovery),
+        ):
+            verify.reports.append(
+                _run_deterministic(
+                    name,
+                    family,
+                    lambda s, _check=check: _check(s, experience),
+                    shrink_failures,
+                )
+            )
     return verify
 
 
@@ -448,12 +491,14 @@ def run_verify(
     artifact_dir: Optional[str] = None,
     out=None,
     shrink_failures: bool = True,
+    experience: Optional[ExperienceConfig] = None,
 ) -> int:
     """Run several profiles; print summaries; return a process exit code."""
     exit_code = 0
     for profile in profiles:
         verify = run_profile(
-            profile, seeds, base_seed, shrink_failures=shrink_failures
+            profile, seeds, base_seed, shrink_failures=shrink_failures,
+            experience=experience,
         )
         if artifact_dir is not None and not verify.ok:
             _write_artifacts(verify, artifact_dir)
@@ -502,5 +547,10 @@ PROFILE_CHECKS: Dict[str, List[str]] = {
         "federation-backend-equivalence",
         "federation-partial-soundness",
         "federation-byte-determinism",
+    ],
+    "experience": [
+        "experience-priors-only",
+        "experience-nn-determinism",
+        "experience-store-recovery",
     ],
 }

@@ -50,6 +50,7 @@ __all__ = [
 #: The verification profiles a spec can target.
 PROFILE_NAMES = (
     "engine", "pib", "pao", "serving", "chaos", "overload", "federation",
+    "experience",
 )
 
 

@@ -141,3 +141,100 @@ class TestSessionConfigValidation:
         changed = config.with_overrides(delta=0.2, test_every=4)
         assert changed.delta == 0.2 and changed.test_every == 4
         assert config.delta == 0.05  # original untouched
+
+
+class TestExperienceAlongsideCheckpoints:
+    """The experience store must coexist with the older persistence
+    layers: checkpoints (a form's own mid-run state) always outrank a
+    store neighbour's prior, and each on-disk format keeps its own
+    versioned header and migration stub."""
+
+    def _config(self, tmp_path):
+        from repro.serving.config import ExperienceConfig
+
+        return SessionConfig(
+            checkpoint_dir=str(tmp_path / "ckpt"),
+            checkpoint_every=1,
+            experience=ExperienceConfig.default_enabled(
+                str(tmp_path / "exp.json")
+            ),
+        )
+
+    def test_checkpoint_outranks_warmstart(self, tmp_path):
+        config = self._config(tmp_path)
+        first = SelfOptimizingQueryProcessor(
+            university_rule_base(), config=config
+        )
+        first.query(parse_query("instructor(manolis)"), db1())
+        first.checkpoint_now()
+        first.contribute_experience()
+
+        second = SelfOptimizingQueryProcessor(
+            university_rule_base(), config=config
+        )
+        second.query(parse_query("instructor(manolis)"), db1())
+        report = second.report()
+        entry = report["instructor^(b)"]
+        # Restored from its own checkpoint; the store's prior is never
+        # consulted for a resumed learner.
+        assert entry["checkpoint"]["restored"] is True
+        assert "warmstart" not in entry
+
+    def test_fresh_form_still_warmstarts_next_to_checkpoints(
+        self, tmp_path
+    ):
+        config = self._config(tmp_path)
+        first = SelfOptimizingQueryProcessor(
+            university_rule_base(), config=config
+        )
+        first.query(parse_query("instructor(manolis)"), db1())
+        first.contribute_experience()
+
+        # Same store, no checkpoint dir: the rebuilt form is fresh, so
+        # the prior applies.
+        from repro.serving.config import ExperienceConfig
+
+        second = SelfOptimizingQueryProcessor(
+            university_rule_base(),
+            config=SessionConfig(
+                experience=ExperienceConfig.default_enabled(
+                    str(tmp_path / "exp.json")
+                )
+            ),
+        )
+        second.query(parse_query("instructor(manolis)"), db1())
+        entry = second.report()["instructor^(b)"]
+        assert entry["warmstart"]["exact"] is True
+
+    def test_formats_keep_separate_version_headers(self, tmp_path):
+        import json
+
+        from repro.experience.store import (
+            EXPERIENCE_FORMAT,
+            EXPERIENCE_VERSION,
+            migrate_experience_payload,
+        )
+        from repro.errors import CheckpointError
+
+        config = self._config(tmp_path)
+        processor = SelfOptimizingQueryProcessor(
+            university_rule_base(), config=config
+        )
+        processor.query(parse_query("instructor(manolis)"), db1())
+        processor.checkpoint_now()
+        processor.contribute_experience()
+
+        store_payload = json.loads((tmp_path / "exp.json").read_text())
+        assert store_payload["format"] == EXPERIENCE_FORMAT
+        assert store_payload["version"] == EXPERIENCE_VERSION
+
+        ckpts = list((tmp_path / "ckpt").glob("*.json"))
+        assert ckpts
+        ckpt_payload = json.loads(ckpts[0].read_text())
+        assert ckpt_payload.get("format") != EXPERIENCE_FORMAT
+        assert "version" in ckpt_payload
+
+        # Cross-feeding one format into the other's loader is refused,
+        # not misread.
+        with pytest.raises(CheckpointError, match="format"):
+            migrate_experience_payload(ckpt_payload)

@@ -1,0 +1,100 @@
+"""The cache tiers at serving scale (1e5+ entries).
+
+The capacity contract is easy to honour at toy sizes and easy to break
+at scale (accidental O(n) scans, unbounded side tables).  These tests
+push :class:`~repro.serving.cache.LRUTable` and
+:class:`~repro.serving.cache.AnswerCache` past 100k entries and assert
+the three properties that must survive: the size bound, exact LRU
+eviction order, and near-constant per-operation cost.  The paired
+microbench lives in ``benchmarks/bench_cache_scale.py``.
+"""
+
+import time
+
+from repro.datalog.terms import Substitution
+from repro.serving.cache import _MISS, AnswerCache, LRUTable
+from repro.system import SystemAnswer
+
+N = 120_000
+CAPACITY = 100_000
+
+
+class FakeDatabase:
+    """The two attributes the answer cache reads, nothing else."""
+
+    def __init__(self, identity=1, generation=0):
+        self.cache_key = (identity, generation)
+
+
+def clean_answer(cost=1.0):
+    return SystemAnswer(
+        proved=True, substitution=Substitution(), cost=cost, learned=True
+    )
+
+
+class TestLRUTableScale:
+    def test_size_stays_bounded(self):
+        table = LRUTable(CAPACITY, "answer")
+        for i in range(N):
+            table.put(i, i)
+        assert len(table) == CAPACITY
+        assert table.stats.evictions == N - CAPACITY
+
+    def test_eviction_is_strictly_lru(self):
+        table = LRUTable(CAPACITY, "answer")
+        for i in range(N):
+            table.put(i, i)
+        # The first N - CAPACITY inserts were evicted, the rest live.
+        assert table.get(N - CAPACITY - 1) is _MISS
+        assert table.get(N - CAPACITY) == N - CAPACITY
+        assert table.get(N - 1) == N - 1
+
+    def test_get_refreshes_recency_at_scale(self):
+        table = LRUTable(CAPACITY, "answer")
+        for i in range(CAPACITY):
+            table.put(i, i)
+        assert table.get(0) == 0  # touch the oldest entry
+        table.put(CAPACITY, CAPACITY)  # one eviction follows
+        assert table.get(0) == 0  # survived: it was freshest
+        assert table.get(1) is _MISS  # the true LRU entry went
+
+    def test_operations_stay_near_constant_time(self):
+        # A smoke bound, deliberately loose for CI machines: 2e5 puts
+        # + 2e5 gets in well under ten seconds means no accidental
+        # O(n) scan crept into the hot path (a linear scan would take
+        # minutes at this size).
+        table = LRUTable(CAPACITY, "answer")
+        start = time.perf_counter()
+        for i in range(N):
+            table.put(i, i)
+        for i in range(N):
+            table.get(i)
+        elapsed = time.perf_counter() - start
+        assert elapsed < 10.0, f"cache ops took {elapsed:.1f}s at scale"
+
+
+class TestAnswerCacheScale:
+    def test_both_tables_stay_bounded(self):
+        from repro.datalog.parser import parse_atom
+
+        cache = AnswerCache(1000)
+        database = FakeDatabase()
+        for i in range(3000):
+            cache.store(
+                parse_atom(f"q{i}(a)"), database, clean_answer(float(i))
+            )
+        assert len(cache) == 1000
+        # The stale side table obeys the same bound as the main table.
+        assert len(cache._stale) <= 1000
+
+    def test_hits_after_churn(self):
+        from repro.datalog.parser import parse_atom
+
+        cache = AnswerCache(1000)
+        database = FakeDatabase()
+        queries = [parse_atom(f"q{i}(a)") for i in range(1500)]
+        for i, query in enumerate(queries):
+            cache.store(query, database, clean_answer(float(i)))
+        assert cache.lookup(queries[0], database) is None  # evicted
+        hit = cache.lookup(queries[-1], database)
+        assert hit is not None and hit.cached and hit.cost == 0.0

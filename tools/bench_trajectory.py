@@ -42,6 +42,7 @@ from repro.bench import (  # noqa: E402
     experiment_distributed,
     experiment_drift,
     experiment_engine,
+    experiment_experience_warmstart,
     experiment_federation,
     experiment_figure1,
     experiment_overload,
@@ -91,6 +92,18 @@ def _suite() -> List[Tuple[str, Callable, List[str]]]:
             [
                 "answers", "prove_cost", "faulty_partials", "faulty_lost",
                 "faulty_dark_probes", "faulty_hedged_reads", "faulty_billed",
+            ],
+        ),
+        (
+            # Cross-session warm-start on the repeated university form:
+            # the deterministic metrics pin the samples-to-convergence
+            # reduction and the priors-only parity verdicts (any drift
+            # means warm-start started feeding the schedule).
+            "experience_warmstart",
+            experiment_experience_warmstart,
+            [
+                "mean_reduction", "reductions", "answer_parity",
+                "strategy_parity",
             ],
         ),
         (
