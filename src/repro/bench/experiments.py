@@ -1687,6 +1687,129 @@ def experiment_engine(
 
 
 # ----------------------------------------------------------------------
+# QS1: QSQN nets vs. SLD vs. bottom-up on goal-directed workloads
+# ----------------------------------------------------------------------
+
+def experiment_qsqn(
+    nodes: int = 48, proves: int = 100
+) -> ExperimentResult:
+    """Goal-directed set-at-a-time evaluation against both baselines.
+
+    Two workloads where the evaluation strategies genuinely differ: a
+    long transitive-closure chain (deep recursion, one ground goal)
+    and the same-generation tree (quadratically many derivable pairs).
+    The leg times repeated QSQN proves against the SLD engine and the
+    bottom-up fixpoint, cross-checks all three answer sets (the
+    three-way oracle of the verify subsystem, inlined), and records
+    the machine-independent costs; wall time is the QSQN speed trend.
+    """
+    from ..datalog.bottomup import BottomUpEngine
+    from ..datalog.engine import TopDownEngine
+    from ..datalog.qsqn import QSQNEngine
+    from ..datalog.terms import Atom
+    from ..workloads.hostile import same_generation_program
+
+    result = ExperimentResult("QS1: QSQN three-way throughput (qsqn leg)")
+    rules = parse_program("""
+        path(X, Y) :- edge(X, Y).
+        path(X, Y) :- edge(X, Z), path(Z, Y).
+    """)
+    facts = Database()
+    for index in range(nodes - 1):
+        facts.add(Atom("edge", [f"n{index:03d}", f"n{index + 1:03d}"]))
+    for index in range(0, nodes - 5, 5):
+        facts.add(Atom("edge", [f"n{index:03d}", f"n{index + 5:03d}"]))
+
+    timings: Dict[str, float] = {}
+    qsqn = QSQNEngine(rules)
+    top_down = TopDownEngine(rules, max_depth=4 * nodes)
+    bottom_up = BottomUpEngine(rules)
+
+    goal = parse_query(f"path(n000, n{nodes - 1:03d})")
+    # The first prove drains the net and pays the whole billed cost;
+    # warm proves serve from the tabled answer relations for free.
+    qsqn_prove_cost = qsqn.prove(goal, facts).trace.cost
+    start = time.perf_counter()
+    for _ in range(proves):
+        answer = qsqn.prove(goal, facts)
+    timings["qsqn_proves"] = time.perf_counter() - start
+
+    open_goal = parse_query("path(n000, X)")
+    start = time.perf_counter()
+    qsqn_answers = {
+        open_goal.substitute(a.substitution)
+        for a in qsqn.answers(open_goal, facts)
+    }
+    timings["qsqn_answers"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    td_answers = {
+        open_goal.substitute(a.substitution)
+        for a in top_down.answers(open_goal, facts)
+    }
+    timings["topdown_answers"] = time.perf_counter() - start
+
+    start = time.perf_counter()
+    bu_answers = {
+        open_goal.substitute(s)
+        for s in bottom_up.answers(open_goal, facts)
+    }
+    timings["bottomup_answers"] = time.perf_counter() - start
+
+    sg_rules, sg_facts, _ = same_generation_program(seed=0, depth=3,
+                                                    fanout=3)
+    sg_base = parse_program("\n".join(sg_rules))
+    sg_db = Database.from_program("\n".join(sg_facts))
+    sg_query = parse_query("sg(X, Y)?")
+    start = time.perf_counter()
+    sg_pairs = {
+        sg_query.substitute(a.substitution)
+        for a in QSQNEngine(sg_base).answers(sg_query, sg_db)
+    }
+    timings["qsqn_same_generation"] = time.perf_counter() - start
+    sg_model = {
+        sg_query.substitute(s)
+        for s in BottomUpEngine(sg_base).answers(sg_query, sg_db)
+    }
+
+    result.data.update({
+        "answers": len(qsqn_answers),
+        "qsqn_prove_cost": qsqn_prove_cost,
+        "sg_pairs": len(sg_pairs),
+        "proves": proves,
+        "nodes": nodes,
+        "timings": {name: round(value, 4) for name, value in timings.items()},
+    })
+    result.tables.append(format_table(
+        f"QSQN three-way, {nodes}-node closure ({len(facts)} edges)",
+        ["operation", "wall seconds"],
+        [[name, f"{value:.4f}"] for name, value in timings.items()],
+        footer=f"{len(qsqn_answers)} answers; QSQN prove cost "
+               f"{qsqn_prove_cost:g} x {proves} proves; "
+               f"{len(sg_pairs)} same-generation pairs",
+    ))
+    result.check(
+        "three engines agree on the open transitive-closure answer set",
+        qsqn_answers == td_answers == bu_answers,
+    )
+    result.check(
+        "QSQN same-generation pairs equal the bottom-up model",
+        sg_pairs == sg_model,
+    )
+    result.check(
+        "QSQN cold prove cost is positive and reproducible across runs",
+        qsqn_prove_cost > 0
+        and QSQNEngine(rules).prove(goal, facts).trace.cost
+        == qsqn_prove_cost,
+    )
+    result.check(
+        "warm proves stay proved and bill nothing extra",
+        answer.proved and answer.trace.cost == 0.0,
+    )
+    return result
+
+
+# ----------------------------------------------------------------------
 # FED1: storage backends — memory vs SQLite vs federated (calm / faulty)
 # ----------------------------------------------------------------------
 

@@ -13,8 +13,10 @@ Seven subcommands::
                             --probs D_prof=0.15,D_grad=0.6
     python -m repro verify --seeds 50 --profile pib
 
-* ``query`` answers one query with the plain SLD engine and prints the
-  bindings, the charged cost, and the attempted retrievals;
+* ``query`` answers one query and prints the bindings, the charged
+  cost, and the attempted retrievals; ``--engine`` picks the
+  evaluation strategy (``topdown`` SLD, ``bottomup`` semi-naive, or
+  ``qsqn`` query-subquery nets);
 * ``learn`` replays a query stream (one query per line) through the
   self-optimizing processor and prints the per-form learning report;
 * ``trace`` is ``learn`` with the observability layer enabled: it
@@ -32,8 +34,8 @@ Seven subcommands::
   ``Υ_AOT``'s optimal strategy for a given probability vector;
 * ``verify`` runs the deterministic-simulation / differential-oracle
   battery (:mod:`repro.verify`) over seeded random worlds, per
-  profile (``engine``, ``pib``, ``pao``, ``serving``, ``chaos``,
-  ``overload``, ``federation``, ``experience`` or ``all``);
+  profile (``engine``, ``qsqn``, ``pib``, ``pao``, ``serving``,
+  ``chaos``, ``overload``, ``federation``, ``experience`` or ``all``);
   ``--replay world.json``
   re-checks one saved
   :class:`~repro.verify.worldgen.WorldSpec`, ``--artifacts DIR``
@@ -65,7 +67,6 @@ from .cliflags import (
     STORE_FLAGS,
 )
 from .datalog.database import Database
-from .datalog.engine import TopDownEngine
 from .datalog.parser import parse_program, parse_query
 from .datalog.rules import QueryForm
 from .graphs.builder import build_inference_graph
@@ -80,6 +81,7 @@ from .observability import (
 from .optimal.upsilon import upsilon_aot
 from .serving import ServingConfig, open_session
 from .serving.admission import coerce_requests
+from .strategies.engines import ENGINE_NAMES, make_engine
 
 __all__ = ["main", "build_parser"]
 
@@ -117,7 +119,7 @@ def _parse_form(spec: str) -> QueryForm:
 def cmd_query(args: argparse.Namespace, out) -> int:
     rules = _load_rules(args.rules)
     facts = _load_facts(args.facts)
-    engine = TopDownEngine(rules, max_depth=args.max_depth)
+    engine = make_engine(args.engine, rules, max_depth=args.max_depth)
     query = parse_query(args.query)
     answer = engine.prove(query, facts)
     print("yes" if answer.proved else "no", file=out)
@@ -459,9 +461,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = parser.add_subparsers(dest="command", required=True)
 
-    query = sub.add_parser("query", help="answer one query with SLD")
+    query = sub.add_parser("query", help="answer one query")
     query.add_argument("--rules", required=True, help="Datalog rule file")
     query.add_argument("--facts", required=True, help="Datalog fact file")
+    query.add_argument("--engine", default="topdown", choices=ENGINE_NAMES,
+                       help="evaluation strategy (default: top-down SLD)")
     query.add_argument("--max-depth", type=int, default=64)
     query.add_argument("--trace", action="store_true",
                        help="print attempted retrievals")
@@ -539,7 +543,7 @@ def build_parser() -> argparse.ArgumentParser:
     verify.add_argument("--base-seed", type=int, default=0,
                         help="first seed of the family")
     verify.add_argument("--profile", action="append",
-                        choices=("engine", "pib", "pao", "serving",
+                        choices=("engine", "qsqn", "pib", "pao", "serving",
                                  "chaos", "overload", "federation",
                                  "experience", "all"),
                         default=None,

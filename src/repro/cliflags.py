@@ -28,6 +28,7 @@ from .serving.config import (
     SessionConfig,
 )
 from .storage.config import STORE_BACKENDS, StoreConfig
+from .strategies.engines import ENGINE_NAMES
 
 __all__ = [
     "FlagAdapter",
@@ -145,6 +146,7 @@ def _build_session(
         drift=adapter.get(args, "--drift"),
         drift_delta=adapter.get(args, "--drift-delta"),
         drift_detector=adapter.get(args, "--drift-detector"),
+        engine=adapter.get(args, "--engine"),
     )
     experience = EXPERIENCE_FLAGS.build(args)
     if experience is not None:
@@ -160,6 +162,11 @@ SESSION_FLAGS = FlagAdapter(
             help="PIB mistake budget (Theorem 1)",
         )),
         ("--max-depth", dict(type=int, default=None)),
+        ("--engine", dict(
+            default="topdown", choices=ENGINE_NAMES,
+            help="fallback evaluation engine for unlearnable forms "
+                 "(topdown SLD, bottomup fixpoint, or qsqn nets)",
+        )),
         ("--retries", dict(
             type=int, default=0,
             help="retry faulted retrievals up to N attempts "

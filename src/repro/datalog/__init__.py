@@ -3,7 +3,8 @@
 This subpackage implements the knowledge-base machinery the paper's
 query processor runs on: a database of ground atomic facts plus a rule
 base of Datalog rules (Section 2), a top-down satisficing SLD engine,
-and a bottom-up semi-naive oracle.
+a bottom-up semi-naive oracle, and a goal-directed set-at-a-time
+query-subquery-net engine.
 """
 
 from .terms import Atom, Constant, Substitution, Term, Variable, variables_of
@@ -13,6 +14,7 @@ from .parser import parse_atom, parse_program, parse_query, parse_rule
 from .database import Database
 from .engine import Answer, CostModel, ProofTrace, RetrievalEvent, TopDownEngine
 from .bottomup import BottomUpEngine, naive_evaluate, seminaive_evaluate
+from .qsqn import QSQNEngine
 
 __all__ = [
     "Atom",
@@ -39,6 +41,7 @@ __all__ = [
     "RetrievalEvent",
     "TopDownEngine",
     "BottomUpEngine",
+    "QSQNEngine",
     "naive_evaluate",
     "seminaive_evaluate",
 ]

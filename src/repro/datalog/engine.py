@@ -419,4 +419,4 @@ class TopDownEngine:
             EMPTY_SUBSTITUTION, database, trace, depth - 1,
         ):
             return  # a proof exists, so the negation fails
-        yield bindings
+        yield from self._solve(rest, bindings, database, trace, depth)

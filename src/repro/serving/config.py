@@ -140,12 +140,23 @@ class SessionConfig:
     #: Cross-session warm-start configuration (``None``: off — the
     #: byte-identical legacy path; see :class:`ExperienceConfig`).
     experience: Optional[ExperienceConfig] = None
+    #: Fallback evaluation engine for forms learning does not apply to
+    #: (one of :data:`repro.strategies.engines.ENGINE_NAMES`).
+    engine: str = "topdown"
 
     def __post_init__(self) -> None:
         if self.checkpoint_every < 1:
             raise ValueError("checkpoint_every must be at least 1")
         if self.test_every < 1:
             raise ValueError("test_every must be at least 1")
+        # Imported lazily: the registry lives above the serving layer.
+        from ..strategies.engines import ENGINE_NAMES
+
+        if self.engine not in ENGINE_NAMES:
+            raise ValueError(
+                f"unknown engine {self.engine!r}; expected one of "
+                + ", ".join(ENGINE_NAMES)
+            )
 
     @classmethod
     def from_options(
@@ -164,6 +175,7 @@ class SessionConfig:
         experience: bool = False,
         experience_path: Optional[str] = None,
         experience_neighbours: int = 3,
+        engine: str = "topdown",
     ) -> "SessionConfig":
         """Build a config from scalar options (the CLI's flag set).
 
@@ -202,6 +214,7 @@ class SessionConfig:
             checkpoint_every=checkpoint_every,
             drift=drift_config,
             experience=experience_config,
+            engine=engine,
         )
 
     def with_overrides(self, **changes) -> "SessionConfig":

@@ -39,6 +39,7 @@ from .enumeration import (
     count_path_structured,
 )
 from .adaptive import AdaptiveQueryProcessor, AttemptOutcome, classify_attempt
+from .engines import ENGINE_NAMES, BottomUpProofAdapter, make_engine
 
 __all__ = [
     "Strategy",
@@ -67,4 +68,7 @@ __all__ = [
     "AdaptiveQueryProcessor",
     "AttemptOutcome",
     "classify_attempt",
+    "ENGINE_NAMES",
+    "BottomUpProofAdapter",
+    "make_engine",
 ]

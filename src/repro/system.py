@@ -29,7 +29,6 @@ from dataclasses import dataclass, field, replace
 from typing import Any, Dict, List, Optional
 
 from .datalog.database import Database
-from .datalog.engine import TopDownEngine
 from .experience.fingerprint import FormProfile, form_profile
 from .experience.store import ExperienceStore
 from .experience.warmstart import (
@@ -58,6 +57,7 @@ from .observability.recorder import NULL_RECORDER, Recorder
 from .persistence import load_pib, save_pib
 from .serving.config import SessionConfig
 from .storage.interface import COMPLETE, Completeness
+from .strategies.engines import make_engine
 from .strategies.execution import execute, execute_resilient
 from .strategies.strategy import Strategy
 from .strategies.transformations import all_sibling_swaps
@@ -267,8 +267,11 @@ class SelfOptimizingQueryProcessor:
         self.subgoal_memo = None
         self._states: Dict[QueryForm, FormState] = {}
         self._uncompilable: Dict[QueryForm, str] = {}
-        self._fallback = TopDownEngine(
-            rule_base, max_depth=self.max_depth or 64
+        #: The configured fallback engine (``config.engine``): answers
+        #: every query whose form is not compiled/learnable.
+        self.engine_name = config.engine
+        self._fallback = make_engine(
+            config.engine, rule_base, max_depth=self.max_depth or 64
         )
 
     # ------------------------------------------------------------------

@@ -13,8 +13,10 @@ brute-force oracles in :mod:`repro.optimal`:
   JSON-round-tripping description of one world; any failure is a
   one-line repro) plus a delta-debugging shrinker;
 * :mod:`repro.verify.oracles` — exhaustive-enumeration cost checks,
-  top-down vs. bottom-up answer-set equivalence, and Clopper–Pearson
-  contract checkers for Theorem 1 (PIB) and Theorems 2/3 (PAO);
+  top-down vs. bottom-up answer-set equivalence, the three-way
+  top-down/bottom-up/QSQN oracle over the hostile world zoo, and
+  Clopper–Pearson contract checkers for Theorem 1 (PIB) and
+  Theorems 2/3 (PAO);
 * :mod:`repro.verify.simulator` — a virtual-clock, single-threaded
   replay of serving-layer batches, byte-deterministic from the seed;
 * :mod:`repro.verify.invariants` — always-on runtime invariants
@@ -28,7 +30,7 @@ brute-force oracles in :mod:`repro.optimal`:
   under shard faults, and faulty-replay byte-determinism;
 * :mod:`repro.verify.runner` — the profile runner behind
   ``repro verify --seeds N --profile
-  {engine,pib,pao,serving,chaos,overload,federation}``.
+  {engine,qsqn,pib,pao,serving,chaos,overload,federation}``.
 """
 
 from .invariants import (
@@ -43,6 +45,7 @@ from .oracles import (
     OracleReport,
     check_answer_equivalence,
     check_cost_oracle,
+    check_three_way_equivalence,
     clopper_pearson,
     pao_contract,
     pib_contract,
@@ -78,6 +81,7 @@ __all__ = [
     "check_federation_determinism",
     "check_federation_equivalence",
     "check_federation_partial",
+    "check_three_way_equivalence",
     "clopper_pearson",
     "pao_contract",
     "pib_contract",

@@ -27,14 +27,18 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..datalog.bottomup import BottomUpEngine
 from ..datalog.engine import TopDownEngine
+from ..datalog.parser import parse_atom
+from ..datalog.qsqn import QSQNEngine
 from ..errors import SampleBudgetExceeded
 from ..learning import pib as pib_module
 from ..learning.pao import pao, sample_requirements
 from ..optimal.brute_force import optimal_strategy_brute_force
 from ..optimal.upsilon import upsilon_aot
+from ..strategies.engines import BottomUpProofAdapter
 from ..strategies.execution import execute
 from ..strategies.expected_cost import expected_cost_exact
 from ..strategies.strategy import Strategy
+from ..workloads.hostile import mutation_storm
 from .invariants import ConservatismWatcher, InvariantMonitor, InvariantViolation
 from .worldgen import WorldSpec, build_graph_world, build_kb_world, context_rng
 
@@ -44,6 +48,7 @@ __all__ = [
     "clopper_pearson",
     "check_cost_oracle",
     "check_answer_equivalence",
+    "check_three_way_equivalence",
     "pib_run_world",
     "pib_contract",
     "pao_contract",
@@ -216,6 +221,79 @@ def check_answer_equivalence(spec: WorldSpec) -> Optional[str]:
                 f"provability disagrees on {query}: "
                 f"prove={proved} holds={holds} answers={len(td_instances)}"
             )
+    return None
+
+
+# ----------------------------------------------------------------------
+# Three-way equivalence (top-down vs. bottom-up vs. QSQN)
+# ----------------------------------------------------------------------
+
+
+def _answer_sets_agree(engines, queries, database) -> Optional[str]:
+    """All engines must produce the same ground answer-instance set and
+    the same provability verdict for every query.  ``engines`` is a
+    sequence of ``(name, engine)`` pairs sharing the prove/answers
+    protocol of :mod:`repro.strategies.engines`."""
+    for query in queries:
+        results = []
+        for name, engine in engines:
+            instances = frozenset(
+                query.substitute(answer.substitution)
+                for answer in engine.answers(query, database)
+            )
+            results.append((name, instances, engine.prove(query, database).proved))
+        base_name, base_instances, _ = results[0]
+        for name, instances, _ in results[1:]:
+            if instances != base_instances:
+                only_base = sorted(str(a) for a in base_instances - instances)
+                only_other = sorted(str(a) for a in instances - base_instances)
+                return (
+                    f"answer sets differ on {query}: "
+                    f"{base_name}-only={only_base} {name}-only={only_other}"
+                )
+        for name, instances, proved in results:
+            if proved != bool(base_instances):
+                return (
+                    f"provability disagrees on {query}: {name} "
+                    f"prove={proved} but answers={len(base_instances)}"
+                )
+    return None
+
+
+def check_three_way_equivalence(spec: WorldSpec) -> Optional[str]:
+    """SLD vs. semi-naive bottom-up vs. QSQN on one world.
+
+    The three engines implement the same stratified semantics by three
+    unrelated algorithms (tuple-at-a-time resolution, blind saturation,
+    goal-directed set-at-a-time nets); any pairwise disagreement on
+    ground answer instances or provability is a bug in at least one of
+    them.  With ``mutation_steps > 0`` the world's database is then
+    mutated one seeded storm step at a time and the full comparison
+    re-run after every step against the *same* engine objects — so
+    state cached across a generation bump fails loudly rather than
+    silently serving stale answers.
+    """
+    world = build_kb_world(spec)
+    engines = (
+        ("top-down", TopDownEngine(world.rules)),
+        ("bottom-up", BottomUpProofAdapter(world.rules)),
+        ("qsqn", QSQNEngine(world.rules)),
+    )
+    message = _answer_sets_agree(engines, world.queries, world.database)
+    if message is not None:
+        return message
+    if spec.mutation_steps > 0:
+        ops = mutation_storm(spec.seed, world.fact_text, spec.mutation_steps)
+        for number, (op, text) in enumerate(ops):
+            fact = parse_atom(text)
+            if op == "add":
+                world.database.add(fact)
+            else:
+                world.database.remove(fact)
+            message = _answer_sets_agree(engines, world.queries,
+                                         world.database)
+            if message is not None:
+                return f"after storm step #{number} ({op} {text}): {message}"
     return None
 
 

@@ -8,6 +8,11 @@ profile    what is checked
 =========  ==========================================================
 engine     top-down vs. bottom-up answer-set equivalence on random
            stratified knowledge bases (with negation)
+qsqn       three-way answer-set equivalence (top-down vs. bottom-up
+           vs. QSQN nets) over the hostile world zoo: layered,
+           deep-recursion, same-generation, and negation-mix shapes,
+           with hot-key-skewed query streams and cache-busting
+           mutation storms on alternating seeds
 pib        the Υ/brute-force cost oracle per world, then Theorem 1 as
            a Clopper–Pearson contract (plus Δ̃ conservatism and
            Equation 6 monotonicity invariants on every run)
@@ -71,6 +76,7 @@ from .oracles import (
     OracleReport,
     check_answer_equivalence,
     check_cost_oracle,
+    check_three_way_equivalence,
     pao_contract,
     pib_contract,
 )
@@ -99,8 +105,8 @@ __all__ = ["PROFILES", "VerifyReport", "specs_for", "run_profile",
            "run_verify", "replay_spec"]
 
 PROFILES = (
-    "engine", "pib", "pao", "serving", "chaos", "overload", "federation",
-    "experience",
+    "engine", "qsqn", "pib", "pao", "serving", "chaos", "overload",
+    "federation", "experience",
 )
 
 #: Coverage floor (percent) enforced by ``make coverage`` and CI's
@@ -157,6 +163,22 @@ def specs_for(
                     seed=seed,
                     profile="engine",
                     negation_rate=0.15 if seed % 2 else 0.0,
+                )
+            )
+        elif profile == "qsqn":
+            # Cycle the hostile shapes; alternate seeds add cache-
+            # busting storms, and the layered worlds get skewed query
+            # streams plus rule-level negation.
+            shape = ("layered", "deep-recursion", "same-generation",
+                     "negation-mix")[seed % 4]
+            specs.append(
+                WorldSpec(
+                    seed=seed,
+                    profile="qsqn",
+                    kb_shape=shape,
+                    negation_rate=0.2 if shape == "layered" else 0.0,
+                    hot_key_skew=0.75 if shape == "layered" else 0.0,
+                    mutation_steps=6 if seed % 2 else 0,
                 )
             )
         elif profile == "pib":
@@ -403,6 +425,13 @@ def run_profile(
                 shrink_failures,
             )
         )
+    elif profile == "qsqn":
+        verify.reports.append(
+            _run_deterministic(
+                "qsqn-three-way-equivalence", family,
+                check_three_way_equivalence, shrink_failures,
+            )
+        )
     elif profile == "pib":
         verify.reports.append(
             _run_deterministic(
@@ -527,6 +556,7 @@ def replay_spec(
 #: Check names per profile, for documentation and the CLI help text.
 PROFILE_CHECKS: Dict[str, List[str]] = {
     "engine": ["engine-equivalence"],
+    "qsqn": ["qsqn-three-way-equivalence"],
     "pib": ["cost-oracle", "pib-contract"],
     "pao": ["cost-oracle", "pao-contract"],
     "serving": [

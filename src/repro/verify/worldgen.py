@@ -35,6 +35,13 @@ from ..graphs.inference_graph import InferenceGraph
 from ..graphs.random_graphs import random_probabilities, random_tree_graph
 from ..resilience.faults import FaultPlan, FaultSpec
 from ..workloads.distributions import IndependentDistribution
+from ..workloads.hostile import (
+    KB_SHAPES,
+    deep_recursion_program,
+    hot_key_stream,
+    negation_mix_program,
+    same_generation_program,
+)
 
 __all__ = [
     "WorldSpec",
@@ -49,8 +56,8 @@ __all__ = [
 
 #: The verification profiles a spec can target.
 PROFILE_NAMES = (
-    "engine", "pib", "pao", "serving", "chaos", "overload", "federation",
-    "experience",
+    "engine", "qsqn", "pib", "pao", "serving", "chaos", "overload",
+    "federation", "experience",
 )
 
 
@@ -87,6 +94,16 @@ class WorldSpec:
     max_body: int = 2
     negation_rate: float = 0.0
     n_queries: int = 12
+    #: Knowledge-base shape: "layered" is the acyclic generator below;
+    #: the hostile shapes ("deep-recursion", "same-generation",
+    #: "negation-mix") come from :mod:`repro.workloads.hostile`.
+    kb_shape: str = "layered"
+    #: Cache-busting storm length: checks that understand it apply this
+    #: many seeded add/remove mutations, re-judging after each one.
+    mutation_steps: int = 0
+    #: Hot-key skew: fraction of the query stream concentrated on one
+    #: seeded hot query (0 = the plain generated stream).
+    hot_key_skew: float = 0.0
     # --- serving -------------------------------------------------------
     workers: int = 2
     answer_cache: int = 0
@@ -125,6 +142,11 @@ class WorldSpec:
             raise ReproError(
                 f"unknown profile {self.profile!r}; "
                 f"expected one of {', '.join(PROFILE_NAMES)}"
+            )
+        if self.kb_shape not in KB_SHAPES:
+            raise ReproError(
+                f"unknown kb_shape {self.kb_shape!r}; "
+                f"expected one of {', '.join(KB_SHAPES)}"
             )
         # JSON round-trips lists as tuples-to-be; normalize eagerly so
         # equality (and therefore shrink caching) is structural.
@@ -285,7 +307,18 @@ def _generate_kb_text(
     terminates without leaning on its loop check.  Negated body
     literals (rate-controlled) use only variables already bound by a
     positive literal, keeping rules safe.
+
+    The hostile ``kb_shape`` values dispatch to the seeded generators
+    in :mod:`repro.workloads.hostile` instead (same return shape).
     """
+    if spec.kb_shape == "deep-recursion":
+        return deep_recursion_program(spec.seed, n_queries=spec.n_queries)
+    if spec.kb_shape == "same-generation":
+        return same_generation_program(spec.seed, n_queries=spec.n_queries)
+    if spec.kb_shape == "negation-mix":
+        return negation_mix_program(
+            spec.seed, universe=spec.universe, n_queries=spec.n_queries
+        )
     rng = random.Random((spec.seed << 8) ^ 0xDA7A)
     universe = [f"c{index}" for index in range(spec.universe)]
     base = [
@@ -376,7 +409,14 @@ def build_kb_world(spec: WorldSpec) -> KBWorld:
         rule_text, fact_text, query_text = _generate_kb_text(spec)
     rules = parse_program("\n".join(rule_text))
     database = Database.from_program("\n".join(fact_text))
-    queries = [parse_query(text) for text in query_text]
+    stream = query_text
+    if spec.hot_key_skew > 0.0 and query_text:
+        # The skewed stream is derived, not stored: the shrinkable
+        # ``query_text`` stays the compact base list.
+        stream = hot_key_stream(
+            spec.seed, query_text, hot_fraction=spec.hot_key_skew
+        )
+    queries = [parse_query(text) for text in stream]
     return KBWorld(spec, rules, database, queries, rule_text, fact_text,
                    query_text)
 
@@ -475,7 +515,8 @@ def shrink(
         raise ReproError("shrink() called with a spec that does not fail")
 
     spec = (materialize(spec)
-            if spec.profile in ("engine", "serving", "overload", "federation")
+            if spec.profile in ("engine", "qsqn", "serving", "overload",
+                                "federation")
             else spec)
     if spec.kb_rules is not None:
         for field in ("kb_facts", "kb_queries", "kb_rules"):

@@ -127,6 +127,19 @@ class TestNegationAsFailure:
         # person retrieval + one owns retrieval (+ the reduction).
         assert len(answer.trace.retrievals) <= 3
 
+    def test_goals_after_negation_are_still_solved(self):
+        # Regression: a successful negation used to yield its bindings
+        # directly, silently dropping every literal after the negated
+        # one in the rule body.
+        engine = make_engine("""
+            cleared(X) :- item(X), not banned(X), verified(X).
+        """)
+        db = Database.from_program("item(a). item(b). verified(b).")
+        assert not engine.holds(parse_query("cleared(a)"), db)
+        assert engine.holds(parse_query("cleared(b)"), db)
+        db.add(Atom("banned", [Constant("b")]))
+        assert not engine.holds(parse_query("cleared(b)"), db)
+
 
 class TestCostAccounting:
     def test_unit_costs_match_paper(self):

@@ -122,3 +122,60 @@ def test_retrieve_enumeration_order_survives_hash_seed():
     )
     expected = [f"n{index:02d}" for index in range(64)]
     assert str(expected) in next(iter(outputs))
+
+
+#: QSQN-level: the net evaluator tables subqueries and answers in
+#: dict-backed relations; any hash-ordered container on the drain or
+#: enumeration path would reorder the answer stream or reshuffle the
+#: billed probe sequence between salts.  The probe prints both the
+#: enumeration order and the billed cost profile of a cold and a warm
+#: evaluation over a fan-out world with many string constants.
+_QSQN_HASHSEED_PROBE = """\
+from repro.datalog.database import Database
+from repro.datalog.parser import parse_program, parse_query
+from repro.datalog.qsqn import QSQNEngine
+from repro.datalog.terms import Atom
+
+rules = parse_program(
+    "tc(X, Y) :- e(X, Y). tc(X, Y) :- e(X, Z), tc(Z, Y)."
+)
+db = Database()
+for index in range(24):
+    db.add(Atom("e", ["hub", f"w{index:02d}"]))
+    db.add(Atom("e", [f"w{index:02d}", f"x{index:02d}"]))
+for index in range(7):
+    db.add(Atom("e", [f"x{index:02d}", f"x{index + 1:02d}"]))
+
+engine = QSQNEngine(rules)
+open_goal = parse_query("tc(hub, X)?")
+cold = list(engine.answers(open_goal, db))
+trace = cold[-1].trace
+print([str(open_goal.substitute(a.substitution)) for a in cold])
+print(trace.cost, trace.reductions, trace.retrievals)
+print(sorted(trace.success_counts().items()))
+
+ground = parse_query("tc(w03, x07)?")
+answer = QSQNEngine(rules).prove(ground, db)
+print(answer.proved, answer.trace.cost, answer.trace.reductions,
+      answer.trace.retrievals)
+"""
+
+
+def test_qsqn_enumeration_and_billing_survive_hash_seed():
+    """QSQN answer order and billed probe counts are byte-identical
+    across PYTHONHASHSEED — the determinism discipline the serving
+    layer's byte-identity guarantee inherits from the engine."""
+    outputs = set()
+    for seed in ("0", "1", "424242"):
+        env = dict(os.environ, PYTHONHASHSEED=seed,
+                   PYTHONPATH=str(SRC.parent))
+        result = subprocess.run(
+            [sys.executable, "-c", _QSQN_HASHSEED_PROBE],
+            capture_output=True, text=True, env=env, check=True,
+        )
+        outputs.add(result.stdout)
+    assert len(outputs) == 1, (
+        "QSQN enumeration or billing varied with PYTHONHASHSEED:\n"
+        + "\n---\n".join(outputs)
+    )
+    assert "True" in next(iter(outputs))

@@ -46,6 +46,7 @@ from repro.bench import (  # noqa: E402
     experiment_federation,
     experiment_figure1,
     experiment_overload,
+    experiment_qsqn,
     experiment_serving,
 )
 
@@ -65,6 +66,15 @@ def _suite() -> List[Tuple[str, Callable, List[str]]]:
             "engine",
             lambda: experiment_engine(nodes=60, proves=200),
             ["path_facts", "answers", "prove_cost"],
+        ),
+        (
+            # Goal-directed set-at-a-time evaluation vs. both
+            # baselines: the deterministic metrics pin the three-way
+            # answer agreement and QSQN's billed prove cost;
+            # wall_seconds is the net-evaluation speed trend.
+            "qsqn",
+            lambda: experiment_qsqn(nodes=48, proves=100),
+            ["answers", "qsqn_prove_cost", "sg_pairs"],
         ),
         ("distributed", experiment_distributed, []),
         (
